@@ -1,0 +1,105 @@
+//===- bench/fig14_heaplimit.cpp - Reproduces Figure 14 -------------------===//
+//
+// Change-propagation slowdown of the SaSML-style runtime relative to
+// CEAL for quicksort, as the simulated collected heap shrinks. Each line
+// (one per input size) ends where the heap no longer holds the live
+// trace — the paper's observation that tracing collection is inherently
+// incompatible with self-adjusting computation's long-lived trace: the
+// slowdown is not constant and grows super-linearly as headroom vanishes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "AppBench.h"
+#include "baseline/SaSmlSim.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace ceal;
+using namespace ceal::bench;
+
+namespace {
+
+/// Average update time for quicksort under \p Cfg; returns a negative
+/// value if the runtime exhausted the simulated heap.
+double qsortUpdateSeconds(size_t N, size_t Samples,
+                          const Runtime::Config &Cfg) {
+  using namespace apps;
+  Rng R(77);
+  std::vector<Word> In = randomWords(R, N);
+  Runtime RT(Cfg);
+  ListHandle L = buildList(RT, In);
+  Modref *Dst = RT.modref();
+  RT.runCore<&quicksortCore>(L.Head, Dst, &cmpWordKeys);
+  if (RT.outOfMemory())
+    return -1.0;
+  Samples = std::min(Samples, N);
+  Timer T;
+  for (size_t S = 0; S < Samples; ++S) {
+    size_t Index = R.below(N);
+    detachCell(RT, L, Index);
+    RT.propagate();
+    reattachCell(RT, L, Index);
+    RT.propagate();
+    if (RT.outOfMemory())
+      return -1.0;
+  }
+  return T.seconds() / double(2 * Samples);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchArgs Args(argc, argv);
+  size_t Samples = std::min<size_t>(Args.Samples, 60);
+
+  std::printf("Figure 14: SaSML/CEAL propagation slowdown for quicksort "
+              "under heap limits\n\n");
+  std::vector<size_t> Sizes = {Args.scaled(2500), Args.scaled(5000),
+                               Args.scaled(10000)};
+
+  std::printf("%-10s", "headroom");
+  for (size_t N : Sizes)
+    std::printf(" %14s", ("n=" + fmtCount(N)).c_str());
+  std::printf("\n%.*s\n", 56,
+              "--------------------------------------------------------");
+
+  // Per size: the CEAL reference update time and the SaSML live size
+  // (which determines where its line ends).
+  std::vector<double> CealUpdate(Sizes.size());
+  std::vector<size_t> SasmlLive(Sizes.size());
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    CealUpdate[I] =
+        qsortUpdateSeconds(Sizes[I], Samples, Runtime::Config());
+    Runtime Probe(baseline::sasmlConfig());
+    {
+      using namespace apps;
+      Rng R(77);
+      std::vector<Word> In = randomWords(R, Sizes[I]);
+      ListHandle L = buildList(Probe, In);
+      Modref *D = Probe.modref();
+      Probe.runCore<&quicksortCore>(L.Head, D, &cmpWordKeys);
+    }
+    SasmlLive[I] = Probe.maxLiveBytes();
+  }
+
+  // Sweep heap headroom factors from plentiful to exhausted.
+  for (double Factor : {6.0, 3.0, 2.0, 1.5, 1.25, 1.1, 1.02, 0.9}) {
+    std::printf("%9.2fx", Factor);
+    for (size_t I = 0; I < Sizes.size(); ++I) {
+      double Update = qsortUpdateSeconds(
+          Sizes[I], Samples,
+          baseline::sasmlConfig(size_t(double(SasmlLive[I]) * Factor)));
+      if (Update < 0) {
+        std::printf(" %14s", "OOM");
+      } else {
+        std::printf(" %13.1fx", Update / CealUpdate[I]);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(paper: the slowdown is not constant; it grows "
+              "super-linearly as the heap\n tightens — up to ~75x — and "
+              "each line ends when memory is insufficient)\n");
+  return 0;
+}

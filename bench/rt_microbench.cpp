@@ -1,0 +1,130 @@
+//===- bench/rt_microbench.cpp - Runtime primitive microbenchmarks --------===//
+//
+// google-benchmark microbenchmarks for the primitives whose constant
+// factors determine the paper's overhead column: order-maintenance
+// insertion, closure creation, traced reads/writes, memo lookups, and
+// small change-propagation cycles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/ListApps.h"
+#include "om/OrderList.h"
+#include "runtime/Runtime.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ceal;
+using namespace ceal::apps;
+
+namespace {
+
+void BM_OrderListAppend(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    OrderList L;
+    OmNode *Cur = L.base();
+    State.ResumeTiming();
+    for (int I = 0; I < 1000; ++I)
+      Cur = L.insertAfter(Cur);
+    benchmark::DoNotOptimize(Cur);
+  }
+  State.SetItemsProcessed(State.iterations() * 1000);
+}
+BENCHMARK(BM_OrderListAppend);
+
+void BM_OrderListFrontInsert(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    OrderList L;
+    State.ResumeTiming();
+    for (int I = 0; I < 1000; ++I)
+      benchmark::DoNotOptimize(L.insertAfter(L.base()));
+  }
+  State.SetItemsProcessed(State.iterations() * 1000);
+}
+BENCHMARK(BM_OrderListFrontInsert);
+
+void BM_OrderListCompare(benchmark::State &State) {
+  OrderList L;
+  Rng R(5);
+  std::vector<OmNode *> Nodes{L.base()};
+  for (int I = 0; I < 10000; ++I)
+    Nodes.push_back(L.insertAfter(Nodes[R.below(Nodes.size())]));
+  size_t I = 0;
+  for (auto _ : State) {
+    OmNode *A = Nodes[(I * 7919) % Nodes.size()];
+    OmNode *B = Nodes[(I * 104729) % Nodes.size()];
+    benchmark::DoNotOptimize(OrderList::precedes(A, B));
+    ++I;
+  }
+}
+BENCHMARK(BM_OrderListCompare);
+
+Closure *noopBody(Runtime &, Word, Modref *) { return nullptr; }
+
+void BM_ClosureMake(benchmark::State &State) {
+  Runtime RT;
+  Modref *M = RT.modref();
+  for (auto _ : State) {
+    Closure *C = RT.make<&noopBody>(Word(0), M);
+    benchmark::DoNotOptimize(C);
+    RT.arena().deallocate(C, C->byteSize());
+  }
+}
+BENCHMARK(BM_ClosureMake);
+
+Word identityMap(Word X, Word) { return X; }
+
+void BM_InitialRunMapPerElement(benchmark::State &State) {
+  std::vector<Word> In(size_t(State.range(0)));
+  Rng R(9);
+  for (Word &W : In)
+    W = R.below(1000);
+  for (auto _ : State) {
+    Runtime RT;
+    ListHandle L = buildList(RT, In);
+    Modref *Dst = RT.modref();
+    RT.runCore<&mapCore>(L.Head, Dst, &identityMap, Word(0));
+    benchmark::DoNotOptimize(RT.deref(Dst));
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_InitialRunMapPerElement)->Arg(1000)->Arg(10000);
+
+void BM_PropagateSingleEdit(benchmark::State &State) {
+  std::vector<Word> In(10000);
+  Rng R(10);
+  for (Word &W : In)
+    W = R.below(1000);
+  Runtime RT;
+  ListHandle L = buildList(RT, In);
+  Modref *Dst = RT.modref();
+  RT.runCore<&mapCore>(L.Head, Dst, &identityMap, Word(0));
+  size_t I = 0;
+  for (auto _ : State) {
+    size_t Index = (I * 37) % In.size();
+    detachCell(RT, L, Index);
+    RT.propagate();
+    reattachCell(RT, L, Index);
+    RT.propagate();
+    ++I;
+  }
+  State.SetItemsProcessed(State.iterations() * 2);
+}
+BENCHMARK(BM_PropagateSingleEdit);
+
+void BM_MetaModifyDeref(benchmark::State &State) {
+  Runtime RT;
+  Modref *M = RT.modref<int64_t>(1);
+  int64_t V = 0;
+  for (auto _ : State) {
+    RT.modifyT<int64_t>(M, ++V);
+    benchmark::DoNotOptimize(RT.derefT<int64_t>(M));
+  }
+}
+BENCHMARK(BM_MetaModifyDeref);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+//===- examples/list_pipeline.cpp - Incremental dataflow over lists -------===//
+//
+// A three-stage pipeline — filter, then map, then a sum reduction — over
+// a modifiable list, kept up to date under a stream of insertions and
+// deletions. This is the kind of workload the paper's introduction
+// motivates: data evolves by small modifications, and recomputing from
+// scratch wastes nearly all of its work.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/ListApps.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace ceal;
+using namespace ceal::apps;
+
+namespace {
+
+// Keep even "transaction amounts", double them, and total the result.
+bool keepEven(Word X, Word) { return (X & 1) == 0; }
+Word doubleIt(Word X, Word) { return 2 * X; }
+Word sumUp(Word A, Word B, Word) { return A + B; }
+
+Word expectedTotal(const std::vector<Word> &Values) {
+  Word Total = 0;
+  for (Word V : Values)
+    if (keepEven(V, 0))
+      Total += doubleIt(V, 0);
+  return Total;
+}
+
+} // namespace
+
+int main() {
+  Rng R(2026);
+  constexpr size_t N = 50000;
+  std::vector<Word> Amounts(N);
+  for (Word &A : Amounts)
+    A = R.below(10000);
+
+  Runtime RT;
+  ListHandle Input = buildList(RT, Amounts);
+  Modref *Evens = RT.modref();
+  Modref *Doubled = RT.modref();
+  Modref *Total = RT.modref();
+
+  Timer Initial;
+  RT.runCore<&filterCore>(Input.Head, Evens, &keepEven, Word(0));
+  RT.runCore<&mapCore>(Evens, Doubled, &doubleIt, Word(0));
+  RT.runCore<&reduceCore>(Doubled, Total, &sumUp, Word(0), Word(0));
+  std::printf("initial run over %zu elements: %.3fs, total = %llu\n", N,
+              Initial.seconds(),
+              static_cast<unsigned long long>(RT.deref(Total)));
+
+  // A stream of 1000 edits: delete a random element, propagate, restore
+  // it, propagate. Every propagation updates all three stages.
+  Timer Updates;
+  size_t Edits = 0;
+  for (int I = 0; I < 500; ++I) {
+    size_t Index = R.below(N);
+    detachCell(RT, Input, Index);
+    RT.propagate();
+    reattachCell(RT, Input, Index);
+    RT.propagate();
+    Edits += 2;
+  }
+  double PerUpdate = Updates.seconds() / double(Edits);
+  std::printf("%zu pipeline updates: %.4fs total, %.2e s each\n", Edits,
+              Updates.seconds(), PerUpdate);
+  std::printf("speedup over from-scratch: %.0fx\n",
+              Initial.seconds() / PerUpdate);
+
+  // Sanity: the incremental total matches a from-scratch recompute.
+  Word Expected = expectedTotal(readList(RT, Input.Head));
+  if (RT.deref(Total) != Expected) {
+    std::printf("MISMATCH: %llu != %llu\n",
+                static_cast<unsigned long long>(RT.deref(Total)),
+                static_cast<unsigned long long>(Expected));
+    return 1;
+  }
+  std::printf("incremental total verified against recomputation.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+//===- analysis/Liveness.cpp - Live-variable analysis ----------------------===//
+
+#include "analysis/Liveness.h"
+
+using namespace ceal;
+using namespace ceal::analysis;
+using namespace ceal::cl;
+
+namespace {
+
+void exprUses(const Expr &E, std::vector<VarId> &Out) {
+  switch (E.K) {
+  case Expr::Const:
+    break;
+  case Expr::Var:
+    Out.push_back(E.V);
+    break;
+  case Expr::Prim:
+    for (VarId V : E.Args)
+      Out.push_back(V);
+    break;
+  case Expr::Index:
+    Out.push_back(E.V);
+    Out.push_back(E.Idx);
+    break;
+  }
+}
+
+void jumpUses(const Jump &J, std::vector<VarId> &Out) {
+  if (J.K == Jump::Tail)
+    for (VarId V : J.Args)
+      Out.push_back(V);
+}
+
+} // namespace
+
+std::vector<VarId> analysis::blockUses(const Function &F, BlockId B) {
+  std::vector<VarId> Uses;
+  const BasicBlock &BB = F.Blocks[B];
+  switch (BB.K) {
+  case BasicBlock::Done:
+    break;
+  case BasicBlock::Cond:
+    Uses.push_back(BB.CondVar);
+    jumpUses(BB.J1, Uses);
+    jumpUses(BB.J2, Uses);
+    break;
+  case BasicBlock::Cmd: {
+    const Command &C = BB.C;
+    switch (C.K) {
+    case Command::Nop:
+      break;
+    case Command::Assign:
+      exprUses(C.E, Uses);
+      break;
+    case Command::Store:
+      Uses.push_back(C.Base);
+      Uses.push_back(C.Idx);
+      exprUses(C.E, Uses);
+      break;
+    case Command::ModrefAlloc:
+      for (VarId V : C.Args)
+        Uses.push_back(V);
+      break;
+    case Command::Read:
+      Uses.push_back(C.Src);
+      break;
+    case Command::Write:
+      Uses.push_back(C.Ref);
+      Uses.push_back(C.Val);
+      break;
+    case Command::Alloc:
+      Uses.push_back(C.SizeVar);
+      for (VarId V : C.Args)
+        Uses.push_back(V);
+      break;
+    case Command::Call:
+      for (VarId V : C.Args)
+        Uses.push_back(V);
+      break;
+    }
+    jumpUses(BB.J, Uses);
+    break;
+  }
+  }
+  return Uses;
+}
+
+std::vector<VarId> analysis::blockDefs(const Function &F, BlockId B) {
+  const BasicBlock &BB = F.Blocks[B];
+  if (BB.K != BasicBlock::Cmd)
+    return {};
+  const Command &C = BB.C;
+  switch (C.K) {
+  case Command::Assign:
+  case Command::ModrefAlloc:
+  case Command::Read:
+  case Command::Alloc:
+    return {C.Dst};
+  default:
+    return {};
+  }
+}
+
+LivenessInfo analysis::computeLiveness(const Function &F) {
+  size_t NumBlocks = F.Blocks.size();
+  size_t NumVars = F.Vars.size();
+  LivenessInfo Info;
+  Info.LiveIn.assign(NumBlocks, std::vector<bool>(NumVars, false));
+
+  // Successor lists (gotos only; tails leave the function).
+  std::vector<std::vector<BlockId>> Succs(NumBlocks);
+  for (BlockId B = 0; B < NumBlocks; ++B) {
+    const BasicBlock &BB = F.Blocks[B];
+    auto Add = [&](const Jump &J) {
+      if (J.K == Jump::Goto)
+        Succs[B].push_back(J.Target);
+    };
+    if (BB.K == BasicBlock::Cond) {
+      Add(BB.J1);
+      Add(BB.J2);
+    } else if (BB.K == BasicBlock::Cmd) {
+      Add(BB.J);
+    }
+  }
+
+  // Precompute use/def bit rows.
+  std::vector<std::vector<bool>> Use(NumBlocks,
+                                     std::vector<bool>(NumVars, false));
+  std::vector<std::vector<bool>> Def(NumBlocks,
+                                     std::vector<bool>(NumVars, false));
+  for (BlockId B = 0; B < NumBlocks; ++B) {
+    // A block is a single command: uses happen before the (single) def,
+    // except that the def of `x := e` does not kill a use of x in e —
+    // uses are read first, so LiveIn = Use ∪ (LiveOut \ Def) is exact at
+    // block granularity.
+    for (VarId V : blockUses(F, B))
+      Use[B][V] = true;
+    for (VarId V : blockDefs(F, B))
+      Def[B][V] = true;
+  }
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = NumBlocks; I > 0; --I) {
+      BlockId B = static_cast<BlockId>(I - 1);
+      std::vector<bool> New(NumVars, false);
+      // LiveOut = union of successors' LiveIn.
+      for (BlockId S : Succs[B])
+        for (VarId V = 0; V < NumVars; ++V)
+          if (Info.LiveIn[S][V])
+            New[V] = true;
+      // LiveIn = Use ∪ (LiveOut \ Def).
+      for (VarId V = 0; V < NumVars; ++V) {
+        New[V] = Use[B][V] || (New[V] && !Def[B][V]);
+        if (New[V] && !Info.LiveIn[B][V]) {
+          Info.LiveIn[B][V] = true;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Info;
+}

@@ -1,0 +1,73 @@
+//===- analysis/Liveness.h - Live-variable analysis ------------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative live-variable analysis, per function (Sec. 7). NORMALIZE
+/// uses live(l) — the variables live at the start of block l — as the
+/// formal parameters of the fresh function created for a critical node
+/// (Fig. 7, line 13).
+///
+/// Control flow may be arbitrary (non-reducible); the analysis iterates
+/// to a fixed point, worst case O(n^3) as the paper notes, which is fine
+/// because functions are small.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_ANALYSIS_LIVENESS_H
+#define CEAL_ANALYSIS_LIVENESS_H
+
+#include "cl/Ir.h"
+
+#include <vector>
+
+namespace ceal {
+namespace analysis {
+
+/// Live-variable sets for one function, as bit vectors over VarId.
+struct LivenessInfo {
+  /// LiveIn[b][v]: variable v is live at the start of block b.
+  std::vector<std::vector<bool>> LiveIn;
+
+  /// The variables live at the start of \p B, in ascending VarId order
+  /// (the deterministic parameter order used by NORMALIZE).
+  std::vector<cl::VarId> liveAt(cl::BlockId B) const {
+    std::vector<cl::VarId> Result;
+    for (cl::VarId V = 0; V < LiveIn[B].size(); ++V)
+      if (LiveIn[B][V])
+        Result.push_back(V);
+    return Result;
+  }
+
+  /// The maximum number of live variables over all blocks — the ML(P)
+  /// of Theorems 3-5.
+  size_t maxLive() const {
+    size_t Max = 0;
+    for (const auto &Row : LiveIn) {
+      size_t Count = 0;
+      for (bool Bit : Row)
+        Count += Bit;
+      if (Count > Max)
+        Max = Count;
+    }
+    return Max;
+  }
+};
+
+/// Computes per-block live-in sets for \p F. Tail jumps and calls use
+/// their arguments; reads/assigns define their destinations.
+LivenessInfo computeLiveness(const cl::Function &F);
+
+/// The variables used anywhere in block \p B of \p F (helper shared with
+/// the free-variable computation of NORMALIZE).
+std::vector<cl::VarId> blockUses(const cl::Function &F, cl::BlockId B);
+
+/// The variables defined by block \p B of \p F.
+std::vector<cl::VarId> blockDefs(const cl::Function &F, cl::BlockId B);
+
+} // namespace analysis
+} // namespace ceal
+
+#endif // CEAL_ANALYSIS_LIVENESS_H

@@ -1,0 +1,55 @@
+//===- analysis/ProgramGraph.cpp - Rooted program graphs -------------------===//
+
+#include "analysis/ProgramGraph.h"
+
+using namespace ceal;
+using namespace ceal::analysis;
+using namespace ceal::cl;
+
+ProgramGraph analysis::buildProgramGraph(const Function &F) {
+  ProgramGraph G;
+  size_t N = F.Blocks.size() + 2;
+  G.Succs.assign(N, {});
+  G.Preds.assign(N, {});
+  G.IsReadEntry.assign(N, false);
+
+  auto AddEdge = [&](uint32_t From, uint32_t To) {
+    G.Succs[From].push_back(To);
+    G.Preds[To].push_back(From);
+  };
+
+  // The function node is an entry node; its body starts at block 0.
+  AddEdge(ProgramGraph::Root, ProgramGraph::FuncNode);
+  if (!F.Blocks.empty())
+    AddEdge(ProgramGraph::FuncNode, ProgramGraph::blockNode(0));
+
+  // Intra-procedural control transfers: gotos and cond branches. Tail
+  // jumps target other functions' nodes and are omitted here.
+  auto AddJump = [&](uint32_t From, const Jump &J) {
+    if (J.K == Jump::Goto)
+      AddEdge(From, ProgramGraph::blockNode(J.Target));
+  };
+  for (BlockId B = 0; B < F.Blocks.size(); ++B) {
+    const BasicBlock &BB = F.Blocks[B];
+    uint32_t Node = ProgramGraph::blockNode(B);
+    switch (BB.K) {
+    case BasicBlock::Done:
+      break;
+    case BasicBlock::Cond:
+      AddJump(Node, BB.J1);
+      AddJump(Node, BB.J2);
+      break;
+    case BasicBlock::Cmd:
+      AddJump(Node, BB.J);
+      // The target of a read block's jump is a read entry and therefore
+      // an entry node (Sec. 5.1).
+      if (BB.C.K == Command::Read && BB.J.K == Jump::Goto)
+        G.IsReadEntry[ProgramGraph::blockNode(BB.J.Target)] = true;
+      break;
+    }
+  }
+  for (uint32_t Node = 2; Node < N; ++Node)
+    if (G.IsReadEntry[Node])
+      AddEdge(ProgramGraph::Root, Node);
+  return G;
+}

@@ -1,0 +1,57 @@
+//===- analysis/ProgramGraph.h - Rooted program graphs ---------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rooted program graph of Sec. 5.1, in the intra-procedural variant
+/// the compiler actually uses (Sec. 7): one graph per function, with a
+/// distinguished root, the function node, and one node per basic block.
+/// Entry nodes — the function node and every read-entry node (the goto
+/// target of a read block) — receive an edge from the root. Tail jumps
+/// and calls leave the function, so they contribute no intra-procedural
+/// edges (the immediate dominator of every function node is the root, so
+/// per-function analysis computes the same units as the whole-program
+/// graph, as the paper observes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_ANALYSIS_PROGRAMGRAPH_H
+#define CEAL_ANALYSIS_PROGRAMGRAPH_H
+
+#include "cl/Ir.h"
+
+#include <vector>
+
+namespace ceal {
+namespace analysis {
+
+/// The rooted control-flow graph of one function.
+///
+/// Node numbering: 0 is the root, 1 is the function node, and block b of
+/// the function is node b + 2.
+struct ProgramGraph {
+  static constexpr uint32_t Root = 0;
+  static constexpr uint32_t FuncNode = 1;
+
+  static uint32_t blockNode(cl::BlockId B) { return B + 2; }
+  static cl::BlockId nodeBlock(uint32_t N) { return N - 2; }
+  static bool isBlockNode(uint32_t N) { return N >= 2; }
+
+  size_t size() const { return Succs.size(); }
+
+  std::vector<std::vector<uint32_t>> Succs;
+  std::vector<std::vector<uint32_t>> Preds;
+  /// True for block nodes that are read entries (targets of a read
+  /// block's jump).
+  std::vector<bool> IsReadEntry;
+};
+
+/// Builds the rooted graph of \p F (Property 1: linear time).
+ProgramGraph buildProgramGraph(const cl::Function &F);
+
+} // namespace analysis
+} // namespace ceal
+
+#endif // CEAL_ANALYSIS_PROGRAMGRAPH_H

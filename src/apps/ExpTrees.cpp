@@ -1,0 +1,107 @@
+//===- apps/ExpTrees.cpp - Expression-tree benchmark ----------------------===//
+//
+// The compiled form of the paper's Fig. 2/Fig. 5 evaluator: each internal
+// node allocates result modifiables for its children (keyed by the node),
+// evaluates both sides via calls, then reads the two results in sequence
+// — exactly the normalized read_r/read_a/read_b structure of Fig. 5.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/ExpTrees.h"
+
+using namespace ceal;
+using namespace ceal::apps;
+
+namespace {
+
+Closure *evalGotB(Runtime &RT, Word BW, Word AW, ExpNode *T, Modref *Res) {
+  double A = fromWord<double>(AW), B = fromWord<double>(BW);
+  RT.writeT(Res, T->Op == ExpNode::Plus ? A + B : A - B);
+  return nullptr;
+}
+
+Closure *evalGotA(Runtime &RT, Word AW, Modref *Mb, ExpNode *T, Modref *Res) {
+  return RT.readTail<&evalGotB>(Mb, AW, T, Res);
+}
+
+Closure *evalNode(Runtime &RT, ExpNode *T, Modref *Res) {
+  if (T->Kind == ExpNode::Leaf) {
+    RT.writeT(Res, T->Num);
+    return nullptr;
+  }
+  Modref *Ma = RT.coreModref(T, 0);
+  Modref *Mb = RT.coreModref(T, 1);
+  RT.callFn<&evalExpCore>(T->Left, Ma);
+  RT.callFn<&evalExpCore>(T->Right, Mb);
+  return RT.readTail<&evalGotA>(Ma, Mb, T, Res);
+}
+
+ExpNode *newNode(Runtime &RT) {
+  return static_cast<ExpNode *>(RT.arena().allocate(sizeof(ExpNode)));
+}
+
+ExpNode *makeLeafNode(Runtime &RT, double Value) {
+  ExpNode *N = newNode(RT);
+  N->Kind = ExpNode::Leaf;
+  N->Op = ExpNode::Plus;
+  N->Num = Value;
+  N->Left = N->Right = nullptr;
+  return N;
+}
+
+/// Builds a balanced tree over leaf indices [Lo, Hi); records leaves and
+/// their parent modifiables in \p T.
+ExpNode *buildRange(Runtime &RT, Rng &R, ExpTree &T, size_t Lo, size_t Hi,
+                    Modref *ParentRef) {
+  if (Hi - Lo == 1) {
+    ExpNode *L = makeLeafNode(RT, R.unit() * 2.0 - 1.0);
+    T.Leaves.push_back(L);
+    T.ParentRef.push_back(ParentRef);
+    return L;
+  }
+  ExpNode *N = newNode(RT);
+  N->Kind = ExpNode::Node;
+  N->Op = R.flip() ? ExpNode::Plus : ExpNode::Minus;
+  N->Num = 0;
+  N->Left = RT.modref();
+  N->Right = RT.modref();
+  size_t Mid = Lo + (Hi - Lo) / 2;
+  RT.modifyT(N->Left, buildRange(RT, R, T, Lo, Mid, N->Left));
+  RT.modifyT(N->Right, buildRange(RT, R, T, Mid, Hi, N->Right));
+  return N;
+}
+
+double evalConvRec(Runtime &RT, ExpNode *N) {
+  if (N->Kind == ExpNode::Leaf)
+    return N->Num;
+  double A = evalConvRec(RT, RT.derefT<ExpNode *>(N->Left));
+  double B = evalConvRec(RT, RT.derefT<ExpNode *>(N->Right));
+  return N->Op == ExpNode::Plus ? A + B : A - B;
+}
+
+} // namespace
+
+Closure *apps::evalExpCore(Runtime &RT, Modref *Root, Modref *Res) {
+  return RT.readTail<&evalNode>(Root, Res);
+}
+
+ExpTree apps::buildExpTree(Runtime &RT, Rng &R, size_t NumLeaves) {
+  ExpTree T;
+  T.Root = RT.modref();
+  if (NumLeaves == 0)
+    NumLeaves = 1;
+  RT.modifyT(T.Root, buildRange(RT, R, T, 0, NumLeaves, T.Root));
+  return T;
+}
+
+void apps::replaceLeaf(Runtime &RT, ExpTree &T, size_t Index, double Value) {
+  // A fresh leaf node, so the parent's read sees a changed pointer (leaf
+  // payloads are plain fields and must not be mutated in place).
+  ExpNode *Fresh = makeLeafNode(RT, Value);
+  T.Leaves[Index] = Fresh;
+  RT.modifyT(T.ParentRef[Index], Fresh);
+}
+
+double apps::evalExpConventional(Runtime &RT, Modref *Root) {
+  return evalConvRec(RT, RT.derefT<ExpNode *>(Root));
+}

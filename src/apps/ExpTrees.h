@@ -1,0 +1,65 @@
+//===- apps/ExpTrees.h - Expression-tree benchmark -------------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exptrees benchmark (paper Secs. 3 and 8.2): evaluating an
+/// expression tree of +/- nodes over floating-point leaves, responding to
+/// leaf modifications in time proportional to the leaf-to-root path. This
+/// is the paper's running example (Figs. 1-5) with floats in place of
+/// integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_APPS_EXPTREES_H
+#define CEAL_APPS_EXPTREES_H
+
+#include "runtime/Runtime.h"
+#include "support/Random.h"
+
+#include <vector>
+
+namespace ceal {
+namespace apps {
+
+/// An expression-tree node (paper Fig. 1). Internal nodes hold their
+/// children in modifiables so the mutator can substitute subtrees.
+struct ExpNode {
+  enum KindType : uint8_t { Leaf, Node } Kind;
+  enum OpType : uint8_t { Plus, Minus } Op;
+  double Num;    ///< Leaf payload.
+  Modref *Left;  ///< Holds ExpNode *.
+  Modref *Right; ///< Holds ExpNode *.
+};
+
+/// Core entry (paper Fig. 2): evaluates the tree in \p Root into \p Res
+/// (a bit-cast double).
+Closure *evalExpCore(Runtime &RT, Modref *Root, Modref *Res);
+
+/// A mutator-owned expression tree: the root modifiable plus the leaves
+/// (the edit points of the benchmark).
+struct ExpTree {
+  Modref *Root = nullptr;
+  std::vector<ExpNode *> Leaves;
+  /// Leaves[I] is the value of ParentRef[I] (the modifiable to write when
+  /// substituting that leaf).
+  std::vector<Modref *> ParentRef;
+};
+
+/// Builds a random balanced expression tree with \p NumLeaves leaves
+/// (random ops, leaf values uniform in [-1, 1]).
+ExpTree buildExpTree(Runtime &RT, Rng &R, size_t NumLeaves);
+
+/// Replaces leaf \p Index with a fresh leaf of value \p Value.
+void replaceLeaf(Runtime &RT, ExpTree &T, size_t Index, double Value);
+
+/// Conventional recursive evaluation through the meta interface (the
+/// oracle for tests and the baseline for benchmarks).
+double evalExpConventional(Runtime &RT, Modref *Root);
+
+} // namespace apps
+} // namespace ceal
+
+#endif // CEAL_APPS_EXPTREES_H

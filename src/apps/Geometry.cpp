@@ -1,0 +1,370 @@
+//===- apps/Geometry.cpp - Computational-geometry benchmarks --------------===//
+//
+// Self-adjusting quickhull and its derived benchmarks. The recursion
+// mirrors the classic algorithm: find extreme points, filter the points
+// strictly outside each hull edge, recurse on the farthest point. All
+// intermediate structure (edges, sub-lists, destination modifiables) is
+// memo-keyed by the hull edge's endpoint pair, which is unique per
+// recursion node, so an inserted or deleted point re-executes only the
+// recursion path whose filtered sets actually change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ceal;
+using namespace ceal::apps;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Combine / predicate functions (shared by the self-adjusting cores and
+// the conventional baselines so tie-breaking matches exactly).
+//===----------------------------------------------------------------------===//
+
+/// A directed hull edge; reduce/filter environments point at one of
+/// these. Core-allocated and keyed by the endpoints.
+struct Edge {
+  const Point *A;
+  const Point *B;
+};
+
+const Point *pt(Word W) { return fromWord<const Point *>(W); }
+
+/// Deterministic total order used for all geometric tie-breaks.
+bool pointBefore(const Point *P, const Point *Q) {
+  if (P->X != Q->X)
+    return P->X < Q->X;
+  if (P->Y != Q->Y)
+    return P->Y < Q->Y;
+  return P < Q;
+}
+
+Word combineMinX(Word AW, Word BW, Word) {
+  const Point *A = pt(AW), *B = pt(BW);
+  if (!A)
+    return BW;
+  if (!B)
+    return AW;
+  return pointBefore(A, B) ? AW : BW;
+}
+
+Word combineMaxX(Word AW, Word BW, Word) {
+  const Point *A = pt(AW), *B = pt(BW);
+  if (!A)
+    return BW;
+  if (!B)
+    return AW;
+  return pointBefore(A, B) ? BW : AW;
+}
+
+/// Picks the point farther from the environment edge (null = identity).
+Word combineFarthest(Word AW, Word BW, Word EnvW) {
+  const Point *A = pt(AW), *B = pt(BW);
+  if (!A)
+    return BW;
+  if (!B)
+    return AW;
+  const Edge *E = fromWord<const Edge *>(EnvW);
+  double DA = orient(E->A, E->B, A), DB = orient(E->A, E->B, B);
+  if (DA != DB)
+    return DA > DB ? AW : BW;
+  return pointBefore(A, B) ? AW : BW;
+}
+
+bool outsideEdge(Word PW, Word EnvW) {
+  const Edge *E = fromWord<const Edge *>(EnvW);
+  return orient(E->A, E->B, pt(PW)) > 0.0;
+}
+
+Word pairDist2(Word QW, Word EnvP) {
+  return toWord(dist2(pt(EnvP), pt(QW)));
+}
+
+Word combineMaxD(Word AW, Word BW, Word) {
+  return fromWord<double>(AW) >= fromWord<double>(BW) ? AW : BW;
+}
+
+Word combineMinD(Word AW, Word BW, Word) {
+  return fromWord<double>(AW) <= fromWord<double>(BW) ? AW : BW;
+}
+
+//===----------------------------------------------------------------------===//
+// Core allocation helpers
+//===----------------------------------------------------------------------===//
+
+Closure *edgeInit(Runtime &, void *Block, const Point *A, const Point *B) {
+  auto *E = static_cast<Edge *>(Block);
+  E->A = A;
+  E->B = B;
+  return nullptr;
+}
+
+Edge *allocEdge(Runtime &RT, const Point *A, const Point *B) {
+  return static_cast<Edge *>(RT.alloc<&edgeInit>(sizeof(Edge), A, B));
+}
+
+Closure *gcellInit(Runtime &, void *Block, Word Head, Modref *Tail) {
+  auto *C = static_cast<Cell *>(Block);
+  C->Head = Head;
+  C->Tail = Tail;
+  return nullptr;
+}
+
+Cell *allocGCell(Runtime &RT, Word Head, Modref *Tail) {
+  return static_cast<Cell *>(RT.alloc<&gcellInit>(sizeof(Cell), Head, Tail));
+}
+
+//===----------------------------------------------------------------------===//
+// quickhull recursion
+//===----------------------------------------------------------------------===//
+
+Closure *qhEnter(Runtime &RT, Modref *S, const Point *A, const Point *B,
+                 Modref *Dst, Cell *Rest);
+
+/// Continues the left sub-problem once the right one's head cell is known.
+Closure *qhGotMid(Runtime &RT, Cell *Mid, Modref *SL, const Point *A,
+                  const Point *C, Modref *Dst) {
+  return qhEnter(RT, SL, A, C, Dst, Mid);
+}
+
+/// The farthest point from edge (A, B) has arrived; emit A (leaf case) or
+/// split the problem at C.
+Closure *qhGotFar(Runtime &RT, const Point *C, Modref *S, const Point *A,
+                  const Point *B, Modref *Dst, Cell *Rest) {
+  if (!C) {
+    Modref *Tail = RT.coreModref(A, B, 35);
+    Cell *Out = allocGCell(RT, toWord(A), Tail);
+    RT.writeT(Dst, Out);
+    RT.writeT(Tail, Rest);
+    return nullptr;
+  }
+  Edge *EAC = allocEdge(RT, A, C);
+  Edge *ECB = allocEdge(RT, C, B);
+  Modref *SL = RT.coreModref(A, C, 36);
+  Modref *SR = RT.coreModref(C, B, 36);
+  RT.callFn<&filterCore>(S, SL, &outsideEdge, toWord(EAC));
+  RT.callFn<&filterCore>(S, SR, &outsideEdge, toWord(ECB));
+  Modref *MidDst = RT.coreModref(C, B, 37);
+  RT.callFn<&qhEnter>(SR, C, B, MidDst, Rest);
+  return RT.readTail<&qhGotMid>(MidDst, SL, A, C, Dst);
+}
+
+/// qh(S, A, B, Dst, Rest): Dst := hull vertices from A (inclusive)
+/// counter-clockwise to B (exclusive), then Rest.
+Closure *qhEnter(Runtime &RT, Modref *S, const Point *A, const Point *B,
+                 Modref *Dst, Cell *Rest) {
+  Modref *FarDst = RT.coreModref(A, B, 34);
+  Edge *EAB = allocEdge(RT, A, B);
+  RT.callFn<&reduceCore>(S, FarDst, &combineFarthest, toWord(EAB),
+                         toWord(static_cast<const Point *>(nullptr)));
+  return RT.readTail<&qhGotFar>(FarDst, S, A, B, Dst, Rest);
+}
+
+Closure *qhGotMax(Runtime &RT, const Point *B, const Point *A, Modref *Src,
+                  Modref *Dst) {
+  if (!A) { // Empty input.
+    RT.writeT(Dst, static_cast<Cell *>(nullptr));
+    return nullptr;
+  }
+  if (A == B) { // Single-point (or all-equal) input.
+    Modref *Tail = RT.coreModref(A, B, 38);
+    Cell *Out = allocGCell(RT, toWord(A), Tail);
+    RT.writeT(Tail, static_cast<Cell *>(nullptr));
+    RT.writeT(Dst, Out);
+    return nullptr;
+  }
+  Edge *EAB = allocEdge(RT, A, B);
+  Edge *EBA = allocEdge(RT, B, A);
+  Modref *Above = RT.coreModref(A, B, 32);
+  Modref *Below = RT.coreModref(B, A, 32);
+  RT.callFn<&filterCore>(Src, Above, &outsideEdge, toWord(EAB));
+  RT.callFn<&filterCore>(Src, Below, &outsideEdge, toWord(EBA));
+  Modref *MidDst = RT.coreModref(B, A, 39);
+  RT.callFn<&qhEnter>(Below, B, A, MidDst, static_cast<Cell *>(nullptr));
+  return RT.readTail<&qhGotMid>(MidDst, Above, A, B, Dst);
+}
+
+Closure *qhGotMin(Runtime &RT, const Point *A, Modref *MaxDst, Modref *Src,
+                  Modref *Dst) {
+  return RT.readTail<&qhGotMax>(MaxDst, A, Src, Dst);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-element reductions over another list (diameter / distance)
+//===----------------------------------------------------------------------===//
+
+Closure *perElemGot(Runtime &RT, Cell *C, Modref *Dst, Modref *Other,
+                    MapFn Pair, CombineFn Comb, Word Id);
+
+Closure *perElemGotVal(Runtime &RT, Word V, Cell *C, Modref *Dst,
+                       Modref *Other, MapFn Pair, CombineFn Comb, Word Id) {
+  Modref *OutTail = RT.coreModref(C, 43);
+  Cell *Out = allocGCell(RT, V, OutTail);
+  RT.writeT(Dst, Out);
+  return RT.readTail<&perElemGot>(C->Tail, OutTail, Other, Pair, Comb, Id);
+}
+
+/// For each element p of the walked list: value(p) = reduce(Comb,
+/// map(Pair(., p), Other)). Used with Pair = squared distance.
+Closure *perElemGot(Runtime &RT, Cell *C, Modref *Dst, Modref *Other,
+                    MapFn Pair, CombineFn Comb, Word Id) {
+  if (!C) {
+    RT.writeT(Dst, static_cast<Cell *>(nullptr));
+    return nullptr;
+  }
+  Modref *Mapped = RT.coreModref(C, 44);
+  RT.callFn<&mapCore>(Other, Mapped, Pair, C->Head);
+  Modref *Reduced = RT.coreModref(C, 42);
+  RT.callFn<&reduceCore>(Mapped, Reduced, Comb, Word(0), Id);
+  return RT.readTail<&perElemGotVal>(Reduced, C, Dst, Other, Pair, Comb, Id);
+}
+
+Closure *perElemEnter(Runtime &RT, Modref *L, Modref *Dst, Modref *Other,
+                      MapFn Pair, CombineFn Comb, Word Id) {
+  return RT.readTail<&perElemGot>(L, Dst, Other, Pair, Comb, Id);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+Closure *apps::quickhullCore(Runtime &RT, Modref *Src, Modref *Dst) {
+  Modref *MinDst = RT.coreModref(Dst, 30);
+  Modref *MaxDst = RT.coreModref(Dst, 31);
+  Word NullPt = toWord(static_cast<const Point *>(nullptr));
+  RT.callFn<&reduceCore>(Src, MinDst, &combineMinX, Word(0), NullPt);
+  RT.callFn<&reduceCore>(Src, MaxDst, &combineMaxX, Word(0), NullPt);
+  return RT.readTail<&qhGotMin>(MinDst, MaxDst, Src, Dst);
+}
+
+Closure *apps::diameterCore(Runtime &RT, Modref *Src, Modref *Dst) {
+  Modref *Hull = RT.coreModref(Dst, 40);
+  RT.callFn<&quickhullCore>(Src, Hull);
+  Modref *PerPt = RT.coreModref(Dst, 41);
+  RT.callFn<&perElemEnter>(Hull, PerPt, Hull, &pairDist2, &combineMaxD,
+                           toWord(0.0));
+  return reduceCore(RT, PerPt, Dst, &combineMaxD, Word(0), toWord(0.0));
+}
+
+Closure *apps::distanceCore(Runtime &RT, Modref *SrcA, Modref *SrcB,
+                            Modref *Dst) {
+  Modref *HullA = RT.coreModref(Dst, 45);
+  Modref *HullB = RT.coreModref(Dst, 46);
+  RT.callFn<&quickhullCore>(SrcA, HullA);
+  RT.callFn<&quickhullCore>(SrcB, HullB);
+  Modref *PerPt = RT.coreModref(Dst, 47);
+  double Inf = HUGE_VAL;
+  RT.callFn<&perElemEnter>(HullA, PerPt, HullB, &pairDist2, &combineMinD,
+                           toWord(Inf));
+  return reduceCore(RT, PerPt, Dst, &combineMinD, Word(0), toWord(Inf));
+}
+
+//===----------------------------------------------------------------------===//
+// Builders
+//===----------------------------------------------------------------------===//
+
+std::vector<Point *> apps::randomPoints(Runtime &RT, Rng &R, size_t N,
+                                        double ShiftX) {
+  std::vector<Point *> Pts;
+  Pts.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    auto *P = static_cast<Point *>(RT.arena().allocate(sizeof(Point)));
+    P->X = R.unit() + ShiftX;
+    P->Y = R.unit();
+    Pts.push_back(P);
+  }
+  return Pts;
+}
+
+ListHandle apps::buildPointList(Runtime &RT,
+                                const std::vector<Point *> &Points) {
+  std::vector<Word> Words;
+  Words.reserve(Points.size());
+  for (Point *P : Points)
+    Words.push_back(toWord(P));
+  return buildList(RT, Words);
+}
+
+//===----------------------------------------------------------------------===//
+// Conventional baselines (same combine functions, plain recursion)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void qhConvRec(const std::vector<const Point *> &S, const Point *A,
+               const Point *B, std::vector<const Point *> &Out) {
+  Edge E{A, B};
+  Word Far = toWord(static_cast<const Point *>(nullptr));
+  for (const Point *P : S)
+    Far = combineFarthest(Far, toWord(P), toWord(&E));
+  const Point *C = pt(Far);
+  if (!C) {
+    Out.push_back(A);
+    return;
+  }
+  std::vector<const Point *> SL, SR;
+  Edge EAC{A, C}, ECB{C, B};
+  for (const Point *P : S) {
+    if (outsideEdge(toWord(P), toWord(&EAC)))
+      SL.push_back(P);
+    if (outsideEdge(toWord(P), toWord(&ECB)))
+      SR.push_back(P);
+  }
+  qhConvRec(SL, A, C, Out);
+  qhConvRec(SR, C, B, Out);
+}
+
+} // namespace
+
+std::vector<const Point *>
+apps::conv::quickhull(const std::vector<const Point *> &Pts) {
+  std::vector<const Point *> Out;
+  if (Pts.empty())
+    return Out;
+  Word MinW = toWord(static_cast<const Point *>(nullptr)), MaxW = MinW;
+  for (const Point *P : Pts) {
+    MinW = combineMinX(MinW, toWord(P), 0);
+    MaxW = combineMaxX(MaxW, toWord(P), 0);
+  }
+  const Point *A = pt(MinW), *B = pt(MaxW);
+  if (A == B) {
+    Out.push_back(A);
+    return Out;
+  }
+  Edge EAB{A, B}, EBA{B, A};
+  std::vector<const Point *> Above, Below;
+  for (const Point *P : Pts) {
+    if (outsideEdge(toWord(P), toWord(&EAB)))
+      Above.push_back(P);
+    if (outsideEdge(toWord(P), toWord(&EBA)))
+      Below.push_back(P);
+  }
+  qhConvRec(Above, A, B, Out);
+  qhConvRec(Below, B, A, Out);
+  return Out;
+}
+
+double apps::conv::diameter2(const std::vector<const Point *> &Pts) {
+  std::vector<const Point *> Hull = quickhull(Pts);
+  double Best = 0.0;
+  for (const Point *P : Hull)
+    for (const Point *Q : Hull)
+      Best = std::max(Best, dist2(P, Q));
+  return Best;
+}
+
+double apps::conv::distance2(const std::vector<const Point *> &A,
+                             const std::vector<const Point *> &B) {
+  std::vector<const Point *> HA = quickhull(A), HB = quickhull(B);
+  double Best = HUGE_VAL;
+  for (const Point *P : HA)
+    for (const Point *Q : HB)
+      Best = std::min(Best, dist2(P, Q));
+  return Best;
+}

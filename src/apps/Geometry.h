@@ -1,0 +1,92 @@
+//===- apps/Geometry.h - Computational-geometry benchmarks -----*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The computational-geometry benchmarks of the paper's evaluation
+/// (Sec. 8.2): quickhull (convex hull of a point set), diameter (maximum
+/// pairwise distance of a point set), and distance (minimum distance
+/// between two point sets) — with diameter and distance using quickhull
+/// as a subroutine, exactly as the paper describes.
+///
+/// Point sets are modifiable lists of `Point *` (apps::Cell with the
+/// point pointer as the head word). Distances are squared Euclidean
+/// distances carried as bit-cast doubles; callers take square roots at
+/// the meta level if they want metric values.
+///
+/// Diameter and distance take the max/min over hull *vertices*; for the
+/// uniform-square and disjoint-square inputs of the evaluation this
+/// equals the true set diameter/distance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_APPS_GEOMETRY_H
+#define CEAL_APPS_GEOMETRY_H
+
+#include "apps/ListApps.h"
+#include "support/Random.h"
+
+#include <vector>
+
+namespace ceal {
+namespace apps {
+
+/// A planar point. Coordinates never change; geometric edits insert or
+/// delete points.
+struct Point {
+  double X, Y;
+};
+
+/// Twice the signed area of triangle (A, B, P): positive iff P lies
+/// strictly to the left of the directed line A -> B.
+inline double orient(const Point *A, const Point *B, const Point *P) {
+  return (B->X - A->X) * (P->Y - A->Y) - (B->Y - A->Y) * (P->X - A->X);
+}
+
+inline double dist2(const Point *A, const Point *B) {
+  double DX = A->X - B->X, DY = A->Y - B->Y;
+  return DX * DX + DY * DY;
+}
+
+/// Writes into \p Dst the convex hull of \p Src as a list of `Point *` in
+/// clockwise order starting from the minimum-x vertex (across the upper
+/// chain first).
+Closure *quickhullCore(Runtime &RT, Modref *Src, Modref *Dst);
+
+/// Writes into \p Dst (as a bit-cast double) the squared diameter of the
+/// point set \p Src.
+Closure *diameterCore(Runtime &RT, Modref *Src, Modref *Dst);
+
+/// Writes into \p Dst (as a bit-cast double) the squared minimum
+/// vertex-to-vertex distance between the hulls of \p SrcA and \p SrcB.
+Closure *distanceCore(Runtime &RT, Modref *SrcA, Modref *SrcB, Modref *Dst);
+
+/// Generates \p N points uniform in the unit square, shifted by
+/// (\p ShiftX, 0); arena-allocated from \p RT so they live as long as the
+/// runtime.
+std::vector<Point *> randomPoints(Runtime &RT, Rng &R, size_t N,
+                                  double ShiftX = 0.0);
+
+/// Builds a modifiable point list over \p Points.
+ListHandle buildPointList(Runtime &RT, const std::vector<Point *> &Points);
+
+namespace conv {
+
+/// Conventional quickhull with the same deterministic tie-breaks as the
+/// self-adjusting version (so tests can compare vertex sequences).
+std::vector<const Point *> quickhull(const std::vector<const Point *> &Pts);
+
+/// Conventional squared diameter (max over hull vertex pairs).
+double diameter2(const std::vector<const Point *> &Pts);
+
+/// Conventional squared minimum distance (min over hull vertex pairs).
+double distance2(const std::vector<const Point *> &A,
+                 const std::vector<const Point *> &B);
+
+} // namespace conv
+} // namespace apps
+} // namespace ceal
+
+#endif // CEAL_APPS_GEOMETRY_H

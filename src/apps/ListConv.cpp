@@ -1,0 +1,165 @@
+//===- apps/ListConv.cpp - Conventional list baselines --------------------===//
+
+#include "apps/ListConv.h"
+
+#include "support/Random.h"
+
+using namespace ceal;
+using namespace ceal::apps;
+using namespace ceal::apps::conv;
+
+static PCell *newCell(Arena &A, Word Head, PCell *Next) {
+  auto *C = static_cast<PCell *>(A.allocate(sizeof(PCell)));
+  C->Head = Head;
+  C->Next = Next;
+  return C;
+}
+
+PCell *conv::buildList(Arena &A, const std::vector<Word> &Values) {
+  PCell *Head = nullptr;
+  PCell **Link = &Head;
+  for (Word V : Values) {
+    *Link = newCell(A, V, nullptr);
+    Link = &(*Link)->Next;
+  }
+  return Head;
+}
+
+std::vector<Word> conv::toVector(const PCell *L) {
+  std::vector<Word> Result;
+  for (; L; L = L->Next)
+    Result.push_back(L->Head);
+  return Result;
+}
+
+PCell *conv::mapList(Arena &A, const PCell *L, MapFn Fn, Word Env) {
+  PCell *Head = nullptr;
+  PCell **Link = &Head;
+  for (; L; L = L->Next) {
+    *Link = newCell(A, Fn(L->Head, Env), nullptr);
+    Link = &(*Link)->Next;
+  }
+  return Head;
+}
+
+PCell *conv::filterList(Arena &A, const PCell *L, PredFn Pred, Word Env) {
+  PCell *Head = nullptr;
+  PCell **Link = &Head;
+  for (; L; L = L->Next) {
+    if (!Pred(L->Head, Env))
+      continue;
+    *Link = newCell(A, L->Head, nullptr);
+    Link = &(*Link)->Next;
+  }
+  return Head;
+}
+
+PCell *conv::reverseList(Arena &A, const PCell *L) {
+  PCell *Out = nullptr;
+  for (; L; L = L->Next)
+    Out = newCell(A, L->Head, Out);
+  return Out;
+}
+
+Word conv::reduceList(const PCell *L, CombineFn Fn, Word Env, Word Id) {
+  if (!L)
+    return Id;
+  Word Acc = L->Head;
+  for (L = L->Next; L; L = L->Next)
+    Acc = Fn(Acc, L->Head, Env);
+  return Acc;
+}
+
+Word conv::reduceRoundsList(Arena &A, const PCell *L, CombineFn Fn,
+                            Word Env, Word Id) {
+  if (!L)
+    return Id;
+  Word Round = 0;
+  while (L->Next) {
+    // Combine maximal runs; a cell starts a new run iff its round coin
+    // is heads (mirrors the self-adjusting rounds).
+    PCell *Out = nullptr;
+    PCell **Link = &Out;
+    const PCell *C = L;
+    while (C) {
+      Word Acc = C->Head;
+      const PCell *N = C->Next;
+      while (N && !(hashPair(reinterpret_cast<uintptr_t>(N), Round) & 1)) {
+        Acc = Fn(Acc, N->Head, Env);
+        N = N->Next;
+      }
+      auto *Cell = static_cast<PCell *>(A.allocate(sizeof(PCell)));
+      Cell->Head = Acc;
+      Cell->Next = nullptr;
+      *Link = Cell;
+      Link = &Cell->Next;
+      C = N;
+    }
+    L = Out;
+    ++Round;
+  }
+  return L->Head;
+}
+
+static PCell *qsortRec(Arena &A, const PCell *L, PCell *Rest, CmpFn Cmp) {
+  if (!L)
+    return Rest;
+  Word Pivot = L->Head;
+  PCell *Less = nullptr, *Geq = nullptr;
+  for (const PCell *C = L->Next; C; C = C->Next) {
+    if (Cmp(C->Head, Pivot) < 0)
+      Less = newCell(A, C->Head, Less);
+    else
+      Geq = newCell(A, C->Head, Geq);
+  }
+  PCell *PivotCell = newCell(A, Pivot, qsortRec(A, Geq, Rest, Cmp));
+  return qsortRec(A, Less, PivotCell, Cmp);
+}
+
+PCell *conv::quicksortList(Arena &A, const PCell *L, CmpFn Cmp) {
+  return qsortRec(A, L, nullptr, Cmp);
+}
+
+static PCell *mergeLists(PCell *X, PCell *Y, CmpFn Cmp) {
+  PCell Dummy{0, nullptr};
+  PCell *Tail = &Dummy;
+  while (X && Y) {
+    if (Cmp(X->Head, Y->Head) <= 0) {
+      Tail->Next = X;
+      X = X->Next;
+    } else {
+      Tail->Next = Y;
+      Y = Y->Next;
+    }
+    Tail = Tail->Next;
+  }
+  Tail->Next = X ? X : Y;
+  return Dummy.Next;
+}
+
+static PCell *msortRec(PCell *L, CmpFn Cmp) {
+  if (!L || !L->Next)
+    return L;
+  // Split by alternation (conventional code need not be stable under
+  // incremental edits).
+  PCell *A = nullptr, *B = nullptr;
+  bool Side = false;
+  while (L) {
+    PCell *Next = L->Next;
+    if (Side) {
+      L->Next = B;
+      B = L;
+    } else {
+      L->Next = A;
+      A = L;
+    }
+    Side = !Side;
+    L = Next;
+  }
+  return mergeLists(msortRec(A, Cmp), msortRec(B, Cmp), Cmp);
+}
+
+PCell *conv::mergesortList(Arena &A, PCell *L, CmpFn Cmp) {
+  // Sorts a fresh copy so the input remains usable.
+  return msortRec(buildList(A, toVector(L)), Cmp);
+}

@@ -1,0 +1,55 @@
+//===- apps/ListConv.h - Conventional list baselines -----------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conventional (non-self-adjusting) versions of the list benchmarks.
+/// The paper derives these from the CEAL sources by replacing modifiable
+/// references with plain word-sized locations (Sec. 8.1); here that means
+/// plain singly-linked cells and direct recursion/loops. They provide the
+/// "Cnv." columns of Table 1 and the overhead/speedup denominators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_APPS_LISTCONV_H
+#define CEAL_APPS_LISTCONV_H
+
+#include "apps/ListApps.h"
+#include "support/Arena.h"
+
+#include <vector>
+
+namespace ceal {
+namespace apps {
+namespace conv {
+
+/// A conventional list cell: what a CEAL Cell compiles to when modifiable
+/// references become plain pointers.
+struct PCell {
+  Word Head;
+  PCell *Next;
+};
+
+PCell *buildList(Arena &A, const std::vector<Word> &Values);
+std::vector<Word> toVector(const PCell *L);
+
+PCell *mapList(Arena &A, const PCell *L, MapFn Fn, Word Env);
+PCell *filterList(Arena &A, const PCell *L, PredFn Pred, Word Env);
+PCell *reverseList(Arena &A, const PCell *L);
+Word reduceList(const PCell *L, CombineFn Fn, Word Env, Word Id);
+
+/// Reduction by the same randomized contraction rounds the
+/// self-adjusting version uses (what the CEAL reduce code compiles to
+/// conventionally); the single-pass reduceList is the textbook loop.
+Word reduceRoundsList(Arena &A, const PCell *L, CombineFn Fn, Word Env,
+                      Word Id);
+PCell *quicksortList(Arena &A, const PCell *L, CmpFn Cmp);
+PCell *mergesortList(Arena &A, PCell *L, CmpFn Cmp);
+
+} // namespace conv
+} // namespace apps
+} // namespace ceal
+
+#endif // CEAL_APPS_LISTCONV_H

@@ -1,0 +1,314 @@
+//===- apps/TreeContraction.cpp - Miller-Reif tree contraction ------------===//
+//
+// The self-adjusting contraction pass. Per round, the pass walks the
+// round's live list; for each live node it reads its own record and the
+// records of its parent and children (a chain of up to four traced
+// reads), applies the rake/compress rule, writes the node's next-round
+// record, and emits survivors onto the next round's live list. The
+// driver then reduces an "any survivor non-isolated?" flag over the
+// emitted list and either recurses into the next round or finishes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/TreeContraction.h"
+
+#include <cassert>
+
+using namespace ceal;
+using namespace ceal::apps;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Core allocation helpers
+//===----------------------------------------------------------------------===//
+
+Closure *recInit(Runtime &, void *Block, Word /*IdKey*/, Word /*RoundKey*/,
+                 Word P, Word C0, Word C1) {
+  auto *R = static_cast<TcRec *>(Block);
+  R->P = P;
+  R->C0 = C0;
+  R->C1 = C1;
+  return nullptr;
+}
+
+TcRec *allocRec(Runtime &RT, Word Id, Word Round, Word P, Word C0, Word C1) {
+  return static_cast<TcRec *>(
+      RT.alloc<&recInit>(sizeof(TcRec), Id, Round, P, C0, C1));
+}
+
+Closure *tcCellInit(Runtime &, void *Block, Word Head, Modref *Tail) {
+  auto *C = static_cast<Cell *>(Block);
+  C->Head = Head;
+  C->Tail = Tail;
+  return nullptr;
+}
+
+Cell *allocTcCell(Runtime &RT, Word Head, Modref *Tail) {
+  return static_cast<Cell *>(
+      RT.alloc<&tcCellInit>(sizeof(Cell), Head, Tail));
+}
+
+//===----------------------------------------------------------------------===//
+// The per-node decision, once all neighbor records have arrived
+//===----------------------------------------------------------------------===//
+
+Closure *tcPassGot(Runtime &RT, Cell *C, Modref *Table, Modref *NextTable,
+                   Modref *NextLive, Word Round);
+
+Closure *tcGotC1(Runtime &RT, TcRec *RC1, TcRec *RC0, TcRec *RP, TcRec *RV,
+                 Cell *C, Modref *Table, Modref *NextTable, Modref *NextLive,
+                 Word Round) {
+  Word V = C->Head >> 1;
+  if (tcRakes(RV, V, Round, RP) || tcCompresses(RV, V, Round))
+    // The node dies this round; its next-round slot stays unwritten and
+    // survivors never link to it.
+    return RT.readTail<&tcPassGot>(C->Tail, Table, NextTable, NextLive,
+                                   Round);
+
+  // New parent: hop over a compressing parent.
+  Word NewP = RV->P;
+  if (RP && tcCompresses(RP, RV->P, Round))
+    NewP = RP->P;
+  // New children: raked children disappear; compressing children are
+  // replaced by their only child.
+  auto NewChild = [&](Word Child, const TcRec *RC) -> Word {
+    if (Child == TcNone)
+      return TcNone;
+    if (tcRakes(RC, Child, Round, RV))
+      return TcNone;
+    if (tcCompresses(RC, Child, Round))
+      return tcOnlyChild(RC);
+    return Child;
+  };
+  Word NewC0 = NewChild(RV->C0, RC0);
+  Word NewC1 = NewChild(RV->C1, RC1);
+
+  TcRec *NewRec = allocRec(RT, V, Round + 1, NewP, NewC0, NewC1);
+  RT.writeT(&NextTable[V], NewRec);
+
+  bool NonIsolated =
+      NewP != TcNone || NewC0 != TcNone || NewC1 != TcNone;
+  Modref *OutTail = RT.coreModref(V, Round, 63);
+  Cell *Out = allocTcCell(RT, (V << 1) | Word(NonIsolated), OutTail);
+  RT.writeT(NextLive, Out);
+  return RT.readTail<&tcPassGot>(C->Tail, Table, NextTable, OutTail, Round);
+}
+
+Closure *tcGotC0(Runtime &RT, TcRec *RC0, TcRec *RP, TcRec *RV, Cell *C,
+                 Modref *Table, Modref *NextTable, Modref *NextLive,
+                 Word Round) {
+  if (RV->C1 != TcNone)
+    return RT.readTail<&tcGotC1>(&Table[RV->C1], RC0, RP, RV, C, Table,
+                                 NextTable, NextLive, Round);
+  return tcGotC1(RT, nullptr, RC0, RP, RV, C, Table, NextTable, NextLive,
+                 Round);
+}
+
+Closure *tcGotP(Runtime &RT, TcRec *RP, TcRec *RV, Cell *C, Modref *Table,
+                Modref *NextTable, Modref *NextLive, Word Round) {
+  if (RV->C0 != TcNone)
+    return RT.readTail<&tcGotC0>(&Table[RV->C0], RP, RV, C, Table, NextTable,
+                                 NextLive, Round);
+  return tcGotC0(RT, nullptr, RP, RV, C, Table, NextTable, NextLive, Round);
+}
+
+Closure *tcGotSelf(Runtime &RT, TcRec *RV, Cell *C, Modref *Table,
+                   Modref *NextTable, Modref *NextLive, Word Round) {
+  assert(RV && "live node with no state record");
+  if (RV->P != TcNone)
+    return RT.readTail<&tcGotP>(&Table[RV->P], RV, C, Table, NextTable,
+                                NextLive, Round);
+  return tcGotP(RT, nullptr, RV, C, Table, NextTable, NextLive, Round);
+}
+
+Closure *tcPassGot(Runtime &RT, Cell *C, Modref *Table, Modref *NextTable,
+                   Modref *NextLive, Word Round) {
+  if (!C) {
+    RT.writeT(NextLive, static_cast<Cell *>(nullptr));
+    return nullptr;
+  }
+  Word V = C->Head >> 1;
+  return RT.readTail<&tcGotSelf>(&Table[V], C, Table, NextTable, NextLive,
+                                 Round);
+}
+
+Closure *tcPassEnter(Runtime &RT, Modref *LiveHead, Modref *Table,
+                     Modref *NextTable, Modref *NextLive, Word Round) {
+  return RT.readTail<&tcPassGot>(LiveHead, Table, NextTable, NextLive, Round);
+}
+
+//===----------------------------------------------------------------------===//
+// Round driver
+//===----------------------------------------------------------------------===//
+
+Word combineOrBit(Word A, Word B, Word) { return (A | B) & 1; }
+Word mapToOne(Word, Word) { return 1; }
+Word combineSumW(Word A, Word B, Word) { return A + B; }
+
+Closure *tcRounds(Runtime &RT, Modref *LiveHead, Modref *Table, Word N,
+                  Modref *Dst, Word Round);
+
+Closure *tcGotCount(Runtime &RT, Word Count, Modref *Dst, Word Round) {
+  RT.write(Dst, (Round << 32) | Count);
+  return nullptr;
+}
+
+Closure *tcGotFlag(Runtime &RT, Word Flag, Modref *NextLive,
+                   Modref *NextTable, Word N, Modref *Dst, Word Round) {
+  if (Flag & 1)
+    return tcRounds(RT, NextLive, NextTable, N, Dst, Round);
+  // Contraction finished: every survivor is an isolated component root.
+  Modref *Ones = RT.coreModref(Round, 64);
+  RT.callFn<&mapCore>(NextLive, Ones, &mapToOne, Word(0));
+  Modref *CountDst = RT.coreModref(Round, 65);
+  RT.callFn<&reduceCore>(Ones, CountDst, &combineSumW, Word(0), Word(0));
+  return RT.readTail<&tcGotCount>(CountDst, Dst, Round);
+}
+
+Closure *tcRounds(Runtime &RT, Modref *LiveHead, Modref *Table, Word N,
+                  Modref *Dst, Word Round) {
+  Modref *NextTable = RT.coreModrefArray(N, Round + 1, 60);
+  Modref *NextLive = RT.coreModref(Round + 1, 61);
+  RT.callFn<&tcPassEnter>(LiveHead, Table, NextTable, NextLive, Round);
+  Modref *FlagDst = RT.coreModref(Round + 1, 62);
+  RT.callFn<&reduceCore>(NextLive, FlagDst, &combineOrBit, Word(0), Word(0));
+  return RT.readTail<&tcGotFlag>(FlagDst, NextLive, NextTable, N, Dst,
+                                 Round + 1);
+}
+
+} // namespace
+
+Closure *apps::treeContractCore(Runtime &RT, Modref *LiveHead, Modref *Table,
+                                Word N, Modref *Dst) {
+  return tcRounds(RT, LiveHead, Table, N, Dst, Word(0));
+}
+
+//===----------------------------------------------------------------------===//
+// Mutator side
+//===----------------------------------------------------------------------===//
+
+std::vector<std::pair<Word, Word>> TcForest::edges() const {
+  std::vector<std::pair<Word, Word>> Result;
+  for (Word V = 0; V < N; ++V)
+    if (Adj[V].P != TcNone)
+      Result.push_back({Adj[V].P, V});
+  return Result;
+}
+
+/// Publishes node \p V's current adjacency as a fresh meta record.
+static void tcPublish(Runtime &RT, TcForest &F, Word V) {
+  auto *R = static_cast<TcRec *>(RT.arena().allocate(sizeof(TcRec)));
+  *R = F.Adj[V];
+  RT.modifyT(&F.Table0[V], R);
+}
+
+TcForest apps::buildRandomTree(Runtime &RT, Rng &R, size_t N) {
+  assert(N > 0 && "tree needs at least one node");
+  TcForest F;
+  F.N = N;
+  F.Adj.assign(N, TcRec{TcNone, TcNone, TcNone});
+  // Attach each node to a random earlier node with a free child slot.
+  std::vector<Word> Open{0};
+  for (Word V = 1; V < N; ++V) {
+    size_t Pick = R.below(Open.size());
+    Word P = Open[Pick];
+    F.Adj[V].P = P;
+    if (F.Adj[P].C0 == TcNone) {
+      F.Adj[P].C0 = V;
+    } else {
+      F.Adj[P].C1 = V;
+      Open[Pick] = Open.back();
+      Open.pop_back();
+    }
+    Open.push_back(V);
+  }
+  F.Table0 = static_cast<Modref *>(
+      RT.arena().allocate(N * sizeof(Modref)));
+  for (size_t I = 0; I < N; ++I)
+    new (F.Table0 + I) Modref();
+  for (Word V = 0; V < N; ++V)
+    tcPublish(RT, F, V);
+  std::vector<Word> Heads;
+  Heads.reserve(N);
+  for (Word V = 0; V < N; ++V)
+    Heads.push_back((V << 1) | 1);
+  F.Live = buildList(RT, Heads);
+  return F;
+}
+
+void apps::tcDeleteEdge(Runtime &RT, TcForest &F, Word Parent, Word Child) {
+  assert(F.Adj[Child].P == Parent && "edge does not exist");
+  F.Adj[Child].P = TcNone;
+  if (F.Adj[Parent].C0 == Child)
+    F.Adj[Parent].C0 = TcNone;
+  else {
+    assert(F.Adj[Parent].C1 == Child && "parent does not list child");
+    F.Adj[Parent].C1 = TcNone;
+  }
+  tcPublish(RT, F, Parent);
+  tcPublish(RT, F, Child);
+}
+
+void apps::tcInsertEdge(Runtime &RT, TcForest &F, Word Parent, Word Child) {
+  assert(F.Adj[Child].P == TcNone && "child already attached");
+  F.Adj[Child].P = Parent;
+  if (F.Adj[Parent].C0 == TcNone)
+    F.Adj[Parent].C0 = Child;
+  else {
+    assert(F.Adj[Parent].C1 == TcNone && "parent has no free slot");
+    F.Adj[Parent].C1 = Child;
+  }
+  tcPublish(RT, F, Parent);
+  tcPublish(RT, F, Child);
+}
+
+//===----------------------------------------------------------------------===//
+// Conventional baseline: the same synchronous rule on plain arrays
+//===----------------------------------------------------------------------===//
+
+Word apps::tcContractConventional(const std::vector<TcRec> &Adj) {
+  size_t N = Adj.size();
+  std::vector<TcRec> Cur = Adj;
+  std::vector<bool> Alive(N, true);
+  Word Round = 0;
+  for (;;) {
+    std::vector<TcRec> Next(N, TcRec{TcNone, TcNone, TcNone});
+    std::vector<bool> NextAlive(N, false);
+    bool AnyNonIsolated = false;
+    Word Survivors = 0;
+    for (Word V = 0; V < N; ++V) {
+      if (!Alive[V])
+        continue;
+      const TcRec *RV = &Cur[V];
+      const TcRec *RP = RV->P != TcNone ? &Cur[RV->P] : nullptr;
+      if (tcRakes(RV, V, Round, RP) || tcCompresses(RV, V, Round))
+        continue;
+      Word NewP = RV->P;
+      if (RP && tcCompresses(RP, RV->P, Round))
+        NewP = RP->P;
+      auto NewChild = [&](Word Child) -> Word {
+        if (Child == TcNone)
+          return TcNone;
+        const TcRec *RC = &Cur[Child];
+        if (tcRakes(RC, Child, Round, RV))
+          return TcNone;
+        if (tcCompresses(RC, Child, Round))
+          return tcOnlyChild(RC);
+        return Child;
+      };
+      Next[V] = TcRec{NewP, NewChild(RV->C0), NewChild(RV->C1)};
+      NextAlive[V] = true;
+      ++Survivors;
+      if (Next[V].P != TcNone || Next[V].C0 != TcNone ||
+          Next[V].C1 != TcNone)
+        AnyNonIsolated = true;
+    }
+    Cur = std::move(Next);
+    Alive = std::move(NextAlive);
+    ++Round;
+    if (!AnyNonIsolated)
+      return (Round << 32) | Survivors;
+    assert(Round < 10000 && "contraction failed to converge");
+  }
+}

@@ -1,0 +1,120 @@
+//===- apps/TreeContraction.h - Miller-Reif tree contraction ---*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tcon benchmark (paper Sec. 8.2): a self-adjusting implementation
+/// of Miller-Reif tree contraction over binary forests, performing a
+/// generalized contraction with no application-specific data, and
+/// responding to edge insertions/deletions via change propagation.
+///
+/// Contraction proceeds in synchronous rounds. In each round a node
+///  * RAKES (is deleted, conceptually merging into its parent) if it is a
+///    leaf with a parent whose parent is not compressing this round, and
+///  * COMPRESSES (is spliced out, its child reattaching to its parent) if
+///    it is unary, has a parent, its coin is heads and its parent's coin
+///    is tails.
+/// Coins are a pure hash of (node id, round), so decisions are stable
+/// under re-execution — the property that makes the contraction
+/// self-adjust in expected O(log n) time per edge edit.
+///
+/// Per-round node states live in per-round tables of modifiables keyed by
+/// round number; live nodes are threaded on a modifiable list per round.
+/// A round's pass reads each live node's record and those of its
+/// neighbors, writes the node's next-round record (a memo-keyed
+/// allocation, so unchanged regions are recovered), and emits survivors.
+/// Contraction finishes when no survivor has a neighbor; the core then
+/// writes `(rounds << 32) | components` into its destination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_APPS_TREECONTRACTION_H
+#define CEAL_APPS_TREECONTRACTION_H
+
+#include "apps/ListApps.h"
+#include "support/Random.h"
+
+#include <vector>
+
+namespace ceal {
+namespace apps {
+
+/// Sentinel for "no neighbor".
+constexpr Word TcNone = ~Word(0);
+
+/// A node's adjacency at one round: parent and up to two children, by
+/// node id. Records are immutable; changes allocate fresh records.
+struct TcRec {
+  Word P, C0, C1;
+};
+
+inline bool tcIsLeaf(const TcRec *R) {
+  return R->C0 == TcNone && R->C1 == TcNone;
+}
+inline bool tcIsUnary(const TcRec *R) {
+  return (R->C0 == TcNone) != (R->C1 == TcNone);
+}
+inline Word tcOnlyChild(const TcRec *R) {
+  return R->C0 != TcNone ? R->C0 : R->C1;
+}
+
+/// The round coin: a pure function of node identity and round.
+inline bool tcCoin(Word Id, Word Round) {
+  return hashPair(Id + 1, Round * 2 + 99) & 1;
+}
+
+/// True if the node with record \p R and id \p Id compresses this round.
+inline bool tcCompresses(const TcRec *R, Word Id, Word Round) {
+  return tcIsUnary(R) && R->P != TcNone && tcCoin(Id, Round) &&
+         !tcCoin(R->P, Round);
+}
+
+/// True if the node rakes this round; \p RP is its parent's record (null
+/// for roots).
+inline bool tcRakes(const TcRec *R, Word Id, Word Round, const TcRec *RP) {
+  (void)Id;
+  if (!tcIsLeaf(R) || R->P == TcNone)
+    return false;
+  // A leaf whose parent compresses this round is reattached instead.
+  return !(RP && tcCompresses(RP, R->P, Round));
+}
+
+/// Core entry: contracts the forest whose round-0 live list is
+/// \p LiveHead and whose round-0 state table is \p Table (N modifiables,
+/// each holding a TcRec *). Writes `(rounds << 32) | components` into
+/// \p Dst.
+Closure *treeContractCore(Runtime &RT, Modref *LiveHead, Modref *Table,
+                          Word N, Modref *Dst);
+
+/// A mutator-owned forest: the meta-level round-0 table and live list,
+/// plus a mirror of the current adjacency for edit bookkeeping.
+struct TcForest {
+  size_t N = 0;
+  Modref *Table0 = nullptr; ///< Array of N modifiables holding TcRec *.
+  ListHandle Live;          ///< Round-0 live list (heads are id << 1 | 1).
+  std::vector<TcRec> Adj;   ///< Mutator's mirror of the adjacency.
+
+  /// Edges as (parent, child) pairs, for the test mutator.
+  std::vector<std::pair<Word, Word>> edges() const;
+};
+
+/// Builds a random binary tree with \p N nodes (node 0 is the root).
+TcForest buildRandomTree(Runtime &RT, Rng &R, size_t N);
+
+/// Removes the edge (\p Parent, \p Child), which must exist.
+void tcDeleteEdge(Runtime &RT, TcForest &F, Word Parent, Word Child);
+
+/// Adds the edge (\p Parent, \p Child); the parent must have a free child
+/// slot and the child must currently be a root.
+void tcInsertEdge(Runtime &RT, TcForest &F, Word Parent, Word Child);
+
+/// Conventional synchronous contraction over the same rule and coins;
+/// returns the same `(rounds << 32) | components` encoding.
+Word tcContractConventional(const std::vector<TcRec> &Adj);
+
+} // namespace apps
+} // namespace ceal
+
+#endif // CEAL_APPS_TREECONTRACTION_H

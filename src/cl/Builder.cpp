@@ -1,0 +1,120 @@
+//===- cl/Builder.cpp - Convenience construction of CL programs ------------===//
+
+#include "cl/Builder.h"
+
+#include <cassert>
+
+using namespace ceal;
+using namespace ceal::cl;
+
+VarId FuncBuilder::param(const std::string &Name, Type Ty) {
+  Function &F = func();
+  assert(F.Vars.size() == F.NumParams &&
+         "parameters must be declared before locals");
+  F.Vars.push_back({Name, Ty});
+  return F.NumParams++;
+}
+
+VarId FuncBuilder::local(const std::string &Name, Type Ty) {
+  Function &F = func();
+  F.Vars.push_back({Name, Ty});
+  return static_cast<VarId>(F.Vars.size() - 1);
+}
+
+BlockId FuncBuilder::block(const std::string &Label) {
+  Function &F = func();
+  BasicBlock B;
+  B.Label = Label.empty()
+                ? F.Name + "_b" + std::to_string(F.Blocks.size())
+                : Label;
+  F.Blocks.push_back(std::move(B));
+  return static_cast<BlockId>(F.Blocks.size() - 1);
+}
+
+void FuncBuilder::setDone(BlockId B) {
+  func().Blocks[B].K = BasicBlock::Done;
+}
+
+void FuncBuilder::setCond(BlockId B, VarId V, Jump Then, Jump Else) {
+  BasicBlock &BB = func().Blocks[B];
+  BB.K = BasicBlock::Cond;
+  BB.CondVar = V;
+  BB.J1 = std::move(Then);
+  BB.J2 = std::move(Else);
+}
+
+void FuncBuilder::setCmd(BlockId B, Command C, Jump J) {
+  BasicBlock &BB = func().Blocks[B];
+  BB.K = BasicBlock::Cmd;
+  BB.C = std::move(C);
+  BB.J = std::move(J);
+}
+
+Command FuncBuilder::nop() { return Command(); }
+
+Command FuncBuilder::assign(VarId Dst, Expr E) {
+  Command C;
+  C.K = Command::Assign;
+  C.Dst = Dst;
+  C.E = std::move(E);
+  return C;
+}
+
+Command FuncBuilder::store(VarId Base, VarId Idx, Expr E) {
+  Command C;
+  C.K = Command::Store;
+  C.Base = Base;
+  C.Idx = Idx;
+  C.E = std::move(E);
+  return C;
+}
+
+Command FuncBuilder::modrefAlloc(VarId Dst, std::vector<VarId> Keys) {
+  Command C;
+  C.K = Command::ModrefAlloc;
+  C.Dst = Dst;
+  C.Args = std::move(Keys);
+  return C;
+}
+
+Command FuncBuilder::read(VarId Dst, VarId Src) {
+  Command C;
+  C.K = Command::Read;
+  C.Dst = Dst;
+  C.Src = Src;
+  return C;
+}
+
+Command FuncBuilder::write(VarId Ref, VarId Val) {
+  Command C;
+  C.K = Command::Write;
+  C.Ref = Ref;
+  C.Val = Val;
+  return C;
+}
+
+Command FuncBuilder::alloc(VarId Dst, VarId SizeVar, FuncId Init,
+                           std::vector<VarId> Args) {
+  Command C;
+  C.K = Command::Alloc;
+  C.Dst = Dst;
+  C.SizeVar = SizeVar;
+  C.Fn = Init;
+  C.Args = std::move(Args);
+  return C;
+}
+
+Command FuncBuilder::call(FuncId Fn, std::vector<VarId> Args) {
+  Command C;
+  C.K = Command::Call;
+  C.Fn = Fn;
+  C.Args = std::move(Args);
+  return C;
+}
+
+FuncBuilder ProgramBuilder::beginFunc(const std::string &Name) {
+  Function F;
+  F.Name = Name;
+  Prog.Funcs.push_back(std::move(F));
+  return FuncBuilder(Prog, static_cast<FuncId>(Prog.Funcs.size() - 1));
+}

@@ -1,0 +1,72 @@
+//===- cl/Builder.h - Convenience construction of CL programs --*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fluent builder for CL programs, used by tests, the random
+/// program generator, and the normalizer (which synthesizes fresh
+/// functions, Sec. 5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_CL_BUILDER_H
+#define CEAL_CL_BUILDER_H
+
+#include "cl/Ir.h"
+
+namespace ceal {
+namespace cl {
+
+/// Builds one function; obtain from ProgramBuilder::beginFunc.
+class FuncBuilder {
+public:
+  FuncBuilder(Program &P, FuncId F) : Prog(P), Func(F) {}
+
+  FuncId id() const { return Func; }
+
+  VarId param(const std::string &Name, Type Ty);
+  VarId local(const std::string &Name, Type Ty);
+
+  /// Creates an empty block with a fresh (or given) label; blocks are
+  /// created in order, the first being the entry.
+  BlockId block(const std::string &Label = "");
+
+  // Block-filling helpers; each finalizes the given block.
+  void setDone(BlockId B);
+  void setCond(BlockId B, VarId V, Jump Then, Jump Else);
+  void setCmd(BlockId B, Command C, Jump J);
+
+  // Command constructors.
+  static Command nop();
+  static Command assign(VarId Dst, Expr E);
+  static Command store(VarId Base, VarId Idx, Expr E);
+  static Command modrefAlloc(VarId Dst, std::vector<VarId> Keys = {});
+  static Command read(VarId Dst, VarId Src);
+  static Command write(VarId Ref, VarId Val);
+  static Command alloc(VarId Dst, VarId SizeVar, FuncId Init,
+                       std::vector<VarId> Args);
+  static Command call(FuncId Fn, std::vector<VarId> Args);
+
+private:
+  Function &func() { return Prog.Funcs[Func]; }
+  Program &Prog;
+  FuncId Func;
+};
+
+/// Builds a whole program.
+class ProgramBuilder {
+public:
+  FuncBuilder beginFunc(const std::string &Name);
+  Program take() { return std::move(Prog); }
+  Program &program() { return Prog; }
+
+private:
+  Program Prog;
+};
+
+} // namespace cl
+} // namespace ceal
+
+#endif // CEAL_CL_BUILDER_H

@@ -1,0 +1,98 @@
+//===- cl/Ir.cpp - The CL core language IR ---------------------------------===//
+
+#include "cl/Ir.h"
+
+using namespace ceal;
+using namespace ceal::cl;
+
+const char *cl::opName(OpKind Op) {
+  switch (Op) {
+  case OpKind::Add: return "add";
+  case OpKind::Sub: return "sub";
+  case OpKind::Mul: return "mul";
+  case OpKind::Div: return "div";
+  case OpKind::Mod: return "mod";
+  case OpKind::Lt:  return "lt";
+  case OpKind::Le:  return "le";
+  case OpKind::Gt:  return "gt";
+  case OpKind::Ge:  return "ge";
+  case OpKind::Eq:  return "eq";
+  case OpKind::Ne:  return "ne";
+  case OpKind::And: return "and";
+  case OpKind::Or:  return "or";
+  case OpKind::Not: return "not";
+  case OpKind::Neg: return "neg";
+  }
+  return "?";
+}
+
+unsigned cl::opArity(OpKind Op) {
+  switch (Op) {
+  case OpKind::Not:
+  case OpKind::Neg:
+    return 1;
+  default:
+    return 2;
+  }
+}
+
+static size_t exprWords(const Expr &E) {
+  switch (E.K) {
+  case Expr::Const:
+  case Expr::Var:
+    return 1;
+  case Expr::Prim:
+    return 1 + E.Args.size();
+  case Expr::Index:
+    return 2;
+  }
+  return 1;
+}
+
+static size_t jumpWords(const Jump &J) {
+  return J.K == Jump::Goto ? 1 : 1 + J.Args.size();
+}
+
+static size_t commandWords(const Command &C) {
+  switch (C.K) {
+  case Command::Nop:
+    return 1;
+  case Command::Assign:
+    return 1 + exprWords(C.E);
+  case Command::Store:
+    return 2 + exprWords(C.E);
+  case Command::ModrefAlloc:
+    return 1;
+  case Command::Read:
+    return 2;
+  case Command::Write:
+    return 2;
+  case Command::Alloc:
+    return 3 + C.Args.size();
+  case Command::Call:
+    return 1 + C.Args.size();
+  }
+  return 1;
+}
+
+size_t Program::sizeInWords() const {
+  size_t Words = 0;
+  for (const Function &F : Funcs) {
+    Words += 1 + F.Vars.size(); // Name + declarations.
+    for (const BasicBlock &B : F.Blocks) {
+      Words += 1; // Label.
+      switch (B.K) {
+      case BasicBlock::Done:
+        Words += 1;
+        break;
+      case BasicBlock::Cond:
+        Words += 1 + jumpWords(B.J1) + jumpWords(B.J2);
+        break;
+      case BasicBlock::Cmd:
+        Words += commandWords(B.C) + jumpWords(B.J);
+        break;
+      }
+    }
+  }
+  return Words;
+}

@@ -1,0 +1,210 @@
+//===- cl/Ir.h - The CL core language IR -----------------------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CL, the paper's core language (Sec. 4.1, Fig. 6):
+///
+///   Types  t ::= int | modref_t | t*
+///   Exprs  e ::= v | o(x...) | x[y]
+///   Cmds   c ::= nop | x := e | x[y] := e | x := modref()
+///              | x := read y | write x y | x := alloc y f z | call f(x)
+///   Jumps  j ::= goto l | tail f(x)
+///   Blocks b ::= {l: done} | {l: cond x j1 j2} | {l: c ; j}
+///   Funs   F ::= f(t1 x) { t2 y; b }
+///
+/// Programs are sets of functions; each function owns its variables
+/// (parameters + locals) and its basic blocks (block 0 is the entry).
+/// There are no return values: results flow through modifiables
+/// (destination-passing style, Sec. 10).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_CL_IR_H
+#define CEAL_CL_IR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ceal {
+namespace cl {
+
+using VarId = uint32_t;
+using BlockId = uint32_t;
+using FuncId = uint32_t;
+constexpr uint32_t InvalidId = ~uint32_t(0);
+
+/// A CL type: a base (int or modref_t) with some levels of indirection.
+struct Type {
+  enum BaseKind : uint8_t { Int, Modref } Base = Int;
+  uint8_t Indirection = 0; ///< Number of trailing '*'.
+
+  static Type intTy() { return {Int, 0}; }
+  static Type modrefTy() { return {Modref, 0}; }
+  static Type ptrTo(Type T) {
+    ++T.Indirection;
+    return T;
+  }
+  bool isModrefPtr() const { return Base == Modref && Indirection == 1; }
+  bool operator==(const Type &O) const {
+    return Base == O.Base && Indirection == O.Indirection;
+  }
+  std::string str() const {
+    std::string S = Base == Int ? "int" : "modref";
+    S.append(Indirection, '*');
+    return S;
+  }
+};
+
+/// Primitive operators (the unspecified `o` of the grammar).
+enum class OpKind : uint8_t {
+  Add, Sub, Mul, Div, Mod,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  And, Or, Not, Neg,
+};
+
+const char *opName(OpKind Op);
+unsigned opArity(OpKind Op);
+
+/// An expression: constant, variable, primitive application over
+/// variables, or array dereference x[y].
+struct Expr {
+  enum Kind : uint8_t { Const, Var, Prim, Index } K = Const;
+  int64_t IntVal = 0;          ///< Const.
+  VarId V = InvalidId;         ///< Var, or base of Index.
+  VarId Idx = InvalidId;       ///< Index subscript.
+  OpKind Op = OpKind::Add;     ///< Prim.
+  std::vector<VarId> Args;     ///< Prim operands.
+
+  static Expr makeConst(int64_t N) {
+    Expr E;
+    E.K = Const;
+    E.IntVal = N;
+    return E;
+  }
+  static Expr makeVar(VarId V) {
+    Expr E;
+    E.K = Var;
+    E.V = V;
+    return E;
+  }
+  static Expr makePrim(OpKind Op, std::vector<VarId> Args) {
+    Expr E;
+    E.K = Prim;
+    E.Op = Op;
+    E.Args = std::move(Args);
+    return E;
+  }
+  static Expr makeIndex(VarId Base, VarId Idx) {
+    Expr E;
+    E.K = Index;
+    E.V = Base;
+    E.Idx = Idx;
+    return E;
+  }
+};
+
+/// A command (the `c` of the grammar).
+struct Command {
+  enum Kind : uint8_t {
+    Nop,         ///< nop
+    Assign,      ///< Dst := E
+    Store,       ///< Base[Idx] := E
+    ModrefAlloc, ///< Dst := modref(Keys...) — keys identify the
+                 ///< modifiable for memoized reallocation
+    Read,        ///< Dst := read Src
+    Write,       ///< write Ref Val
+    Alloc,       ///< Dst := alloc SizeVar InitFn Args
+    Call,        ///< call Fn(Args)
+  } K = Nop;
+
+  VarId Dst = InvalidId;
+  Expr E;
+  VarId Base = InvalidId, Idx = InvalidId; ///< Store target.
+  VarId Src = InvalidId;                   ///< Read source (modref*).
+  VarId Ref = InvalidId, Val = InvalidId;  ///< Write operands.
+  VarId SizeVar = InvalidId;               ///< Alloc size (bytes).
+  FuncId Fn = InvalidId;                   ///< Alloc init / Call target.
+  std::vector<VarId> Args;                 ///< Alloc extra / Call args.
+};
+
+/// A jump (the `j` of the grammar).
+struct Jump {
+  enum Kind : uint8_t { Goto, Tail } K = Goto;
+  BlockId Target = InvalidId;  ///< Goto.
+  FuncId Fn = InvalidId;       ///< Tail target.
+  std::vector<VarId> Args;     ///< Tail arguments.
+
+  static Jump gotoBlock(BlockId B) {
+    Jump J;
+    J.K = Goto;
+    J.Target = B;
+    return J;
+  }
+  static Jump tailCall(FuncId F, std::vector<VarId> Args) {
+    Jump J;
+    J.K = Tail;
+    J.Fn = F;
+    J.Args = std::move(Args);
+    return J;
+  }
+};
+
+/// A basic block (the `b` of the grammar), labeled for printing.
+struct BasicBlock {
+  enum Kind : uint8_t { Done, Cond, Cmd } K = Done;
+  std::string Label;
+  VarId CondVar = InvalidId; ///< Cond.
+  Jump J1, J2;               ///< Cond branches (then/else).
+  Command C;                 ///< Cmd.
+  Jump J;                    ///< Cmd's jump.
+};
+
+struct Variable {
+  std::string Name;
+  Type Ty;
+};
+
+/// A function definition: parameters, locals, and a body of blocks with
+/// block 0 as the entry.
+struct Function {
+  std::string Name;
+  std::vector<Variable> Vars; ///< Parameters first, then locals.
+  uint32_t NumParams = 0;
+  std::vector<BasicBlock> Blocks;
+
+  bool isParam(VarId V) const { return V < NumParams; }
+};
+
+/// A CL program: a set of functions. Entry points are chosen by the
+/// mutator (Sec. 4.2: execution begins via run_core).
+struct Program {
+  std::vector<Function> Funcs;
+
+  FuncId findFunc(const std::string &Name) const {
+    for (FuncId I = 0; I < Funcs.size(); ++I)
+      if (Funcs[I].Name == Name)
+        return I;
+    return InvalidId;
+  }
+
+  /// Total number of basic blocks (the `n` of Theorems 3-5).
+  size_t blockCount() const {
+    size_t N = 0;
+    for (const Function &F : Funcs)
+      N += F.Blocks.size();
+    return N;
+  }
+
+  /// Approximate size in words (variables, blocks, operands), the `m` of
+  /// Theorem 3.
+  size_t sizeInWords() const;
+};
+
+} // namespace cl
+} // namespace ceal
+
+#endif // CEAL_CL_IR_H

@@ -1,0 +1,106 @@
+//===- cl/Lexer.cpp - CL lexer ---------------------------------------------===//
+
+#include "cl/Lexer.h"
+
+#include <cctype>
+
+using namespace ceal;
+using namespace ceal::cl;
+
+std::vector<Token> cl::lex(const std::string &Source) {
+  std::vector<Token> Tokens;
+  unsigned Line = 1;
+  size_t I = 0, N = Source.size();
+  auto Push = [&](Token::Kind K, std::string Text, int64_t Value = 0) {
+    Tokens.push_back({K, std::move(Text), Value, Line});
+  };
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_'))
+        ++I;
+      Push(Token::Ident, Source.substr(Start, I - Start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '-' && I + 1 < N &&
+         std::isdigit(static_cast<unsigned char>(Source[I + 1])))) {
+      size_t Start = I;
+      if (C == '-')
+        ++I;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Source[I])))
+        ++I;
+      std::string Text = Source.substr(Start, I - Start);
+      Push(Token::Number, Text, std::stoll(Text));
+      continue;
+    }
+    switch (C) {
+    case '(':
+      Push(Token::LParen, "(");
+      ++I;
+      continue;
+    case ')':
+      Push(Token::RParen, ")");
+      ++I;
+      continue;
+    case '[':
+      Push(Token::LBracket, "[");
+      ++I;
+      continue;
+    case ']':
+      Push(Token::RBracket, "]");
+      ++I;
+      continue;
+    case '{':
+      Push(Token::LBrace, "{");
+      ++I;
+      continue;
+    case '}':
+      Push(Token::RBrace, "}");
+      ++I;
+      continue;
+    case ',':
+      Push(Token::Comma, ",");
+      ++I;
+      continue;
+    case ';':
+      Push(Token::Semi, ";");
+      ++I;
+      continue;
+    case '*':
+      Push(Token::Star, "*");
+      ++I;
+      continue;
+    case ':':
+      if (I + 1 < N && Source[I + 1] == '=') {
+        Push(Token::Assign, ":=");
+        I += 2;
+      } else {
+        Push(Token::Colon, ":");
+        ++I;
+      }
+      continue;
+    default:
+      Push(Token::Error, std::string(1, C));
+      return Tokens;
+    }
+  }
+  Push(Token::EndOfFile, "");
+  return Tokens;
+}

@@ -1,0 +1,53 @@
+//===- cl/Lexer.h - CL lexer -----------------------------------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small hand-rolled lexer for CL concrete syntax. Tokens carry their
+/// line number for diagnostics. `//` comments run to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_CL_LEXER_H
+#define CEAL_CL_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ceal {
+namespace cl {
+
+struct Token {
+  enum Kind : uint8_t {
+    Ident,
+    Number,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Colon,
+    Assign, // :=
+    Star,
+    EndOfFile,
+    Error,
+  } K;
+  std::string Text;
+  int64_t Value = 0;
+  unsigned Line = 0;
+};
+
+/// Lexes \p Source completely; the last token is EndOfFile (or Error with
+/// the offending text).
+std::vector<Token> lex(const std::string &Source);
+
+} // namespace cl
+} // namespace ceal
+
+#endif // CEAL_CL_LEXER_H

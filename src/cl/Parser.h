@@ -1,0 +1,59 @@
+//===- cl/Parser.h - CL parser ---------------------------------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for CL concrete syntax. The grammar (comments with `//`):
+///
+///   program  := funcdef*
+///   funcdef  := "func" IDENT "(" [param ("," param)*] ")" "{"
+///                 vardecl* block+ "}"
+///   param    := type IDENT
+///   vardecl  := "var" type IDENT ";"
+///   type     := ("int" | "modref") "*"*
+///   block    := IDENT ":" body
+///   body     := "done" ";"
+///             | "if" IDENT "then" jump "else" jump ";"
+///             | command ";" jump ";"
+///   command  := "nop"
+///             | IDENT ":=" "modref" "(" ")"
+///             | IDENT ":=" "read" IDENT
+///             | IDENT ":=" "alloc" "(" IDENT "," IDENT ("," IDENT)* ")"
+///             | IDENT ":=" expr
+///             | IDENT "[" IDENT "]" ":=" expr
+///             | "write" "(" IDENT "," IDENT ")"
+///             | "call" IDENT "(" [IDENT ("," IDENT)*] ")"
+///   jump     := "goto" IDENT | "tail" IDENT "(" [IDENT ("," IDENT)*] ")"
+///   expr     := NUMBER | IDENT | IDENT "[" IDENT "]"
+///             | OP "(" [IDENT ("," IDENT)*] ")"
+///
+/// Function and label references may be forward.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_CL_PARSER_H
+#define CEAL_CL_PARSER_H
+
+#include "cl/Ir.h"
+
+#include <optional>
+#include <string>
+
+namespace ceal {
+namespace cl {
+
+struct ParseResult {
+  std::optional<Program> Prog;
+  std::string Error; ///< Empty on success; "line N: message" otherwise.
+
+  explicit operator bool() const { return Prog.has_value(); }
+};
+
+ParseResult parseProgram(const std::string &Source);
+
+} // namespace cl
+} // namespace ceal
+
+#endif // CEAL_CL_PARSER_H

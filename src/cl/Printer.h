@@ -1,0 +1,29 @@
+//===- cl/Printer.h - CL textual printer -----------------------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints CL programs in the concrete syntax accepted by cl::parse (see
+/// Parser.h); printing and reparsing round-trips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_CL_PRINTER_H
+#define CEAL_CL_PRINTER_H
+
+#include "cl/Ir.h"
+
+#include <string>
+
+namespace ceal {
+namespace cl {
+
+std::string printProgram(const Program &P);
+std::string printFunction(const Program &P, FuncId F);
+
+} // namespace cl
+} // namespace ceal
+
+#endif // CEAL_CL_PRINTER_H

@@ -1,0 +1,57 @@
+//===- cl/Samples.h - Sample CL programs -----------------------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CL sources for the paper's benchmark programs (the compiler-side
+/// counterparts of Table 3): the expression-tree evaluator of Fig. 2,
+/// the list primitives, the sorting algorithms, and integer quickhull.
+/// Tests execute them through the VM against the conventional
+/// interpreter; the Table 3 / Fig. 15 harnesses compile them.
+///
+/// Shared data layouts (word-indexed):
+///   list cell:  [0] head, [1] tail modref
+///   tree node:  [0] kind (1 = leaf), [1] op/num, [2] left mr, [3] right mr
+///   point:      [0] x, [1] y
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_CL_SAMPLES_H
+#define CEAL_CL_SAMPLES_H
+
+#include <string>
+#include <vector>
+
+namespace ceal {
+namespace cl {
+namespace samples {
+
+/// The expression-tree evaluator (paper Fig. 2 in CL form).
+extern const char *ExpTrees;
+
+/// map, filter, reverse and sum over modifiable lists.
+extern const char *ListPrims;
+
+/// Sum by randomized contraction rounds (incremental reduce).
+extern const char *ListReduce;
+
+/// List quicksort (partition + recursive sort, DPS).
+extern const char *Quicksort;
+
+/// List mergesort (split + merge, DPS).
+extern const char *Mergesort;
+
+/// Integer-coordinate quickhull over point lists.
+extern const char *Quickhull;
+
+/// Name/source pairs for all samples plus the combined test driver,
+/// mirroring the program set of Table 3.
+std::vector<std::pair<std::string, std::string>> allPrograms();
+
+} // namespace samples
+} // namespace cl
+} // namespace ceal
+
+#endif // CEAL_CL_SAMPLES_H

@@ -1,0 +1,305 @@
+//===- interp/Vm.cpp - CL execution -----------------------------------------===//
+
+#include "interp/Vm.h"
+
+#include "cl/Verifier.h"
+
+#include <cassert>
+
+using namespace ceal;
+using namespace ceal::interp;
+using namespace ceal::cl;
+
+//===----------------------------------------------------------------------===//
+// Shared expression semantics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+int64_t asInt(Word W) { return fromWord<int64_t>(W); }
+
+Word applyOp(OpKind Op, Word AW, Word BW) {
+  int64_t A = asInt(AW), B = asInt(BW);
+  switch (Op) {
+  // Add/Sub/Mul wrap modulo 2^64 (defined by computing unsigned), so CL
+  // programs can build multiplicative hashes.
+  case OpKind::Add: return AW + BW;
+  case OpKind::Sub: return AW - BW;
+  case OpKind::Mul: return AW * BW;
+  case OpKind::Div: return toWord(B == 0 ? int64_t(0) : A / B);
+  case OpKind::Mod: return toWord(B == 0 ? int64_t(0) : A % B);
+  case OpKind::Lt:  return toWord(int64_t(A < B));
+  case OpKind::Le:  return toWord(int64_t(A <= B));
+  case OpKind::Gt:  return toWord(int64_t(A > B));
+  case OpKind::Ge:  return toWord(int64_t(A >= B));
+  case OpKind::Eq:  return toWord(int64_t(A == B));
+  case OpKind::Ne:  return toWord(int64_t(A != B));
+  case OpKind::And: return toWord(int64_t(A && B));
+  case OpKind::Or:  return toWord(int64_t(A || B));
+  case OpKind::Not: return toWord(int64_t(!A));
+  case OpKind::Neg: return toWord(-A);
+  }
+  return 0;
+}
+
+Word evalExpr(const Expr &E, const std::vector<Word> &Regs) {
+  switch (E.K) {
+  case Expr::Const:
+    return toWord(E.IntVal);
+  case Expr::Var:
+    return Regs[E.V];
+  case Expr::Prim:
+    if (opArity(E.Op) == 1)
+      return applyOp(E.Op, Regs[E.Args[0]], 0);
+    return applyOp(E.Op, Regs[E.Args[0]], Regs[E.Args[1]]);
+  case Expr::Index:
+    return fromWord<Word *>(Regs[E.V])[asInt(Regs[E.Idx])];
+  }
+  return 0;
+}
+
+constexpr Word NoSubst = ~Word(0);
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The self-adjusting VM
+//===----------------------------------------------------------------------===//
+
+Vm::Vm(Runtime &RT, const Program &P) : RT(RT), Prog(P) {
+  assert(verifyProgram(P).empty() && "VM requires a well-formed program");
+  assert(isNormalForm(P) && "VM requires normalized CL (run NORMALIZE)");
+}
+
+/// Closure layout: [0] substitution slot (read value / block address),
+/// [1] Vm*, [2] function id, [3] substitution position within the CL
+/// arguments (NoSubst if none), [4..] CL argument words. The stored CL
+/// arguments are never mutated (slot [3 + pos] keeps its placeholder), so
+/// memo keys — which cover args [1..] — are stable across re-executions.
+Closure *Vm::makeVmClosure(FuncId F, Word SubstPos,
+                           const std::vector<Word> &Args) {
+  std::vector<Word> Frame(4 + Args.size());
+  Frame[0] = 0;
+  Frame[1] = toWord(this);
+  Frame[2] = F;
+  Frame[3] = SubstPos;
+  for (size_t I = 0; I < Args.size(); ++I)
+    Frame[4 + I] = Args[I];
+  return RT.makeRaw(&Vm::vmEntry, Frame.data(), Frame.size());
+}
+
+Closure *Vm::vmEntry(Runtime &RT, Closure *C) {
+  (void)RT;
+  const Word *A = C->args();
+  Vm *Self = fromWord<Vm *>(A[1]);
+  auto F = static_cast<FuncId>(A[2]);
+  Word SubstPos = A[3];
+  size_t NumArgs = C->NumArgs - 4;
+  const Function &Fn = Self->Prog.Funcs[F];
+  std::vector<Word> Regs(Fn.Vars.size(), 0);
+  assert(NumArgs == Fn.NumParams && "VM closure arity mismatch");
+  for (size_t I = 0; I < NumArgs; ++I)
+    Regs[I] = A[4 + I];
+  if (SubstPos != NoSubst)
+    Regs[SubstPos] = A[0]; // The read value / block address arrives here.
+  return Self->exec(F, std::move(Regs));
+}
+
+Closure *Vm::exec(FuncId F, std::vector<Word> Regs) {
+  for (;;) { // Tail-jump loop: tails iterate instead of growing the stack.
+    const Function &Fn = Prog.Funcs[F];
+    BlockId B = 0;
+    const Jump *Next = nullptr;
+    for (;;) { // Intra-function block loop.
+      const BasicBlock &BB = Fn.Blocks[B];
+      switch (BB.K) {
+      case BasicBlock::Done:
+        return nullptr;
+      case BasicBlock::Cond:
+        Next = asInt(Regs[BB.CondVar]) ? &BB.J1 : &BB.J2;
+        break;
+      case BasicBlock::Cmd: {
+        const Command &C = BB.C;
+        switch (C.K) {
+        case Command::Nop:
+          break;
+        case Command::Assign:
+          Regs[C.Dst] = evalExpr(C.E, Regs);
+          break;
+        case Command::Store:
+          fromWord<Word *>(Regs[C.Base])[asInt(Regs[C.Idx])] =
+              evalExpr(C.E, Regs);
+          break;
+        case Command::ModrefAlloc: {
+          // Key words identify this modifiable across re-executions; the
+          // fresh-allocation path matches keyless modref() too.
+          std::vector<Word> Keys(C.Args.size());
+          for (size_t I = 0; I < Keys.size(); ++I)
+            Keys[I] = Regs[C.Args[I]];
+          Regs[C.Dst] = toWord(RT.coreModrefDynamic(Keys.data(), Keys.size()));
+          break;
+        }
+        case Command::Read: {
+          // Normal form: the jump is a tail. Build the dependent closure
+          // and hand it to the trampoline via the traced read; the read
+          // value substitutes at the destination's position in the tail
+          // arguments (if the destination is passed at all).
+          assert(BB.J.K == Jump::Tail && "read must tail (normal form)");
+          Word SubstPos = NoSubst;
+          std::vector<Word> Args(BB.J.Args.size());
+          for (size_t I = 0; I < Args.size(); ++I) {
+            if (BB.J.Args[I] == C.Dst && SubstPos == NoSubst) {
+              SubstPos = I;
+              Args[I] = 0; // Placeholder: keeps the memo key stable.
+            } else {
+              Args[I] = Regs[BB.J.Args[I]];
+            }
+          }
+          Closure *K = makeVmClosure(BB.J.Fn, SubstPos, Args);
+          return RT.read(fromWord<Modref *>(Regs[C.Src]), K);
+        }
+        case Command::Write:
+          RT.write(fromWord<Modref *>(Regs[C.Ref]), Regs[C.Val]);
+          break;
+        case Command::Alloc: {
+          // The initializer's first parameter receives the block; the
+          // allocation is memo-keyed by (initializer, size, arguments).
+          std::vector<Word> Args(1 + C.Args.size());
+          Args[0] = 0; // Block placeholder.
+          for (size_t I = 0; I < C.Args.size(); ++I)
+            Args[1 + I] = Regs[C.Args[I]];
+          Closure *Init = makeVmClosure(C.Fn, /*SubstPos=*/0, Args);
+          Regs[C.Dst] =
+              toWord(RT.allocate(static_cast<size_t>(Regs[C.SizeVar]), Init));
+          break;
+        }
+        case Command::Call: {
+          std::vector<Word> Args(C.Args.size());
+          for (size_t I = 0; I < Args.size(); ++I)
+            Args[I] = Regs[C.Args[I]];
+          RT.call(makeVmClosure(C.Fn, NoSubst, Args));
+          break;
+        }
+        }
+        Next = &BB.J;
+        break;
+      }
+      }
+      if (Next->K == Jump::Goto) {
+        B = Next->Target;
+        continue;
+      }
+      // Tail jump: gather arguments and iterate into the next function.
+      const Function &Callee = Prog.Funcs[Next->Fn];
+      std::vector<Word> NewRegs(Callee.Vars.size(), 0);
+      for (size_t I = 0; I < Next->Args.size(); ++I)
+        NewRegs[I] = Regs[Next->Args[I]];
+      F = Next->Fn;
+      Regs = std::move(NewRegs);
+      break;
+    }
+  }
+}
+
+void Vm::runCore(const std::string &Name, const std::vector<Word> &Args) {
+  FuncId F = Prog.findFunc(Name);
+  assert(F != InvalidId && "unknown core function");
+  assert(Args.size() == Prog.Funcs[F].NumParams && "entry arity mismatch");
+  RT.run(makeVmClosure(F, NoSubst, Args));
+}
+
+//===----------------------------------------------------------------------===//
+// The conventional interpreter
+//===----------------------------------------------------------------------===//
+
+Word *ConvInterp::newCell(Word Init) {
+  Blocks.emplace_back(1, Init);
+  return Blocks.back().data();
+}
+
+void *ConvInterp::alloc(size_t Bytes) {
+  Blocks.emplace_back((Bytes + sizeof(Word) - 1) / sizeof(Word) + 1, 0);
+  return Blocks.back().data();
+}
+
+void ConvInterp::run(const std::string &Name, const std::vector<Word> &Args) {
+  FuncId F = Prog.findFunc(Name);
+  assert(F != InvalidId && "unknown function");
+  exec(F, Args);
+}
+
+void ConvInterp::exec(FuncId F, std::vector<Word> Args) {
+  for (;;) {
+    const Function &Fn = Prog.Funcs[F];
+    std::vector<Word> Regs(Fn.Vars.size(), 0);
+    assert(Args.size() == Fn.NumParams && "arity mismatch");
+    for (size_t I = 0; I < Args.size(); ++I)
+      Regs[I] = Args[I];
+    BlockId B = 0;
+    const Jump *Next = nullptr;
+    for (;;) {
+      ++Steps;
+      const BasicBlock &BB = Fn.Blocks[B];
+      switch (BB.K) {
+      case BasicBlock::Done:
+        return;
+      case BasicBlock::Cond:
+        Next = asInt(Regs[BB.CondVar]) ? &BB.J1 : &BB.J2;
+        break;
+      case BasicBlock::Cmd: {
+        const Command &C = BB.C;
+        switch (C.K) {
+        case Command::Nop:
+          break;
+        case Command::Assign:
+          Regs[C.Dst] = evalExpr(C.E, Regs);
+          break;
+        case Command::Store:
+          fromWord<Word *>(Regs[C.Base])[asInt(Regs[C.Idx])] =
+              evalExpr(C.E, Regs);
+          break;
+        case Command::ModrefAlloc:
+          Regs[C.Dst] = toWord(newCell());
+          break;
+        case Command::Read:
+          // Conventional semantics: a read is a load.
+          Regs[C.Dst] = *fromWord<Word *>(Regs[C.Src]);
+          break;
+        case Command::Write:
+          *fromWord<Word *>(Regs[C.Ref]) = Regs[C.Val];
+          break;
+        case Command::Alloc: {
+          void *Block = alloc(static_cast<size_t>(Regs[C.SizeVar]));
+          std::vector<Word> InitArgs(1 + C.Args.size());
+          InitArgs[0] = toWord(Block);
+          for (size_t I = 0; I < C.Args.size(); ++I)
+            InitArgs[1 + I] = Regs[C.Args[I]];
+          exec(C.Fn, std::move(InitArgs));
+          Regs[C.Dst] = toWord(Block);
+          break;
+        }
+        case Command::Call: {
+          std::vector<Word> CallArgs(C.Args.size());
+          for (size_t I = 0; I < CallArgs.size(); ++I)
+            CallArgs[I] = Regs[C.Args[I]];
+          exec(C.Fn, std::move(CallArgs));
+          break;
+        }
+        }
+        Next = &BB.J;
+        break;
+      }
+      }
+      if (Next->K == Jump::Goto) {
+        B = Next->Target;
+        continue;
+      }
+      std::vector<Word> TailArgs(Next->Args.size());
+      for (size_t I = 0; I < TailArgs.size(); ++I)
+        TailArgs[I] = Regs[Next->Args[I]];
+      F = Next->Fn;
+      Args = std::move(TailArgs);
+      break;
+    }
+  }
+}

@@ -1,0 +1,101 @@
+//===- interp/Vm.h - CL execution ------------------------------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two executors for CL programs:
+///
+///  * Vm — the self-adjusting virtual machine. It runs *normalized* CL
+///    (every read tails) against the run-time system, implementing the
+///    operational semantics of Sec. 4.2 with the translated behaviour of
+///    Sec. 6: tail jumps iterate (no stack growth), reads hand closures
+///    to the trampoline, allocations are memo-keyed by (initializer,
+///    size, arguments). The mutator drives it through the meta helpers
+///    and Runtime::propagate.
+///
+///  * ConvInterp — the conventional interpreter: modifiables are plain
+///    word cells, reads are loads, writes are stores. It defines the
+///    from-scratch semantics and serves as the oracle for the
+///    normalization-preserves-semantics and propagation-correctness
+///    property tests.
+///
+/// Semantics shared by both: integers are signed 64-bit; division and
+/// modulus by zero yield zero (totality keeps random-program tests
+/// deterministic); uninitialized locals are zero; array indexing is in
+/// words while alloc sizes are in bytes (as in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_INTERP_VM_H
+#define CEAL_INTERP_VM_H
+
+#include "cl/Ir.h"
+#include "runtime/Runtime.h"
+
+#include <string>
+#include <vector>
+
+namespace ceal {
+namespace interp {
+
+/// The self-adjusting CL virtual machine.
+class Vm {
+public:
+  /// \p P must verify cleanly and be in normal form.
+  Vm(Runtime &RT, const cl::Program &P);
+
+  Runtime &runtime() { return RT; }
+  const cl::Program &program() const { return Prog; }
+
+  //===------------------------------------------------------------===//
+  // Meta (mutator) surface
+  //===------------------------------------------------------------===//
+
+  Modref *metaModref() { return RT.modref(); }
+  void metaWrite(Modref *M, Word V) { RT.modify(M, V); }
+  Word metaRead(const Modref *M) const { return RT.deref(M); }
+  /// A plain input block (for mutator-built structures).
+  void *metaAlloc(size_t Bytes) { return RT.arena().allocate(Bytes); }
+
+  /// Runs core function \p Name from scratch with word arguments.
+  void runCore(const std::string &Name, const std::vector<Word> &Args);
+  void propagate() { RT.propagate(); }
+
+private:
+  friend struct VmEntryHook;
+  static Closure *vmEntry(Runtime &RT, Closure *C);
+  Closure *exec(cl::FuncId F, std::vector<Word> Regs0);
+  Closure *makeVmClosure(cl::FuncId F, Word SubstPos,
+                         const std::vector<Word> &Args);
+
+  Runtime &RT;
+  const cl::Program &Prog;
+};
+
+/// The conventional interpreter (plain memory, direct execution).
+class ConvInterp {
+public:
+  explicit ConvInterp(const cl::Program &P) : Prog(P) {}
+
+  /// A conventional "modifiable": one word of storage.
+  Word *newCell(Word Init = 0);
+  void *alloc(size_t Bytes);
+  void run(const std::string &Name, const std::vector<Word> &Args);
+
+  /// Number of commands executed (a deterministic work measure).
+  uint64_t steps() const { return Steps; }
+
+private:
+  void exec(cl::FuncId F, std::vector<Word> Args);
+
+  const cl::Program &Prog;
+  std::vector<std::vector<Word>> Blocks; ///< Owned storage.
+  uint64_t Steps = 0;
+};
+
+} // namespace interp
+} // namespace ceal
+
+#endif // CEAL_INTERP_VM_H

@@ -1,0 +1,321 @@
+//===- normalize/Normalize.cpp - The NORMALIZE transformation --------------===//
+
+#include "normalize/Normalize.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/Liveness.h"
+#include "analysis/ProgramGraph.h"
+#include "cl/Verifier.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace ceal;
+using namespace ceal::normalize;
+using namespace ceal::cl;
+using namespace ceal::analysis;
+
+namespace {
+
+/// Per-function normalization plan.
+struct FuncPlan {
+  /// Unit assignment: for each block, the defining node of its unit
+  /// (ProgramGraph node id), or InvalidNode if unreachable.
+  std::vector<uint32_t> UnitOf;
+  /// Critical defining blocks (ascending BlockId).
+  std::vector<BlockId> CriticalBlocks;
+  /// Fresh function id assigned to each critical block.
+  std::map<BlockId, FuncId> FreshId;
+  /// live(l) for each critical block, ascending VarId.
+  std::map<BlockId, std::vector<VarId>> LiveArgs;
+  LivenessInfo Live;
+};
+
+class Normalizer {
+public:
+  explicit Normalizer(const Program &P) : In(P) {}
+
+  NormalizeResult run() {
+    Stats.InputBlocks = In.blockCount();
+    Stats.InputWords = In.sizeInWords();
+    plan();
+    emit();
+    Stats.OutputBlocks = Out.blockCount();
+    Stats.OutputWords = Out.sizeInWords();
+    return {std::move(Out), Stats};
+  }
+
+private:
+  //===------------------------------------------------------------===//
+  // Planning: units, liveness, fresh function ids
+  //===------------------------------------------------------------===//
+
+  void plan() {
+    Plans.resize(In.Funcs.size());
+    FuncId NextId = static_cast<FuncId>(In.Funcs.size());
+    std::set<std::string> UsedNames;
+    for (const Function &F : In.Funcs)
+      UsedNames.insert(F.Name);
+    FreshNames.clear();
+
+    for (FuncId FI = 0; FI < In.Funcs.size(); ++FI) {
+      const Function &F = In.Funcs[FI];
+      FuncPlan &Plan = Plans[FI];
+      ProgramGraph G = buildProgramGraph(F);
+      RootedGraph RG = RootedGraph::fromProgramGraph(G);
+      std::vector<uint32_t> Idom = computeDominatorsIterative(RG);
+      auto Children = dominatorTreeChildren(Idom, ProgramGraph::Root);
+      Plan.Live = computeLiveness(F);
+      Stats.MaxLive = std::max(Stats.MaxLive, Plan.Live.maxLive());
+
+      // Assign every node to the unit of its root-child ancestor.
+      Plan.UnitOf.assign(G.size(), InvalidNode);
+      for (uint32_t Child : Children[ProgramGraph::Root]) {
+        // DFS over the dominator tree.
+        std::vector<uint32_t> Stack{Child};
+        while (!Stack.empty()) {
+          uint32_t N = Stack.back();
+          Stack.pop_back();
+          Plan.UnitOf[N] = Child;
+          for (uint32_t C : Children[N])
+            Stack.push_back(C);
+        }
+      }
+
+      // Critical defining nodes are root children that are blocks.
+      // Process them in ascending block order so fresh ids and names
+      // stay aligned with the emission order.
+      for (uint32_t Child : Children[ProgramGraph::Root])
+        if (ProgramGraph::isBlockNode(Child))
+          Plan.CriticalBlocks.push_back(ProgramGraph::nodeBlock(Child));
+      std::sort(Plan.CriticalBlocks.begin(), Plan.CriticalBlocks.end());
+      for (BlockId B : Plan.CriticalBlocks) {
+        Plan.FreshId[B] = NextId++;
+        Plan.LiveArgs[B] = Plan.Live.liveAt(B);
+        // A unique, parseable fresh name.
+        std::string Name = F.Name + "_rn_" + F.Blocks[B].Label;
+        while (UsedNames.count(Name))
+          Name += "_";
+        UsedNames.insert(Name);
+        FreshNames.push_back(Name);
+      }
+    }
+    Stats.FreshFunctions = FreshNames.size();
+  }
+
+  //===------------------------------------------------------------===//
+  // Emission
+  //===------------------------------------------------------------===//
+
+  /// Blocks of the unit defined by graph node \p Defining in function
+  /// \p FI, defining block first, others in ascending order.
+  std::vector<BlockId> unitBlocks(FuncId FI, uint32_t Defining) const {
+    const FuncPlan &Plan = Plans[FI];
+    std::vector<BlockId> Blocks;
+    for (BlockId B = 0; B < In.Funcs[FI].Blocks.size(); ++B)
+      if (Plan.UnitOf[ProgramGraph::blockNode(B)] == Defining)
+        Blocks.push_back(B);
+    if (ProgramGraph::isBlockNode(Defining)) {
+      BlockId D = ProgramGraph::nodeBlock(Defining);
+      auto It = std::find(Blocks.begin(), Blocks.end(), D);
+      assert(It != Blocks.end() && "defining block missing from its unit");
+      std::rotate(Blocks.begin(), It, It + 1);
+    }
+    return Blocks;
+  }
+
+  /// Rewrites jump \p J from block \p From (in unit \p FromUnit) of
+  /// function \p FI, given the block and variable remaps of the unit
+  /// being emitted.
+  Jump rewriteJump(FuncId FI, const Jump &J, uint32_t FromUnit, bool FromRead,
+                   const std::map<BlockId, BlockId> &BlockMap,
+                   const std::map<VarId, VarId> &VarMap) {
+    const FuncPlan &Plan = Plans[FI];
+    if (J.K == Jump::Tail) {
+      Jump Copy = J;
+      for (VarId &V : Copy.Args)
+        V = VarMap.at(V);
+      return Copy;
+    }
+    BlockId Target = J.Target;
+    uint32_t TargetUnit = Plan.UnitOf[ProgramGraph::blockNode(Target)];
+    bool TargetCritical = ProgramGraph::isBlockNode(TargetUnit) &&
+                          ProgramGraph::nodeBlock(TargetUnit) == Target;
+    bool CrossUnit = TargetUnit != FromUnit;
+    assert((!CrossUnit || TargetCritical) &&
+           "cross-unit edge into a non-defining node (violates Lemma 2)");
+    if (TargetCritical && (CrossUnit || FromRead)) {
+      // Redirect into the fresh function (Fig. 7 lines 20-29).
+      Jump T;
+      T.K = Jump::Tail;
+      T.Fn = Plan.FreshId.at(Target);
+      for (VarId V : Plan.LiveArgs.at(Target))
+        T.Args.push_back(VarMap.at(V));
+      return T;
+    }
+    // Intra-unit, non-read edge: stays a goto (remapped).
+    Jump Copy;
+    Copy.K = Jump::Goto;
+    Copy.Target = BlockMap.at(Target);
+    return Copy;
+  }
+
+  /// Copies unit blocks into \p OutF with variable/block remapping and
+  /// edge redirection.
+  void emitUnitBlocks(FuncId FI, uint32_t Unit,
+                      const std::vector<BlockId> &Blocks,
+                      const std::map<VarId, VarId> &VarMap, Function &OutF) {
+    std::map<BlockId, BlockId> BlockMap;
+    for (size_t I = 0; I < Blocks.size(); ++I)
+      BlockMap[Blocks[I]] = static_cast<BlockId>(I);
+    const Function &F = In.Funcs[FI];
+    for (BlockId B : Blocks) {
+      const BasicBlock &BB = F.Blocks[B];
+      BasicBlock NewBB;
+      NewBB.Label = BB.Label;
+      NewBB.K = BB.K;
+      switch (BB.K) {
+      case BasicBlock::Done:
+        break;
+      case BasicBlock::Cond:
+        NewBB.CondVar = VarMap.at(BB.CondVar);
+        NewBB.J1 = rewriteJump(FI, BB.J1, Unit, false, BlockMap, VarMap);
+        NewBB.J2 = rewriteJump(FI, BB.J2, Unit, false, BlockMap, VarMap);
+        break;
+      case BasicBlock::Cmd: {
+        NewBB.C = remapCommand(BB.C, VarMap);
+        bool IsRead = BB.C.K == Command::Read;
+        NewBB.J = rewriteJump(FI, BB.J, Unit, IsRead, BlockMap, VarMap);
+        break;
+      }
+      }
+      OutF.Blocks.push_back(std::move(NewBB));
+    }
+  }
+
+  static Command remapCommand(const Command &C,
+                              const std::map<VarId, VarId> &VarMap) {
+    auto MapVar = [&](VarId V) {
+      return V == InvalidId ? InvalidId : VarMap.at(V);
+    };
+    Command N = C;
+    N.Dst = MapVar(C.Dst);
+    N.Base = MapVar(C.Base);
+    N.Idx = MapVar(C.Idx);
+    N.Src = MapVar(C.Src);
+    N.Ref = MapVar(C.Ref);
+    N.Val = MapVar(C.Val);
+    N.SizeVar = MapVar(C.SizeVar);
+    for (VarId &V : N.Args)
+      V = MapVar(V);
+    switch (N.E.K) {
+    case Expr::Const:
+      break;
+    case Expr::Var:
+      N.E.V = MapVar(C.E.V);
+      break;
+    case Expr::Prim:
+      for (VarId &V : N.E.Args)
+        V = MapVar(V);
+      break;
+    case Expr::Index:
+      N.E.V = MapVar(C.E.V);
+      N.E.Idx = MapVar(C.E.Idx);
+      break;
+    }
+    return N;
+  }
+
+  void emit() {
+    // Original functions keep their ids; fresh functions are appended in
+    // planning order.
+    Out.Funcs.resize(In.Funcs.size() + FreshNames.size());
+
+    size_t FreshIndex = 0;
+    for (FuncId FI = 0; FI < In.Funcs.size(); ++FI) {
+      const Function &F = In.Funcs[FI];
+      const FuncPlan &Plan = Plans[FI];
+
+      // The original function keeps its full variable table; identity
+      // variable map.
+      std::map<VarId, VarId> Identity;
+      for (VarId V = 0; V < F.Vars.size(); ++V)
+        Identity[V] = V;
+
+      Function &OutF = Out.Funcs[FI];
+      OutF.Name = F.Name;
+      OutF.Vars = F.Vars;
+      OutF.NumParams = F.NumParams;
+      std::vector<BlockId> FnUnit = unitBlocks(FI, ProgramGraph::FuncNode);
+      if (!FnUnit.empty() && FnUnit.front() == 0) {
+        emitUnitBlocks(FI, ProgramGraph::FuncNode, FnUnit, Identity, OutF);
+      } else {
+        // The entry block is itself a read entry, so the function body
+        // is a single jump into the fresh function that holds it.
+        assert(Plan.FreshId.count(0) &&
+               "entry block neither in the function unit nor critical");
+        BasicBlock Entry;
+        Entry.Label = F.Name + "_entry";
+        Entry.K = BasicBlock::Cmd;
+        Entry.C = Command(); // nop
+        Entry.J.K = Jump::Tail;
+        Entry.J.Fn = Plan.FreshId.at(0);
+        Entry.J.Args = Plan.LiveArgs.at(0);
+        OutF.Blocks.push_back(std::move(Entry));
+        // Any other blocks in the function-node unit are unreachable
+        // from the entry; they are dropped.
+      }
+
+      // Fresh functions, one per critical block.
+      for (BlockId B : Plan.CriticalBlocks) {
+        FuncId Id = Plan.FreshId.at(B);
+        Function &NewF = Out.Funcs[Id];
+        NewF.Name = FreshNames[FreshIndex++];
+        const std::vector<VarId> &Params = Plan.LiveArgs.at(B);
+
+        uint32_t Unit = ProgramGraph::blockNode(B);
+        std::vector<BlockId> Blocks = unitBlocks(FI, Unit);
+
+        // Free variables of the unit (Fig. 7 line 14): everything the
+        // unit's blocks mention; locals are those not already params.
+        std::set<VarId> Free;
+        for (BlockId UB : Blocks) {
+          for (VarId V : blockUses(F, UB))
+            Free.insert(V);
+          for (VarId V : blockDefs(F, UB))
+            Free.insert(V);
+        }
+        std::map<VarId, VarId> VarMap;
+        for (VarId V : Params) {
+          VarMap[V] = static_cast<VarId>(NewF.Vars.size());
+          NewF.Vars.push_back(F.Vars[V]);
+        }
+        NewF.NumParams = static_cast<uint32_t>(Params.size());
+        for (VarId V : Free) {
+          if (VarMap.count(V))
+            continue;
+          VarMap[V] = static_cast<VarId>(NewF.Vars.size());
+          NewF.Vars.push_back(F.Vars[V]);
+        }
+        emitUnitBlocks(FI, Unit, Blocks, VarMap, NewF);
+      }
+    }
+  }
+
+  const Program &In;
+  Program Out;
+  std::vector<FuncPlan> Plans;
+  std::vector<std::string> FreshNames;
+  NormalizeStats Stats;
+};
+
+} // namespace
+
+NormalizeResult normalize::normalizeProgram(const Program &P) {
+  assert(verifyProgram(P).empty() && "normalizing an ill-formed program");
+  NormalizeResult R = Normalizer(P).run();
+  assert(isNormalForm(R.Prog) && "NORMALIZE failed to reach normal form");
+  return R;
+}

@@ -1,0 +1,65 @@
+//===- normalize/Normalize.h - The NORMALIZE transformation ----*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NORMALIZE (paper Sec. 5, Fig. 7): restructures a CL program so that
+/// every read command is followed by a tail jump to a function that marks
+/// the start of the code depending on the read — the representation the
+/// translation phase and the self-adjusting VM require.
+///
+/// Following Sec. 7, the implementation is intra-procedural: each
+/// function's rooted graph is analyzed independently (inter-procedural
+/// edges do not affect dominator trees of rooted program graphs). Units
+/// are the subtrees under the root of the dominator tree; a unit whose
+/// defining node is a block (not the function node) is *critical* and
+/// becomes a fresh function whose formal parameters are the variables
+/// live at its defining block and whose locals are the unit's remaining
+/// free variables. Edges into a critical defining node become tail jumps
+/// when they come from outside the unit or from a read block; intra-unit
+/// edges from non-read blocks survive as gotos.
+///
+/// Deviation from the paper's WLOG convention: the paper assumes the
+/// read's destination is the first argument of the following tail jump.
+/// We instead pass live variables in ascending VarId order and let
+/// consumers (VM / translation) locate the read destination's position
+/// in the argument list, which supports several reads sharing one read
+/// entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_NORMALIZE_NORMALIZE_H
+#define CEAL_NORMALIZE_NORMALIZE_H
+
+#include "cl/Ir.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ceal {
+namespace normalize {
+
+struct NormalizeStats {
+  size_t InputBlocks = 0;
+  size_t OutputBlocks = 0;
+  size_t FreshFunctions = 0;
+  size_t MaxLive = 0; ///< ML(P): max live variables over all blocks.
+  size_t InputWords = 0;
+  size_t OutputWords = 0;
+};
+
+struct NormalizeResult {
+  cl::Program Prog;
+  NormalizeStats Stats;
+};
+
+/// Normalizes \p P; the result satisfies cl::isNormalForm and preserves
+/// the program's semantics (checked extensively in tests).
+NormalizeResult normalizeProgram(const cl::Program &P);
+
+} // namespace normalize
+} // namespace ceal
+
+#endif // CEAL_NORMALIZE_NORMALIZE_H

@@ -1,0 +1,221 @@
+//===- om/OrderList.cpp - Order-maintenance list --------------------------===//
+
+#include "om/OrderList.h"
+
+#include <cassert>
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ceal;
+
+OrderList::OrderList() {
+  auto *G = Allocator.create<OmGroup>();
+  G->Prev = G->Next = nullptr;
+  G->Label = GroupLabelSpace / 2;
+  G->Count = 1;
+  FirstGroup = G;
+
+  auto *N = Allocator.create<OmNode>();
+  N->Prev = N->Next = nullptr;
+  N->Group = G;
+  N->Label = UINT64_MAX / 2;
+  N->Item = nullptr;
+  G->First = N;
+  Base = N;
+  Size = 1;
+}
+
+OmNode *OrderList::insertAfter(OmNode *X, void *Item) {
+  assert(X && "insertAfter requires a position");
+  // Appending halves the remaining label space if done by midpoint, which
+  // exhausts it after ~64 insertions and triggers pathological
+  // relabeling; bound the gap so appends consume label space linearly.
+  constexpr uint64_t AppendGap = uint64_t(1) << 32;
+  for (;;) {
+    OmGroup *G = X->Group;
+    uint64_t Lo = X->Label;
+    bool NextInGroup = X->Next && X->Next->Group == G;
+    uint64_t Hi = NextInGroup ? X->Next->Label : UINT64_MAX;
+    if (Hi - Lo >= 2) {
+      auto *N = Allocator.create<OmNode>();
+      N->Label = Lo + std::min((Hi - Lo) / 2, AppendGap);
+      N->Group = G;
+      N->Item = Item;
+      N->Prev = X;
+      N->Next = X->Next;
+      if (X->Next)
+        X->Next->Prev = N;
+      X->Next = N;
+      ++G->Count;
+      ++Size;
+      if (G->Count > GroupLimit)
+        splitGroup(G);
+      return N;
+    }
+    // No room between the labels: rebalance and retry. Splitting changes
+    // group membership and labels, so recompute everything afterwards.
+    if (G->Count >= GroupLimit)
+      splitGroup(G);
+    else
+      relabelGroupItems(G);
+  }
+}
+
+void OrderList::remove(OmNode *X) {
+  assert(X != Base && "the base timestamp cannot be removed");
+  OmGroup *G = X->Group;
+  if (G->First == X)
+    G->First = (G->Count > 1) ? X->Next : nullptr;
+  if (X->Prev)
+    X->Prev->Next = X->Next;
+  if (X->Next)
+    X->Next->Prev = X->Prev;
+  --G->Count;
+  --Size;
+  Allocator.destroy(X);
+  if (G->Count != 0)
+    return;
+  // Unlink and free the now-empty group.
+  if (G->Prev)
+    G->Prev->Next = G->Next;
+  else
+    FirstGroup = G->Next;
+  if (G->Next)
+    G->Next->Prev = G->Prev;
+  Allocator.destroy(G);
+}
+
+void OrderList::relabelGroupItems(OmGroup *G) {
+  ++Relabels;
+  assert(G->Count > 0 && "relabeling an empty group");
+  uint64_t Gap = UINT64_MAX / (uint64_t(G->Count) + 1);
+  OmNode *N = G->First;
+  for (uint32_t I = 0; I < G->Count; ++I) {
+    N->Label = Gap * (uint64_t(I) + 1);
+    N = N->Next;
+  }
+}
+
+OmGroup *OrderList::createGroupAfter(OmGroup *G, uint64_t Label) {
+  auto *NewG = Allocator.create<OmGroup>();
+  NewG->Label = Label;
+  NewG->Count = 0;
+  NewG->First = nullptr;
+  NewG->Prev = G;
+  NewG->Next = G->Next;
+  if (G->Next)
+    G->Next->Prev = NewG;
+  G->Next = NewG;
+  return NewG;
+}
+
+void OrderList::splitGroup(OmGroup *G) {
+  ++Relabels;
+  // Leave the first GroupTarget members in G and distribute the remainder
+  // into fresh groups of GroupTarget members each, inserted after G.
+  uint32_t Total = G->Count;
+  assert(Total > GroupTarget && "splitting a small group");
+  OmNode *N = G->First;
+  for (uint32_t I = 0; I < GroupTarget; ++I)
+    N = N->Next;
+  G->Count = GroupTarget;
+  relabelGroupItems(G);
+
+  uint32_t Remaining = Total - GroupTarget;
+  OmGroup *Pred = G;
+  while (Remaining > 0) {
+    uint32_t Take = Remaining < GroupTarget ? Remaining : GroupTarget;
+    uint64_t Lo = Pred->Label;
+    uint64_t Hi = Pred->Next ? Pred->Next->Label : GroupLabelSpace;
+    if (Hi - Lo < 2) {
+      Lo = makeGroupGapAfter(Pred);
+      Hi = Pred->Next ? Pred->Next->Label : GroupLabelSpace;
+      assert(Hi - Lo >= 2 && "group relabel failed to open a gap");
+    }
+    OmGroup *NewG = createGroupAfter(
+        Pred, Lo + std::min((Hi - Lo) / 2, uint64_t(1) << 31));
+    NewG->First = N;
+    NewG->Count = Take;
+    for (uint32_t I = 0; I < Take; ++I) {
+      N->Group = NewG;
+      N = N->Next;
+    }
+    relabelGroupItems(NewG);
+    Remaining -= Take;
+    Pred = NewG;
+  }
+}
+
+uint64_t OrderList::makeGroupGapAfter(OmGroup *G) {
+  ++Relabels;
+  ++RangeRelabels;
+  // Find the smallest aligned label range [RangeBase, RangeBase + Width)
+  // around G whose density is at most 1/2, then spread its groups evenly.
+  // This is the list-labeling strategy of Bender et al.; it gives
+  // amortized O(log n) group relabeling, which the two-level structure
+  // turns into amortized O(1) per insertion.
+  for (uint64_t Width = 4; Width <= GroupLabelSpace; Width <<= 1) {
+    uint64_t RangeBase =
+        Width >= GroupLabelSpace ? 0 : (G->Label & ~(Width - 1));
+    uint64_t RangeEnd = RangeBase + Width; // Exclusive; no overflow: <= 2^62.
+    // Count member groups by walking outward from G.
+    OmGroup *Lo = G;
+    while (Lo->Prev && Lo->Prev->Label >= RangeBase)
+      Lo = Lo->Prev;
+    uint64_t Count = 0;
+    OmGroup *Cursor = Lo;
+    while (Cursor && Cursor->Label < RangeEnd) {
+      ++Count;
+      Cursor = Cursor->Next;
+    }
+    if (Width < 2 * (Count + 1))
+      continue; // Too dense to leave a usable gap; widen the range.
+    uint64_t Gap = Width / (Count + 1);
+    assert(Gap >= 2 && "density bound guarantees usable gaps");
+    Cursor = Lo;
+    uint64_t Index = 1;
+    while (Cursor && Index <= Count) {
+      Cursor->Label = RangeBase + Gap * Index;
+      Cursor = Cursor->Next;
+      ++Index;
+    }
+    return G->Label;
+  }
+  std::fprintf(stderr, "OrderList: group label space exhausted\n");
+  std::abort();
+}
+
+void OrderList::verifyInvariants() const {
+  size_t SeenNodes = 0;
+  const OmGroup *G = FirstGroup;
+  const OmNode *Expected = Base;
+  uint64_t PrevGroupLabel = 0;
+  bool FirstGroupSeen = true;
+  while (G) {
+    if (!FirstGroupSeen)
+      assert(G->Label > PrevGroupLabel && "group labels must increase");
+    FirstGroupSeen = false;
+    PrevGroupLabel = G->Label;
+    assert(G->Count > 0 && "empty group left in list");
+    assert(G->First == Expected && "group First out of sync");
+    const OmNode *N = G->First;
+    uint64_t PrevLabel = 0;
+    for (uint32_t I = 0; I < G->Count; ++I) {
+      assert(N && "group count exceeds chain length");
+      assert(N->Group == G && "node points at wrong group");
+      if (I > 0)
+        assert(N->Label > PrevLabel && "item labels must increase");
+      PrevLabel = N->Label;
+      ++SeenNodes;
+      Expected = N->Next;
+      N = N->Next;
+    }
+    G = G->Next;
+  }
+  assert(Expected == nullptr && "trailing nodes beyond last group");
+  assert(SeenNodes == Size && "size accounting out of sync");
+  (void)SeenNodes;
+  (void)Expected;
+  (void)PrevGroupLabel;
+}

@@ -1,0 +1,122 @@
+//===- om/OrderList.h - Order-maintenance list -----------------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An order-maintenance data structure supporting insert-after, delete, and
+/// order queries in amortized O(1) time (Dietz and Sleator, 1987-style,
+/// using the two-level scheme with list relabeling in the upper level).
+///
+/// The self-adjusting run-time system uses one OrderList as its global
+/// trace: every traced action (read, write, allocation, interval end) owns
+/// one node, order queries implement "did this read happen before that
+/// write", and in-order traversal between two nodes enumerates the trace
+/// interval that change propagation must revoke.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_OM_ORDERLIST_H
+#define CEAL_OM_ORDERLIST_H
+
+#include "support/Arena.h"
+
+#include <cstdint>
+
+namespace ceal {
+
+class OrderList;
+struct OmGroup;
+
+/// One position in the total order. Nodes carry an opaque client payload
+/// (the run-time system stores its trace item here).
+struct OmNode {
+  OmNode *Prev;
+  OmNode *Next;
+  OmGroup *Group;
+  uint64_t Label;
+  void *Item;
+};
+
+/// A group of up to OrderList::GroupLimit consecutive nodes. Groups carry
+/// the upper-level labels that make cross-group comparisons O(1).
+struct OmGroup {
+  OmGroup *Prev;
+  OmGroup *Next;
+  OmNode *First; ///< First member in order; members are Count nodes from
+                 ///< here via OmNode::Next.
+  uint64_t Label;
+  uint32_t Count;
+};
+
+/// The order-maintenance list. Always contains at least the base() node,
+/// which precedes every other node and cannot be removed.
+class OrderList {
+public:
+  OrderList();
+  OrderList(const OrderList &) = delete;
+  OrderList &operator=(const OrderList &) = delete;
+  ~OrderList() = default; // Arena reclaims all nodes.
+
+  /// The minimum node; created by the constructor, never removed.
+  OmNode *base() { return Base; }
+  const OmNode *base() const { return Base; }
+
+  /// Inserts a new node immediately after \p X in the order and returns it.
+  OmNode *insertAfter(OmNode *X, void *Item = nullptr);
+
+  /// Removes \p X (which must not be base()) from the order and frees it.
+  void remove(OmNode *X);
+
+  /// Returns true iff \p A is strictly before \p B in the order.
+  static bool precedes(const OmNode *A, const OmNode *B) {
+    if (A->Group == B->Group)
+      return A->Label < B->Label;
+    return A->Group->Label < B->Group->Label;
+  }
+
+  /// Successor of \p X in the order, or null if X is the maximum.
+  static OmNode *next(OmNode *X) { return X->Next; }
+  /// Predecessor of \p X in the order, or null if X is base().
+  static OmNode *prev(OmNode *X) { return X->Prev; }
+
+  /// Number of nodes currently in the list (including base()).
+  size_t size() const { return Size; }
+
+  /// Number of group-relabel operations performed (for tests/stats).
+  size_t relabelCount() const { return Relabels; }
+
+  /// Number of expensive group-range relabelings (the Bender-style
+  /// redistribution); regression guard against label-space pathologies.
+  size_t rangeRelabelCount() const { return RangeRelabels; }
+
+  /// Verifies all internal invariants; used by tests. Aborts on violation.
+  void verifyInvariants() const;
+
+private:
+  friend struct OmGroup;
+
+  static constexpr uint32_t GroupLimit = 64;
+  static constexpr uint32_t GroupTarget = 32;
+  /// Upper-level label space: [0, 2^62).
+  static constexpr uint64_t GroupLabelSpace = uint64_t(1) << 62;
+
+  OmGroup *createGroupAfter(OmGroup *G, uint64_t Label);
+  void splitGroup(OmGroup *G);
+  void relabelGroupItems(OmGroup *G);
+  /// Makes room in the group-label space around \p G so that a new group
+  /// can be inserted after it; relabels a low-density enclosing range.
+  uint64_t makeGroupGapAfter(OmGroup *G);
+
+  Arena Allocator;
+  OmNode *Base = nullptr;
+  OmGroup *FirstGroup = nullptr;
+  size_t Size = 0;
+  size_t Relabels = 0;
+  size_t RangeRelabels = 0;
+};
+
+} // namespace ceal
+
+#endif // CEAL_OM_ORDERLIST_H

@@ -1,0 +1,104 @@
+//===- runtime/Closure.h - Closures and monomorphized makers ---*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The closure representation of the run-time system (paper Sec. 6.1:
+/// closure_make / closure_run). A closure is a code pointer plus a frame
+/// of word-sized arguments; trampolines iterate closures returned by core
+/// code, and the trace stores each read's closure so change propagation
+/// can re-execute it.
+///
+/// The paper's compiler monomorphizes closure_make per argument signature
+/// (Sec. 6.3); here the C++ template machinery below generates exactly one
+/// encode/decode pair per (function, signature), which is the same
+/// specialization without a compiler pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_RUNTIME_CLOSURE_H
+#define CEAL_RUNTIME_CLOSURE_H
+
+#include "runtime/Word.h"
+
+#include <cassert>
+#include <tuple>
+#include <utility>
+
+namespace ceal {
+
+class Runtime;
+struct Closure;
+
+/// The code pointer stored in a closure. Returning a closure continues the
+/// tail-call chain on the active trampoline; returning null ends it.
+using ClosureFn = Closure *(*)(Runtime &, Closure *);
+
+/// A heap closure: code pointer plus an inline frame of word arguments.
+/// Allocated from the runtime arena via Runtime::make<Fn>().
+struct Closure {
+  ClosureFn Fn;
+  uint16_t NumArgs;
+  /// Set while the closure is owned by a trace node (a read's closure must
+  /// outlive its execution so propagation can re-run it); transient
+  /// closures are freed by the trampoline after they run.
+  uint16_t OwnedByTrace;
+  uint32_t Pad = 0;
+
+  Word *args() { return reinterpret_cast<Word *>(this + 1); }
+  const Word *args() const {
+    return reinterpret_cast<const Word *>(this + 1);
+  }
+
+  static size_t byteSize(size_t NumArgs) {
+    return sizeof(Closure) + NumArgs * sizeof(Word);
+  }
+  size_t byteSize() const { return byteSize(NumArgs); }
+};
+
+/// Extracts the declared parameter list of a core function. Core functions
+/// have the shape `Closure *f(Runtime &, T0, T1, ...)` where each Ti is
+/// word-sized.
+template <typename F> struct CoreFnTraits;
+template <typename... As> struct CoreFnTraits<Closure *(*)(Runtime &, As...)> {
+  using ArgsTuple = std::tuple<As...>;
+  static constexpr size_t Arity = sizeof...(As);
+};
+
+namespace detail {
+
+template <auto Fn, typename... As, size_t... I>
+Closure *invokeClosure(Runtime &RT, Closure *C, std::index_sequence<I...>) {
+  assert(C->NumArgs == sizeof...(As) && "closure arity mismatch");
+  return Fn(RT, fromWord<As>(C->args()[I])...);
+}
+
+/// The monomorphized trampoline entry for one (function, signature) pair.
+template <auto Fn, typename... As>
+Closure *closureInvoker(Runtime &RT, Closure *C) {
+  return invokeClosure<Fn, As...>(RT, C, std::index_sequence_for<As...>{});
+}
+
+template <auto Fn, typename Tuple> struct ClosureMaker;
+
+template <auto Fn, typename... As>
+struct ClosureMaker<Fn, std::tuple<As...>> {
+  static constexpr ClosureFn Invoker = &closureInvoker<Fn, As...>;
+
+  static void fill(Closure *C, As... Vs) {
+    C->Fn = Invoker;
+    C->NumArgs = sizeof...(As);
+    C->OwnedByTrace = 0;
+    size_t I = 0;
+    ((C->args()[I++] = toWord<As>(Vs)), ...);
+    (void)I;
+  }
+};
+
+} // namespace detail
+
+} // namespace ceal
+
+#endif // CEAL_RUNTIME_CLOSURE_H

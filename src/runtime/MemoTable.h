@@ -1,0 +1,95 @@
+//===- runtime/MemoTable.h - Intrusive chained memo tables -----*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small intrusive chained hash table used for the read and allocation
+/// memo indexes. Nodes provide MemoNext/MemoPrev/MemoHash members; key
+/// equality is the caller's business (the table only buckets by hash), so
+/// one template serves both ReadNode and AllocNode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_RUNTIME_MEMOTABLE_H
+#define CEAL_RUNTIME_MEMOTABLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ceal {
+
+/// Mixes a sequence of 64-bit words into a hash (xorshift-multiply).
+inline uint64_t hashMixWord(uint64_t H, uint64_t W) {
+  H ^= W + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  H *= 0xff51afd7ed558ccdULL;
+  H ^= H >> 33;
+  return H;
+}
+
+/// Intrusive chained hash table over NodeT with MemoNext/MemoPrev/MemoHash.
+template <typename NodeT> class MemoTable {
+public:
+  MemoTable() : Buckets(64, nullptr) {}
+
+  /// Inserts \p N; N->MemoHash must already be set.
+  void insert(NodeT *N) {
+    if (Count >= Buckets.size() * 2)
+      grow();
+    size_t Index = bucketIndex(N->MemoHash);
+    N->MemoPrev = nullptr;
+    N->MemoNext = Buckets[Index];
+    if (Buckets[Index])
+      Buckets[Index]->MemoPrev = N;
+    Buckets[Index] = N;
+    ++Count;
+  }
+
+  /// Removes \p N, which must currently be in the table.
+  void remove(NodeT *N) {
+    if (N->MemoPrev)
+      N->MemoPrev->MemoNext = N->MemoNext;
+    else
+      Buckets[bucketIndex(N->MemoHash)] = N->MemoNext;
+    if (N->MemoNext)
+      N->MemoNext->MemoPrev = N->MemoPrev;
+    N->MemoPrev = N->MemoNext = nullptr;
+    --Count;
+  }
+
+  /// Head of the chain that would contain nodes with \p Hash.
+  NodeT *chainHead(uint64_t Hash) const { return Buckets[bucketIndex(Hash)]; }
+
+  size_t size() const { return Count; }
+
+private:
+  size_t bucketIndex(uint64_t Hash) const {
+    return Hash & (Buckets.size() - 1);
+  }
+
+  void grow() {
+    std::vector<NodeT *> Old = std::move(Buckets);
+    Buckets.assign(Old.size() * 4, nullptr);
+    for (NodeT *Chain : Old) {
+      while (Chain) {
+        NodeT *Next = Chain->MemoNext;
+        size_t Index = bucketIndex(Chain->MemoHash);
+        Chain->MemoPrev = nullptr;
+        Chain->MemoNext = Buckets[Index];
+        if (Buckets[Index])
+          Buckets[Index]->MemoPrev = Chain;
+        Buckets[Index] = Chain;
+        Chain = Next;
+      }
+    }
+  }
+
+  std::vector<NodeT *> Buckets;
+  size_t Count = 0;
+};
+
+} // namespace ceal
+
+#endif // CEAL_RUNTIME_MEMOTABLE_H

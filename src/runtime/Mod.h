@@ -1,0 +1,101 @@
+//===- runtime/Mod.h - Typed modifiable references --------------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed modifiables — the paper's first "future directions" item
+/// (Sec. 10, "Syntax and Types for Modifiables"): CEAL's `read`/`write`
+/// traffic in `void *` and forces coercions at every use; the paper
+/// proposes modifiable fields that carry their content type. C++
+/// templates provide exactly that: `Mod<T>` is a modifiable whose reads
+/// and writes are statically typed, encoded losslessly into the runtime's
+/// word-sized representation.
+///
+/// \code
+///   Closure *gotLen(Runtime &RT, double Len, Mod<int64_t> Out) {
+///     Out.write(RT, static_cast<int64_t>(Len));
+///     return nullptr;
+///   }
+///   Closure *core(Runtime &RT, Mod<double> In, Mod<int64_t> Out) {
+///     return In.readTail<&gotLen>(RT, Out);
+///   }
+/// \endcode
+///
+/// Mod<T> is a one-word handle (the untyped Modref pointer), so it can be
+/// passed through closures, stored in structures, and mixed freely with
+/// the untyped API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_RUNTIME_MOD_H
+#define CEAL_RUNTIME_MOD_H
+
+#include "runtime/Runtime.h"
+
+namespace ceal {
+
+/// A typed modifiable reference holding a T.
+template <WordSized T> class Mod {
+public:
+  Mod() = default;
+  explicit Mod(Modref *Raw) : Ref(Raw) {}
+
+  /// Meta-level constructors (mutator side).
+  static Mod create(Runtime &RT) { return Mod(RT.modref()); }
+  static Mod create(Runtime &RT, T Initial) {
+    return Mod(RT.modref<T>(Initial));
+  }
+
+  /// Core-level constructor: memo-keyed like Runtime::coreModref.
+  template <typename... Keys> static Mod coreCreate(Runtime &RT, Keys... Ks) {
+    return Mod(RT.coreModref(Ks...));
+  }
+
+  bool valid() const { return Ref != nullptr; }
+  Modref *raw() const { return Ref; }
+
+  //===--------------------------------------------------------------===//
+  // Core operations
+  //===--------------------------------------------------------------===//
+
+  /// Traced write.
+  void write(Runtime &RT, T Value) const { RT.writeT<T>(Ref, Value); }
+
+  /// Traced read tail-jumping to \p Fn, whose first core parameter must
+  /// be exactly T: `Closure *Fn(Runtime &, T Value, Rest...)`.
+  template <auto Fn, typename... Rest>
+  Closure *readTail(Runtime &RT, Rest... Rs) const {
+    static_assert(
+        std::is_same_v<
+            std::tuple_element_t<
+                0, typename CoreFnTraits<decltype(Fn)>::ArgsTuple>,
+            T>,
+        "continuation's first parameter must match the Mod's type");
+    return RT.readTail<Fn>(Ref, Rs...);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Meta operations
+  //===--------------------------------------------------------------===//
+
+  void modify(Runtime &RT, T Value) const { RT.modifyT<T>(Ref, Value); }
+  T deref(Runtime &RT) const { return RT.derefT<T>(Ref); }
+
+  bool operator==(const Mod &O) const { return Ref == O.Ref; }
+
+private:
+  Modref *Ref = nullptr;
+};
+
+// Mod<T> is trivially copyable and one word wide, so the generic
+// toWord/fromWord codec moves it through closures unchanged.
+static_assert(sizeof(Mod<int64_t>) == sizeof(Modref *),
+              "Mod<T> must stay a one-word handle so it is closure-safe");
+static_assert(WordSized<Mod<int64_t>>,
+              "Mod<T> must be directly usable as a closure argument");
+
+} // namespace ceal
+
+#endif // CEAL_RUNTIME_MOD_H

@@ -1,0 +1,635 @@
+//===- runtime/Runtime.cpp - Self-adjusting-computation RTS ---------------===//
+//
+// Change-propagation mechanics, following the paper and its substrates:
+//
+//  * Execution is trampolined (Sec. 6.2): core functions return the next
+//    closure; a read hands its dependent closure to the trampoline, so a
+//    read body is the rest of the tail-call chain — exactly the dynamic
+//    extent normalization assigns to it (Sec. 5).
+//
+//  * Each read owns a time interval (Start, End). Change propagation
+//    re-executes the earliest invalidated read inside its own interval:
+//    fresh trace is created at the time cursor, and a read or allocation
+//    performed during re-execution that matches an not-yet-reached node of
+//    the old trace *splices*: the skipped old prefix is revoked and the
+//    matched suffix is kept (memoization, Sec. 1). When re-execution
+//    finishes without a match, the remainder of the old interval is
+//    revoked.
+//
+//  * Modifiables are imperative and multi-write (Acar et al., POPL 2008):
+//    per modifiable, reads and writes are kept in timestamp order, and a
+//    write invalidates exactly the readers between itself and the next
+//    write whose seen value actually changed.
+//
+//  * Blocks freed by revoked allocations are reclaimed at the end of
+//    propagation (Hammer & Acar, ISMM 2008), after every read that could
+//    reference them has been revoked or re-executed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+using namespace ceal;
+
+Runtime::Runtime(const Config &C) : Cfg(C) {
+  Cursor = Om.base();
+  TraceEnd = Cursor;
+  GcAllocMark = 0;
+}
+
+Runtime::~Runtime() = default; // Arena reclaims all trace storage.
+
+//===----------------------------------------------------------------------===//
+// Small helpers
+//===----------------------------------------------------------------------===//
+
+template <typename NodeT> NodeT *Runtime::newNode() {
+  maybeSimulateGc();
+  if (Cfg.SimSpinPerNode) {
+    // Comparator cost model: per-operation boxing/interpretation work.
+    uint64_t X = 0x9e3779b97f4a7c15ULL;
+    for (unsigned I = 0; I < Cfg.SimSpinPerNode; ++I)
+      X = X * 6364136223846793005ULL + 1442695040888963407ULL;
+    asm volatile("" : : "r"(X));
+  }
+  void *Raw = Mem.allocate(sizeof(NodeT) + Cfg.BoxBytesPerNode);
+  return new (Raw) NodeT();
+}
+
+template <typename NodeT> void Runtime::destroyNode(NodeT *N) {
+  N->~NodeT();
+  Mem.deallocate(N, sizeof(NodeT) + Cfg.BoxBytesPerNode);
+}
+
+void Runtime::freeClosure(Closure *C) { Mem.deallocate(C, C->byteSize()); }
+
+OmNode *Runtime::stampAfterCursor(void *Item) {
+  Cursor = Om.insertAfter(Cursor, Item);
+  return Cursor;
+}
+
+/// Inserts \p U into its modifiable's use list at the position given by
+/// its timestamp. Scans backwards from the tail: during an initial run
+/// this is O(1) (appends), and per-modifiable lists are short in practice.
+void Runtime::insertUse(Modref *M, Use *U) {
+  Use *After = M->Tail;
+  while (After && OrderList::precedes(U->Start, After->Start))
+    After = After->PrevUse;
+  U->PrevUse = After;
+  if (After) {
+    U->NextUse = After->NextUse;
+    After->NextUse = U;
+  } else {
+    U->NextUse = M->Head;
+    M->Head = U;
+  }
+  if (U->NextUse)
+    U->NextUse->PrevUse = U;
+  else
+    M->Tail = U;
+}
+
+void Runtime::unlinkUse(Use *U) {
+  Modref *M = U->Ref;
+  if (U->PrevUse)
+    U->PrevUse->NextUse = U->NextUse;
+  else
+    M->Head = U->NextUse;
+  if (U->NextUse)
+    U->NextUse->PrevUse = U->PrevUse;
+  else
+    M->Tail = U->PrevUse;
+  U->PrevUse = U->NextUse = nullptr;
+}
+
+/// The value a use at this position observes: the latest preceding traced
+/// write, else the modifiable's meta-written initial value.
+Word Runtime::valueGoverning(const Use *U) const {
+  for (const Use *P = U->PrevUse; P; P = P->PrevUse)
+    if (P->Kind == TraceKind::Write)
+      return static_cast<const WriteNode *>(P)->Value;
+  return U->Ref->Initial;
+}
+
+//===----------------------------------------------------------------------===//
+// Meta interface
+//===----------------------------------------------------------------------===//
+
+Modref *Runtime::modref() {
+  void *Raw = Mem.allocate(sizeof(Modref));
+  return new (Raw) Modref();
+}
+
+void Runtime::metaFree(Modref *M) {
+  assert(!M->Head && "freeing a modifiable with live traced uses");
+  M->~Modref();
+  Mem.deallocate(M, sizeof(Modref));
+}
+
+void Runtime::modify(Modref *M, Word V) {
+  assert(CurPhase == Phase::Meta && "modify is a mutator operation");
+  M->Initial = V;
+  // Readers governed by the initial value are the prefix of the use list
+  // up to the first traced write.
+  for (Use *U = M->Head; U && U->Kind == TraceKind::Read; U = U->NextUse) {
+    auto *R = static_cast<ReadNode *>(U);
+    if (R->SeenValue != V || Cfg.DisableEqualityCut)
+      invalidate(R);
+  }
+}
+
+Word Runtime::deref(const Modref *M) const {
+  for (const Use *U = M->Tail; U; U = U->PrevUse)
+    if (U->Kind == TraceKind::Write)
+      return static_cast<const WriteNode *>(U)->Value;
+  return M->Initial;
+}
+
+void Runtime::run(Closure *C) {
+  assert(CurPhase == Phase::Meta && "run_core is a mutator operation");
+  CurPhase = Phase::Running;
+  Cursor = TraceEnd; // Append this run's trace after all previous runs.
+  trampoline(C);
+  TraceEnd = Cursor;
+  CurPhase = Phase::Meta;
+}
+
+void Runtime::propagate() {
+  assert(CurPhase == Phase::Meta && "propagate is a mutator operation");
+  CurPhase = Phase::Propagating;
+  ++S.Propagations;
+  while (ReadNode *R = heapPopMin()) {
+    if (!R->isDirty())
+      continue;
+    R->setDirty(false);
+    reexecute(R);
+  }
+  flushDeferredFrees();
+  CurPhase = Phase::Meta;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+/// Runs the closure chain rooted at \p C. Returns true if the chain ended
+/// in a memo splice (the remainder of the computation was recovered from
+/// the old trace) rather than by running to completion.
+///
+/// Reads begun on this trampoline have their interval ends stamped here,
+/// innermost (most recent) first, which produces the proper nesting
+/// r1.start < r2.start < ... < r2.end < r1.end.
+bool Runtime::trampoline(Closure *C) {
+  size_t PendingBase = PendingReads.size();
+  bool DidSplice = false;
+  while (C) {
+    Closure *Next = C->Fn(*this, C);
+    if (!C->OwnedByTrace)
+      freeClosure(C);
+    C = Next;
+    if (SplicedFlag) {
+      SplicedFlag = false;
+      DidSplice = true;
+      assert(!C && "a spliced read must be returned immediately");
+      break;
+    }
+  }
+  for (size_t I = PendingReads.size(); I > PendingBase; --I) {
+    ReadNode *R = PendingReads[I - 1];
+    R->End = stampAfterCursor(tagEndItem(R));
+  }
+  PendingReads.resize(PendingBase);
+  return DidSplice;
+}
+
+Closure *Runtime::read(Modref *M, Closure *C) {
+  assert(CurPhase != Phase::Meta && "read is a core operation");
+  assert(C->NumArgs >= 1 && "read closure needs a value slot");
+  // SaSML-style simulation: the basic translation allocates one heap
+  // continuation per tail jump; model that garbage with transient
+  // allocations of a typical boxed-continuation size, so a bounded heap
+  // fills at a realistic rate.
+  constexpr size_t SimContinuationBytes = 256;
+  for (unsigned I = 0; I < Cfg.ExtraAllocsPerRead; ++I) {
+    void *Extra = Mem.allocate(SimContinuationBytes);
+    Mem.deallocate(Extra, SimContinuationBytes);
+  }
+  uint64_t Hash = readMemoHash(M, C);
+  if (IntervalEnd) {
+    if (ReadNode *Hit = findReadMemo(M, C, Hash)) {
+      ++S.MemoReadHits;
+      assert(!C->OwnedByTrace && "memo-spliced closure must be transient");
+      freeClosure(C);
+      revokeInterval(Cursor, Hit->Start);
+      Cursor = Hit->End;
+      SplicedFlag = true;
+      return nullptr;
+    }
+  }
+  ++S.ReadsTraced;
+  ReadNode *R = newNode<ReadNode>();
+  R->Ref = M;
+  R->Clo = C;
+  C->OwnedByTrace = 1;
+  R->Start = stampAfterCursor(R);
+  insertUse(M, R);
+  Word V = valueGoverning(R);
+  R->SeenValue = V;
+  C->args()[0] = V;
+  R->MemoHash = Hash;
+  ReadMemo.insert(R);
+  PendingReads.push_back(R);
+  return C;
+}
+
+void Runtime::write(Modref *M, Word V) {
+  assert(CurPhase != Phase::Meta && "write is a core operation");
+  ++S.WritesTraced;
+  WriteNode *W = newNode<WriteNode>();
+  W->Ref = M;
+  W->Value = V;
+  W->Start = stampAfterCursor(W);
+  insertUse(M, W);
+  // This write governs the readers between itself and the next write.
+  for (Use *U = W->NextUse; U && U->Kind == TraceKind::Read; U = U->NextUse) {
+    auto *R = static_cast<ReadNode *>(U);
+    if (R->SeenValue != V || Cfg.DisableEqualityCut)
+      invalidate(R);
+  }
+}
+
+void *Runtime::allocate(size_t Size, Closure *Init, uint8_t NodeFlags) {
+  assert(CurPhase != Phase::Meta && "allocate is a core operation");
+  assert(Init->NumArgs >= 1 && "init closure needs a block slot");
+  assert(Size < UINT32_MAX && "allocation too large");
+  uint64_t Hash = allocMemoHash(Init, Size);
+  if (IntervalEnd) {
+    if (AllocNode *Hit = findAllocMemo(Init, Size, Hash)) {
+      ++S.MemoAllocHits;
+      void *Block = Hit->Block;
+      uint8_t Flags = Hit->Flags;
+      // Steal the block: consume the old node and re-trace the
+      // allocation at the cursor. The initializer is not re-run — by the
+      // correct-usage restrictions (Sec. 4.2) the block was only
+      // side-effected by an initializer that is a function of the key.
+      AllocMemo.remove(Hit);
+      Om.remove(Hit->Start);
+      freeClosure(Hit->Init);
+      destroyNode(Hit);
+      AllocNode *A = newNode<AllocNode>();
+      A->Flags = Flags;
+      A->Block = Block;
+      A->Size = static_cast<uint32_t>(Size);
+      A->Init = Init;
+      Init->OwnedByTrace = 1;
+      A->Start = stampAfterCursor(A);
+      A->MemoHash = Hash;
+      AllocMemo.insert(A);
+      return Block;
+    }
+  }
+  ++S.AllocsTraced;
+  void *Block = Mem.allocate(Size);
+  AllocNode *A = newNode<AllocNode>();
+  A->Flags = NodeFlags;
+  A->Block = Block;
+  A->Size = static_cast<uint32_t>(Size);
+  A->Init = Init;
+  Init->OwnedByTrace = 1;
+  A->Start = stampAfterCursor(A);
+  A->MemoHash = Hash;
+  AllocMemo.insert(A);
+  // Run the initializer now; it may not read or write modifiables
+  // (correct-usage restriction 2), so it cannot splice or extend traces.
+  Init->args()[0] = toWord(Block);
+  Closure *Result = Init->Fn(*this, Init);
+  assert(!Result && "initializers must not continue a tail-call chain");
+  (void)Result;
+  return Block;
+}
+
+/// Initializer for dynamically keyed modifiables: the block address is in
+/// slot 0; the remaining slots are memo-key words it ignores.
+static Closure *modrefInitDynamic(Runtime &, Closure *C) {
+  new (fromWord<void *>(C->args()[0])) Modref();
+  return nullptr;
+}
+
+Modref *Runtime::coreModrefDynamic(const Word *Keys, size_t NumKeys) {
+  std::vector<Word> Frame(1 + NumKeys);
+  Frame[0] = 0; // Block placeholder.
+  for (size_t I = 0; I < NumKeys; ++I)
+    Frame[1 + I] = Keys[I];
+  Closure *Init = makeRaw(&modrefInitDynamic, Frame.data(), Frame.size());
+  void *Block = allocate(sizeof(Modref), Init, AllocNode::FlagModref);
+  return static_cast<Modref *>(Block);
+}
+
+//===----------------------------------------------------------------------===//
+// Change propagation
+//===----------------------------------------------------------------------===//
+
+void Runtime::invalidate(ReadNode *R) {
+  if (R->isDirty())
+    return;
+  R->setDirty(true);
+  heapPush(R);
+}
+
+void Runtime::reexecute(ReadNode *R) {
+  Word V = valueGoverning(R);
+  if (V == R->SeenValue && !Cfg.DisableEqualityCut) {
+    // The modification history restored the value this read saw; its
+    // trace is still consistent.
+    ++S.ReadsSkippedClean;
+    return;
+  }
+  ++S.ReadsReexecuted;
+  R->SeenValue = V;
+  R->Clo->args()[0] = V;
+  Cursor = R->Start;
+  IntervalEnd = R->End;
+  bool Spliced = trampoline(R->Clo);
+  if (!Spliced)
+    revokeInterval(Cursor, R->End);
+  IntervalEnd = nullptr;
+}
+
+/// Revokes every old trace node strictly between \p From and \p To.
+/// Read nodes remove both their start and end timestamps; end markers
+/// encountered directly belong to reads whose start lies in the interval
+/// as well and are handled when the start is visited.
+void Runtime::revokeInterval(OmNode *From, OmNode *To) {
+  OmNode *N = From->Next;
+  while (N && N != To) {
+    void *Item = N->Item;
+    OmNode *Next = N->Next;
+    if (isEndItem(Item)) {
+      // Skipped: removed together with its read's start. A read whose
+      // start precedes the interval cannot end inside it (intervals
+      // nest), so the owning read is always revoked by this same walk.
+      N = Next;
+      continue;
+    }
+    auto *T = static_cast<TraceNode *>(Item);
+    switch (T->Kind) {
+    case TraceKind::Read: {
+      auto *R = static_cast<ReadNode *>(T);
+      // The read's end node is ahead of us and about to be deleted; if it
+      // is the immediate successor, step over it.
+      if (R->End == Next)
+        Next = Next->Next;
+      revokeRead(R);
+      break;
+    }
+    case TraceKind::Write:
+      revokeWrite(static_cast<WriteNode *>(T));
+      break;
+    case TraceKind::Alloc:
+      revokeAlloc(static_cast<AllocNode *>(T));
+      break;
+    }
+    N = Next;
+  }
+}
+
+void Runtime::revokeRead(ReadNode *R) {
+  ++S.NodesRevoked;
+  if (R->HeapIndex >= 0)
+    heapRemove(R);
+  ReadMemo.remove(R);
+  unlinkUse(R);
+  Om.remove(R->Start);
+  assert(R->End && "revoking a read whose interval is still open");
+  Om.remove(R->End);
+  freeClosure(R->Clo);
+  destroyNode(R);
+}
+
+void Runtime::revokeWrite(WriteNode *W) {
+  ++S.NodesRevoked;
+  // Readers this write governed fall back to the previous write (or the
+  // initial value); invalidate those that saw something different.
+  Word PrevValue = valueGoverning(W);
+  for (Use *U = W->NextUse; U && U->Kind == TraceKind::Read; U = U->NextUse) {
+    auto *R = static_cast<ReadNode *>(U);
+    if (R->SeenValue != PrevValue || Cfg.DisableEqualityCut)
+      invalidate(R);
+  }
+  unlinkUse(W);
+  Om.remove(W->Start);
+  destroyNode(W);
+}
+
+void Runtime::revokeAlloc(AllocNode *A) {
+  ++S.NodesRevoked;
+  AllocMemo.remove(A);
+  Om.remove(A->Start);
+  freeClosure(A->Init);
+  DeferredFrees.push_back({A->Block, A->Size, A->isModrefBlock()});
+  destroyNode(A);
+}
+
+void Runtime::flushDeferredFrees() {
+  for (const DeferredFree &F : DeferredFrees) {
+    if (F.IsModref) {
+      // The block is an array of modifiables (coreModref allocates an
+      // array of one). By this point every use must have been revoked or
+      // re-targeted; a live use means the core program violated the
+      // correct-usage restrictions, in which case we leak rather than
+      // dangle.
+      auto *Arr = static_cast<Modref *>(F.Block);
+      size_t Count = F.Size / sizeof(Modref);
+      bool AnyLive = false;
+      for (size_t I = 0; I < Count; ++I) {
+        assert(!Arr[I].Head &&
+               "collected modifiable still has live uses; core program "
+               "violates the correct-usage restrictions");
+        AnyLive |= Arr[I].Head != nullptr;
+      }
+      if (AnyLive)
+        continue;
+      for (size_t I = 0; I < Count; ++I)
+        Arr[I].~Modref();
+    }
+    Mem.deallocate(F.Block, F.Size);
+  }
+  DeferredFrees.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Memo indexes
+//===----------------------------------------------------------------------===//
+
+uint64_t Runtime::readMemoHash(const Modref *M, const Closure *C) const {
+  uint64_t H = hashMixWord(0x51ab5eed, reinterpret_cast<uintptr_t>(C->Fn));
+  H = hashMixWord(H, reinterpret_cast<uintptr_t>(M));
+  for (uint16_t I = 1; I < C->NumArgs; ++I)
+    H = hashMixWord(H, C->args()[I]);
+  return H;
+}
+
+uint64_t Runtime::allocMemoHash(const Closure *Init, size_t Size) const {
+  uint64_t H = hashMixWord(0xa110c5eed, reinterpret_cast<uintptr_t>(Init->Fn));
+  H = hashMixWord(H, Size);
+  for (uint16_t I = 1; I < Init->NumArgs; ++I)
+    H = hashMixWord(H, Init->args()[I]);
+  return H;
+}
+
+/// True if an old trace node starting at \p Start may be reused: it must
+/// lie strictly between the cursor and the end of the interval being
+/// re-executed.
+bool Runtime::inReuseWindow(const OmNode *Start) const {
+  return OrderList::precedes(Cursor, Start) &&
+         OrderList::precedes(Start, IntervalEnd);
+}
+
+static bool sameTrailingArgs(const Closure *A, const Closure *B) {
+  if (A->Fn != B->Fn || A->NumArgs != B->NumArgs)
+    return false;
+  for (uint16_t I = 1; I < A->NumArgs; ++I)
+    if (A->args()[I] != B->args()[I])
+      return false;
+  return true;
+}
+
+ReadNode *Runtime::findReadMemo(const Modref *M, const Closure *C,
+                                uint64_t Hash) {
+  ReadNode *Best = nullptr;
+  for (ReadNode *N = ReadMemo.chainHead(Hash); N; N = N->MemoNext) {
+    if (N->MemoHash != Hash || N->Ref != M || !sameTrailingArgs(N->Clo, C))
+      continue;
+    if (!inReuseWindow(N->Start))
+      continue;
+    if (!Best || OrderList::precedes(N->Start, Best->Start))
+      Best = N;
+  }
+  return Best;
+}
+
+AllocNode *Runtime::findAllocMemo(const Closure *Init, size_t Size,
+                                  uint64_t Hash) {
+  AllocNode *Best = nullptr;
+  for (AllocNode *N = AllocMemo.chainHead(Hash); N; N = N->MemoNext) {
+    if (N->MemoHash != Hash || N->Size != Size ||
+        !sameTrailingArgs(N->Init, Init))
+      continue;
+    if (!inReuseWindow(N->Start))
+      continue;
+    if (!Best || OrderList::precedes(N->Start, Best->Start))
+      Best = N;
+  }
+  return Best;
+}
+
+//===----------------------------------------------------------------------===//
+// Propagation queue: intrusive binary heap ordered by start timestamp
+//===----------------------------------------------------------------------===//
+
+static bool heapLess(const ReadNode *A, const ReadNode *B) {
+  return OrderList::precedes(A->Start, B->Start);
+}
+
+void Runtime::heapPush(ReadNode *R) {
+  assert(R->HeapIndex < 0 && "node already queued");
+  R->HeapIndex = static_cast<int32_t>(Heap.size());
+  Heap.push_back(R);
+  heapSiftUp(Heap.size() - 1);
+}
+
+ReadNode *Runtime::heapPopMin() {
+  if (Heap.empty())
+    return nullptr;
+  ReadNode *Min = Heap.front();
+  Min->HeapIndex = -1;
+  ReadNode *Last = Heap.back();
+  Heap.pop_back();
+  if (!Heap.empty()) {
+    Heap[0] = Last;
+    Last->HeapIndex = 0;
+    heapSiftDown(0);
+  }
+  return Min;
+}
+
+void Runtime::heapRemove(ReadNode *R) {
+  size_t Index = static_cast<size_t>(R->HeapIndex);
+  assert(Index < Heap.size() && Heap[Index] == R && "heap index corrupt");
+  R->HeapIndex = -1;
+  ReadNode *Last = Heap.back();
+  Heap.pop_back();
+  if (Last == R)
+    return;
+  Heap[Index] = Last;
+  Last->HeapIndex = static_cast<int32_t>(Index);
+  heapSiftDown(Index);
+  heapSiftUp(static_cast<size_t>(Last->HeapIndex));
+}
+
+void Runtime::heapSiftUp(size_t Index) {
+  while (Index > 0) {
+    size_t Parent = (Index - 1) / 2;
+    if (!heapLess(Heap[Index], Heap[Parent]))
+      break;
+    std::swap(Heap[Index], Heap[Parent]);
+    Heap[Index]->HeapIndex = static_cast<int32_t>(Index);
+    Heap[Parent]->HeapIndex = static_cast<int32_t>(Parent);
+    Index = Parent;
+  }
+}
+
+void Runtime::heapSiftDown(size_t Index) {
+  for (;;) {
+    size_t Left = Index * 2 + 1;
+    if (Left >= Heap.size())
+      return;
+    size_t Small = Left;
+    size_t Right = Left + 1;
+    if (Right < Heap.size() && heapLess(Heap[Right], Heap[Left]))
+      Small = Right;
+    if (!heapLess(Heap[Small], Heap[Index]))
+      return;
+    std::swap(Heap[Index], Heap[Small]);
+    Heap[Index]->HeapIndex = static_cast<int32_t>(Index);
+    Heap[Small]->HeapIndex = static_cast<int32_t>(Small);
+    Index = Small;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Simulated tracing GC (SaSML-style configuration only)
+//===----------------------------------------------------------------------===//
+
+void Runtime::maybeSimulateGc() {
+  if (Cfg.HeapLimitBytes == 0)
+    return;
+  size_t Live = Mem.liveBytes();
+  if (Live >= Cfg.HeapLimitBytes) {
+    Oom = true;
+    return;
+  }
+  // A collection runs whenever allocation has consumed the free space —
+  // which shrinks as the live trace approaches the limit, so collections
+  // grow more frequent super-linearly under memory pressure.
+  size_t Headroom = std::max<size_t>(Cfg.HeapLimitBytes - Live, 1 << 14);
+  if (Mem.totalAllocatedBytes() - GcAllocMark < Headroom)
+    return;
+  // "Collect": a tracing collector's cost is proportional to the live
+  // data; walk every live timestamp and touch the trace object it marks
+  // (the pointer chase is what makes real collections expensive).
+  ++S.GcScans;
+  uint64_t Sink = 0;
+  for (const OmNode *N = Om.base(); N; N = N->Next) {
+    Sink += N->Label;
+    if (N->Item && !isEndItem(N->Item))
+      Sink += static_cast<const TraceNode *>(N->Item)->Flags;
+  }
+  asm volatile("" : : "r"(Sink) : "memory");
+  GcAllocMark = Mem.totalAllocatedBytes();
+}

@@ -1,0 +1,342 @@
+//===- runtime/Runtime.h - Self-adjusting-computation RTS ------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The self-adjusting-computation run-time system of the paper (Sec. 6.1):
+/// modifiables, traced reads/writes, memo-keyed allocation, trampolined
+/// tail calls, and change propagation. A Runtime hosts one trace; the
+/// mutator drives it through the meta interface (modref / modify / deref /
+/// runCore / propagate) and core code — whether hand-written in the
+/// compiled closure style or executed by the CL virtual machine — uses the
+/// core interface (read / write / allocate / call).
+///
+/// Core functions have the translated shape of Sec. 6.2: they return a
+/// `Closure *` that the active trampoline runs next. `read` hands back the
+/// dependent closure (a tail jump, per normalization), so user code must
+/// `return RT.readTail<&f>(m, ...)`. Direct tail calls may simply call the
+/// next function and return its result (the paper's read-trampolining
+/// refinement, Sec. 6.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_RUNTIME_RUNTIME_H
+#define CEAL_RUNTIME_RUNTIME_H
+
+#include "om/OrderList.h"
+#include "runtime/Closure.h"
+#include "runtime/MemoTable.h"
+#include "runtime/Trace.h"
+#include "runtime/Word.h"
+#include "support/Arena.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ceal {
+
+/// The run-time system. See the file comment for the programming model.
+class Runtime {
+public:
+  /// Behaviour knobs. The defaults model the paper's refined translation;
+  /// the non-default settings implement the SaSML-style comparator (see
+  /// DESIGN.md Sec. 3 and src/baseline/).
+  struct Config {
+    /// Extra transient closure-sized allocations per traced read,
+    /// simulating the unrefined basic translation (a heap closure per
+    /// tail jump) used by SaSML-style continuation runtimes.
+    unsigned ExtraAllocsPerRead = 0;
+    /// Busy-work iterations per traced node, modelling the per-operation
+    /// interpretation/boxing overhead of the comparator; calibrated so
+    /// the from-scratch and propagation ratios land in the bands the
+    /// paper reports for SaSML (Table 2).
+    unsigned SimSpinPerNode = 0;
+    /// Extra bytes retained with every trace node, simulating boxed
+    /// values and fatter closure records.
+    unsigned BoxBytesPerNode = 0;
+    /// Ablation: disable the equality cut (re-execute invalidated reads
+    /// even when the value they would see is unchanged, and invalidate
+    /// readers on writes regardless of value). Correctness is unaffected;
+    /// update times degrade (bench/ablation).
+    bool DisableEqualityCut = false;
+    /// If nonzero, simulate a tracing garbage collector over a heap of
+    /// this many bytes: when allocation exhausts headroom, a scan
+    /// proportional to the live trace runs; if the live trace itself
+    /// exceeds the limit, the runtime reports out-of-memory.
+    size_t HeapLimitBytes = 0;
+  };
+
+  /// Counters for tests and the benchmark harnesses.
+  struct Stats {
+    uint64_t ReadsTraced = 0;
+    uint64_t WritesTraced = 0;
+    uint64_t AllocsTraced = 0;
+    uint64_t ReadsReexecuted = 0;
+    uint64_t ReadsSkippedClean = 0;
+    uint64_t MemoReadHits = 0;
+    uint64_t MemoAllocHits = 0;
+    uint64_t NodesRevoked = 0;
+    uint64_t Propagations = 0;
+    uint64_t GcScans = 0;
+  };
+
+  Runtime() : Runtime(Config()) {}
+  explicit Runtime(const Config &C);
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+  ~Runtime();
+
+  //===--------------------------------------------------------------===//
+  // Meta (mutator) interface
+  //===--------------------------------------------------------------===//
+
+  /// Allocates a meta-level modifiable (paper: `modref` in the meta
+  /// language). Meta modifiables are not traced or collected; free them
+  /// with metaFree if needed.
+  Modref *modref();
+  template <WordSized T> Modref *modref(T V) {
+    Modref *M = this->modref();
+    M->Initial = toWord(V);
+    return M;
+  }
+  void metaFree(Modref *M);
+
+  /// Mutator write (paper: `modify`): updates the value the core saw at
+  /// the start of time and invalidates exactly the affected readers.
+  void modify(Modref *M, Word V);
+  template <WordSized T> void modifyT(Modref *M, T V) { modify(M, toWord(V)); }
+
+  /// Mutator read (paper: `deref`): the value at the current end of time.
+  Word deref(const Modref *M) const;
+  template <WordSized T> T derefT(const Modref *M) const {
+    return fromWord<T>(deref(M));
+  }
+
+  /// Runs a core function from scratch (paper: `run_core`).
+  template <auto Fn, typename... Actual> void runCore(Actual... As) {
+    run(make<Fn>(As...));
+  }
+  void run(Closure *C);
+
+  /// Propagates all pending modifications (paper: `propagate`).
+  void propagate();
+
+  //===--------------------------------------------------------------===//
+  // Core interface
+  //===--------------------------------------------------------------===//
+
+  /// Creates a closure for core function \p Fn with arguments \p As.
+  /// The C++ template instantiation is the paper's monomorphized
+  /// closure_make (Sec. 6.3).
+  template <auto Fn, typename... Actual> Closure *make(Actual... As) {
+    using Maker =
+        detail::ClosureMaker<Fn,
+                             typename CoreFnTraits<decltype(Fn)>::ArgsTuple>;
+    constexpr size_t Arity = CoreFnTraits<decltype(Fn)>::Arity;
+    static_assert(sizeof...(Actual) == Arity, "closure arity mismatch");
+    auto *C = static_cast<Closure *>(Mem.allocate(Closure::byteSize(Arity)));
+    Maker::fill(C, As...);
+    return C;
+  }
+
+  /// Creates a closure with a dynamic argument list (used by the CL
+  /// virtual machine, whose arities are only known at run time). The
+  /// typed make<Fn> is preferable wherever signatures are static.
+  Closure *makeRaw(ClosureFn Fn, const Word *Args, size_t NumArgs) {
+    auto *C = static_cast<Closure *>(Mem.allocate(Closure::byteSize(NumArgs)));
+    C->Fn = Fn;
+    C->NumArgs = static_cast<uint16_t>(NumArgs);
+    C->OwnedByTrace = 0;
+    for (size_t I = 0; I < NumArgs; ++I)
+      C->args()[I] = Args[I];
+    return C;
+  }
+
+  /// Traced read (paper: `modref_read`). Substitutes the modifiable's
+  /// value as the closure's first argument and returns the closure for
+  /// the active trampoline; returns null after a memo splice. The caller
+  /// must return the result immediately (the read body is everything
+  /// after it, per normalization).
+  Closure *read(Modref *M, Closure *C);
+
+  /// Sugar: read \p M and tail-jump to \p Fn whose first core parameter
+  /// receives the value. `Closure *Fn(Runtime &, T0 Value, Rest...)`.
+  template <auto Fn, typename... Rest>
+  Closure *readTail(Modref *M, Rest... Rs) {
+    return read(M, makeWithPlaceholder<Fn>(Rs...));
+  }
+
+  /// Traced write (paper: `modref_write`).
+  void write(Modref *M, Word V);
+  template <WordSized T> void writeT(Modref *M, T V) { write(M, toWord(V)); }
+
+  /// Traced, memo-keyed allocation (paper: `allocate`). The block is
+  /// initialized by running \p Init once (its first argument becomes the
+  /// block address); a re-execution allocating with an equal key (init
+  /// function, size, trailing arguments) steals the previous block.
+  void *allocate(size_t Size, Closure *Init, uint8_t NodeFlags = 0);
+
+  /// Sugar: allocate with `Closure *Fn(Runtime &, void *Block, Rest...)`.
+  template <auto Fn, typename... Rest> void *alloc(size_t Size, Rest... Rs) {
+    return allocate(Size, makeWithPlaceholder<Fn>(Rs...));
+  }
+
+  /// Core-level modifiable, memo-keyed by the given key words so that
+  /// re-executions recover the same modifiable (and with it, the
+  /// downstream trace). With no keys, modifiables are matched in
+  /// allocation order.
+  template <typename... Keys> Modref *coreModref(Keys... Ks) {
+    void *Block =
+        allocate(sizeof(Modref), makeWithPlaceholder<&modrefInit<Keys...>>(Ks...),
+                 AllocNode::FlagModref);
+    return static_cast<Modref *>(Block);
+  }
+
+  /// Core-level array of \p Count modifiables under one memo key; used by
+  /// applications that keep per-round state tables (e.g. tree
+  /// contraction). Indexable as a plain Modref array.
+  template <typename... Keys>
+  Modref *coreModrefArray(size_t Count, Keys... Ks) {
+    assert(Count > 0 && "empty modifiable array");
+    void *Block = allocate(
+        Count * sizeof(Modref),
+        makeWithPlaceholder<&modrefArrayInit<Keys...>>(Word(Count), Ks...),
+        AllocNode::FlagModref);
+    return static_cast<Modref *>(Block);
+  }
+
+  /// Core-level modifiable with a run-time-sized key (the CL VM's
+  /// `modref(keys...)`); equivalent to coreModref but for dynamic keys.
+  Modref *coreModrefDynamic(const Word *Keys, size_t NumKeys);
+
+  /// Non-tail function call (paper: `closure_run`): runs \p C and the
+  /// chain it unleashes on a nested trampoline, then returns.
+  void call(Closure *C) { trampoline(C); }
+  template <auto Fn, typename... Actual> void callFn(Actual... As) {
+    call(make<Fn>(As...));
+  }
+
+  //===--------------------------------------------------------------===//
+  // Introspection
+  //===--------------------------------------------------------------===//
+
+  const Stats &stats() const { return S; }
+  void resetStats() { S = Stats(); }
+  Arena &arena() { return Mem; }
+  size_t liveBytes() const { return Mem.liveBytes(); }
+  size_t maxLiveBytes() const { return Mem.maxLiveBytes(); }
+  /// True once the simulated bounded heap has been exhausted.
+  bool outOfMemory() const { return Oom; }
+  /// Number of trace timestamps currently live (incl. the base).
+  size_t traceSize() const { return Om.size(); }
+
+private:
+  template <typename... Keys>
+  static Closure *modrefInit(Runtime &, void *Block, Keys...) {
+    new (Block) Modref();
+    return nullptr;
+  }
+
+  template <typename... Keys>
+  static Closure *modrefArrayInit(Runtime &, void *Block, Word Count,
+                                  Keys...) {
+    auto *Arr = static_cast<Modref *>(Block);
+    for (Word I = 0; I < Count; ++I)
+      new (Arr + I) Modref();
+    return nullptr;
+  }
+
+  /// Builds a closure whose slot 0 is a placeholder to be substituted
+  /// (read value or block address).
+  template <auto Fn, typename... Rest>
+  Closure *makeWithPlaceholder(Rest... Rs) {
+    using Traits = CoreFnTraits<decltype(Fn)>;
+    static_assert(Traits::Arity == sizeof...(Rest) + 1,
+                  "expected one placeholder parameter plus Rest");
+    return makePlaceholderImpl<Fn, typename Traits::ArgsTuple>::fill(*this,
+                                                                     Rs...);
+  }
+
+  template <auto Fn, typename Tuple> struct makePlaceholderImpl;
+  template <auto Fn, typename T0, typename... As>
+  struct makePlaceholderImpl<Fn, std::tuple<T0, As...>> {
+    static Closure *fill(Runtime &RT, As... Vs) {
+      auto *C = static_cast<Closure *>(
+          RT.Mem.allocate(Closure::byteSize(sizeof...(As) + 1)));
+      detail::ClosureMaker<Fn, std::tuple<T0, As...>>::fill(C, T0{}, Vs...);
+      return C;
+    }
+  };
+
+  enum class Phase : uint8_t { Meta, Running, Propagating };
+
+  // Trace construction.
+  template <typename NodeT> NodeT *newNode();
+  template <typename NodeT> void destroyNode(NodeT *N);
+  void freeClosure(Closure *C);
+  OmNode *stampAfterCursor(void *Item);
+  void insertUse(Modref *M, Use *U);
+  void unlinkUse(Use *U);
+  Word valueGoverning(const Use *U) const;
+
+  // Execution.
+  bool trampoline(Closure *C);
+
+  // Change propagation.
+  void reexecute(ReadNode *R);
+  void invalidate(ReadNode *R);
+  void revokeInterval(OmNode *From, OmNode *To);
+  void revokeRead(ReadNode *R);
+  void revokeWrite(WriteNode *W);
+  void revokeAlloc(AllocNode *A);
+  void flushDeferredFrees();
+
+  // Memo indexes.
+  uint64_t readMemoHash(const Modref *M, const Closure *C) const;
+  uint64_t allocMemoHash(const Closure *Init, size_t Size) const;
+  ReadNode *findReadMemo(const Modref *M, const Closure *C, uint64_t Hash);
+  AllocNode *findAllocMemo(const Closure *Init, size_t Size, uint64_t Hash);
+  bool inReuseWindow(const OmNode *Start) const;
+
+  // Propagation queue (intrusive binary heap ordered by start time).
+  void heapPush(ReadNode *R);
+  ReadNode *heapPopMin();
+  void heapRemove(ReadNode *R);
+  void heapSiftUp(size_t Index);
+  void heapSiftDown(size_t Index);
+
+  // Simulated GC for the SaSML-style configuration.
+  void maybeSimulateGc();
+
+  Config Cfg;
+  Arena Mem;
+  OrderList Om;
+  OmNode *Cursor;
+  /// The maximum stamped position: where a subsequent run_core appends.
+  OmNode *TraceEnd;
+  OmNode *IntervalEnd = nullptr;
+  bool SplicedFlag = false;
+  Phase CurPhase = Phase::Meta;
+
+  std::vector<ReadNode *> PendingReads;
+  std::vector<ReadNode *> Heap;
+  MemoTable<ReadNode> ReadMemo;
+  MemoTable<AllocNode> AllocMemo;
+
+  struct DeferredFree {
+    void *Block;
+    uint32_t Size;
+    bool IsModref;
+  };
+  std::vector<DeferredFree> DeferredFrees;
+
+  Stats S;
+  size_t GcAllocMark = 0;
+  bool Oom = false;
+};
+
+} // namespace ceal
+
+#endif // CEAL_RUNTIME_RUNTIME_H

@@ -1,0 +1,137 @@
+//===- runtime/Trace.h - Trace nodes and modifiables ------------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic dependence graph. Every traced action of a core execution
+/// owns a node: reads (with their re-executable closure and time
+/// interval), writes (imperative multi-write modifiables in the style of
+/// Acar et al., POPL 2008), and memo-keyed allocations (Hammer and Acar,
+/// ISMM 2008). Nodes are threaded through the order-maintenance list so a
+/// time interval can be enumerated and revoked, and reads/writes of one
+/// modifiable form a per-modifiable list in timestamp order so a write can
+/// invalidate exactly the readers it governs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_RUNTIME_TRACE_H
+#define CEAL_RUNTIME_TRACE_H
+
+#include "om/OrderList.h"
+#include "runtime/Closure.h"
+#include "runtime/Word.h"
+
+#include <cstdint>
+
+namespace ceal {
+
+struct Modref;
+
+enum class TraceKind : uint8_t {
+  Read,
+  Write,
+  Alloc,
+};
+
+/// Base of all trace nodes. Start is the node's timestamp; its OmNode's
+/// Item pointer refers back to this node (reads additionally tag their end
+/// timestamp, see ReadNode::End).
+struct TraceNode {
+  TraceKind Kind;
+  uint8_t Flags = 0;
+  OmNode *Start = nullptr;
+
+  explicit TraceNode(TraceKind K) : Kind(K) {}
+};
+
+/// Base of per-modifiable uses (reads and writes), linked in time order.
+struct Use : TraceNode {
+  Modref *Ref = nullptr;
+  Use *PrevUse = nullptr;
+  Use *NextUse = nullptr;
+
+  explicit Use(TraceKind K) : TraceNode(K) {}
+};
+
+/// A traced read: the modifiable, the closure that consumed the value, the
+/// value it saw, and the time interval its body occupied. The interval's
+/// end is the point where the enclosing tail-call chain finished; during
+/// change propagation the closure re-executes inside (Start, End).
+struct ReadNode : Use {
+  ReadNode() : Use(TraceKind::Read) {}
+
+  static constexpr uint8_t FlagDirty = 1;
+
+  Closure *Clo = nullptr;
+  Word SeenValue = 0;
+  OmNode *End = nullptr;
+
+  /// Position in the propagation queue, or -1.
+  int32_t HeapIndex = -1;
+
+  /// Memo-table chaining (keyed by modifiable, function, argument words).
+  ReadNode *MemoNext = nullptr;
+  ReadNode *MemoPrev = nullptr;
+  uint64_t MemoHash = 0;
+
+  bool isDirty() const { return Flags & FlagDirty; }
+  void setDirty(bool D) {
+    Flags = D ? (Flags | FlagDirty) : (Flags & ~FlagDirty);
+  }
+};
+
+/// A traced write of a word into a modifiable.
+struct WriteNode : Use {
+  WriteNode() : Use(TraceKind::Write) {}
+
+  Word Value = 0;
+};
+
+/// A traced, memo-keyed allocation. Init is retained because its function
+/// pointer and argument words are the memo key; Block is the user memory.
+/// A re-execution that allocates with the same key steals Block, giving
+/// the pointer identity that lets downstream writes equality-cut and
+/// downstream reads memo-match (the paper's Sec. 1 "memoization" role).
+struct AllocNode : TraceNode {
+  AllocNode() : TraceNode(TraceKind::Alloc) {}
+
+  static constexpr uint8_t FlagModref = 1;
+
+  Closure *Init = nullptr;
+  void *Block = nullptr;
+  uint32_t Size = 0;
+
+  AllocNode *MemoNext = nullptr;
+  AllocNode *MemoPrev = nullptr;
+  uint64_t MemoHash = 0;
+
+  bool isModrefBlock() const { return Flags & FlagModref; }
+};
+
+/// A modifiable reference: an initial (meta-written) value plus the
+/// time-ordered list of traced uses. The value visible to a read at time t
+/// is the value of the latest traced write before t, else Initial.
+struct Modref {
+  Word Initial = 0;
+  Use *Head = nullptr;
+  Use *Tail = nullptr;
+};
+
+/// Tagging scheme for OmNode::Item. A read's end timestamp points back at
+/// the read with the low bit set so interval walks can tell starts from
+/// ends.
+inline void *tagEndItem(ReadNode *R) {
+  return reinterpret_cast<void *>(reinterpret_cast<uintptr_t>(R) | 1);
+}
+inline bool isEndItem(void *Item) {
+  return reinterpret_cast<uintptr_t>(Item) & 1;
+}
+inline ReadNode *untagEndItem(void *Item) {
+  return reinterpret_cast<ReadNode *>(reinterpret_cast<uintptr_t>(Item) & ~uintptr_t(1));
+}
+
+} // namespace ceal
+
+#endif // CEAL_RUNTIME_TRACE_H

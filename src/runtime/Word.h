@@ -1,0 +1,60 @@
+//===- runtime/Word.h - Word-sized value encoding --------------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CL values are word-sized (Sec. 4.1: integers, modifiable locations,
+/// pointers). The run-time system stores everything as 64-bit words; this
+/// header provides the lossless encode/decode used by the typed closure
+/// veneer, which is how C++ templates give us the paper's monomorphization
+/// (Sec. 6.3) for free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_RUNTIME_WORD_H
+#define CEAL_RUNTIME_WORD_H
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace ceal {
+
+/// The universal value type of the run-time system.
+using Word = uint64_t;
+
+static_assert(sizeof(void *) <= sizeof(Word),
+              "CEAL runtime requires pointers to fit in a 64-bit word");
+
+/// True for types that can live in a modifiable or a closure slot.
+template <typename T>
+concept WordSized = std::is_trivially_copyable_v<T> && sizeof(T) <= 8;
+
+/// Encodes \p Value into a word, zero-extending smaller types.
+template <WordSized T> Word toWord(T Value) {
+  if constexpr (sizeof(T) == sizeof(Word)) {
+    return std::bit_cast<Word>(Value);
+  } else {
+    Word W = 0;
+    std::memcpy(&W, &Value, sizeof(T));
+    return W;
+  }
+}
+
+/// Decodes a word produced by toWord<T>.
+template <WordSized T> T fromWord(Word W) {
+  if constexpr (sizeof(T) == sizeof(Word)) {
+    return std::bit_cast<T>(W);
+  } else {
+    alignas(T) unsigned char Buf[sizeof(T)];
+    std::memcpy(Buf, &W, sizeof(T));
+    return std::bit_cast<T>(Buf);
+  }
+}
+
+} // namespace ceal
+
+#endif // CEAL_RUNTIME_WORD_H

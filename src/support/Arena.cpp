@@ -1,0 +1,75 @@
+//===- support/Arena.cpp - Bump arena with size-class freelists ----------===//
+
+#include "support/Arena.h"
+
+#include <cstdlib>
+#include <new>
+
+using namespace ceal;
+
+Arena::~Arena() {
+  Chunk *C = Chunks;
+  while (C) {
+    Chunk *Next = C->Next;
+    ::operator delete(C);
+    C = Next;
+  }
+}
+
+void *Arena::allocate(size_t Size) {
+  assert(Size > 0 && "zero-size allocation");
+  ++AllocCount;
+  if (Size > MaxSmallSize) {
+    LiveBytes += Size;
+    TotalAllocated += Size;
+    if (LiveBytes > MaxLiveBytes)
+      MaxLiveBytes = LiveBytes;
+    return ::operator new(Size);
+  }
+  size_t Index = classIndex(Size);
+  size_t Rounded = classSize(Index);
+  LiveBytes += Rounded;
+  TotalAllocated += Rounded;
+  if (LiveBytes > MaxLiveBytes)
+    MaxLiveBytes = LiveBytes;
+  if (FreeCell *Cell = FreeLists[Index]) {
+    FreeLists[Index] = Cell->Next;
+    return Cell;
+  }
+  if (BumpPtr + Rounded <= BumpEnd) {
+    void *Result = BumpPtr;
+    BumpPtr += Rounded;
+    return Result;
+  }
+  return allocateSlow(Rounded);
+}
+
+void *Arena::allocateSlow(size_t RoundedSize) {
+  auto *C = static_cast<Chunk *>(::operator new(ChunkSize));
+  C->Next = Chunks;
+  Chunks = C;
+  char *Base = reinterpret_cast<char *>(C) + Alignment;
+  BumpPtr = Base;
+  BumpEnd = reinterpret_cast<char *>(C) + ChunkSize;
+  assert(BumpPtr + RoundedSize <= BumpEnd && "chunk too small for class");
+  void *Result = BumpPtr;
+  BumpPtr += RoundedSize;
+  return Result;
+}
+
+void Arena::deallocate(void *Ptr, size_t Size) {
+  assert(Ptr && "deallocating null");
+  if (Size > MaxSmallSize) {
+    assert(LiveBytes >= Size && "freelist accounting underflow");
+    LiveBytes -= Size;
+    ::operator delete(Ptr);
+    return;
+  }
+  size_t Index = classIndex(Size);
+  size_t Rounded = classSize(Index);
+  assert(LiveBytes >= Rounded && "freelist accounting underflow");
+  LiveBytes -= Rounded;
+  auto *Cell = static_cast<FreeCell *>(Ptr);
+  Cell->Next = FreeLists[Index];
+  FreeLists[Index] = Cell;
+}

@@ -1,0 +1,111 @@
+//===- support/Arena.h - Bump arena with size-class freelists --*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump allocator with per-size-class freelists. The self-adjusting
+/// run-time system allocates all trace structures (timestamps, trace nodes,
+/// closures, user blocks) from an Arena so that (a) allocation is a pointer
+/// bump, (b) freed trace structures are recycled without touching malloc,
+/// and (c) the high-water mark of live bytes gives the "max live" metric
+/// the paper reports in Tables 1 and 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_SUPPORT_ARENA_H
+#define CEAL_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace ceal {
+
+/// A bump allocator with size-class freelists and live-byte accounting.
+///
+/// Blocks up to MaxSmallSize bytes are rounded to 16-byte classes and
+/// recycled through freelists; larger blocks fall back to operator new and
+/// are freed eagerly. All small storage is released when the arena is
+/// destroyed, so clients may drop whole traces in O(#chunks).
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+  ~Arena();
+
+  /// Allocates \p Size bytes aligned to 16.
+  void *allocate(size_t Size);
+
+  /// Returns a block previously obtained from allocate() with \p Size.
+  void deallocate(void *Ptr, size_t Size);
+
+  /// Typed helper: allocate and default-construct a T.
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    void *Mem = allocate(sizeof(T));
+    return new (Mem) T(static_cast<Args &&>(As)...);
+  }
+
+  /// Typed helper: destroy and free a T obtained from create().
+  template <typename T> void destroy(T *Ptr) {
+    Ptr->~T();
+    deallocate(Ptr, sizeof(T));
+  }
+
+  /// Bytes currently handed out to clients.
+  size_t liveBytes() const { return LiveBytes; }
+
+  /// High-water mark of liveBytes() since construction (or resetStats()).
+  size_t maxLiveBytes() const { return MaxLiveBytes; }
+
+  /// Total bytes ever handed out (monotone; used by the simulated GC).
+  size_t totalAllocatedBytes() const { return TotalAllocated; }
+
+  /// Number of allocate() calls served.
+  size_t allocationCount() const { return AllocCount; }
+
+  void resetStats() {
+    MaxLiveBytes = LiveBytes;
+    TotalAllocated = 0;
+    AllocCount = 0;
+  }
+
+private:
+  static constexpr size_t Alignment = 16;
+  static constexpr size_t MaxSmallSize = 512;
+  static constexpr size_t NumClasses = MaxSmallSize / Alignment;
+  static constexpr size_t ChunkSize = 1 << 20;
+
+  struct FreeCell {
+    FreeCell *Next;
+  };
+  struct Chunk {
+    Chunk *Next;
+    // Payload follows.
+  };
+
+  static size_t classIndex(size_t Size) {
+    assert(Size > 0 && Size <= MaxSmallSize && "not a small size");
+    return (Size + Alignment - 1) / Alignment - 1;
+  }
+  static size_t classSize(size_t Index) { return (Index + 1) * Alignment; }
+
+  void *allocateSlow(size_t RoundedSize);
+
+  Chunk *Chunks = nullptr;
+  char *BumpPtr = nullptr;
+  char *BumpEnd = nullptr;
+  FreeCell *FreeLists[NumClasses] = {};
+
+  size_t LiveBytes = 0;
+  size_t MaxLiveBytes = 0;
+  size_t TotalAllocated = 0;
+  size_t AllocCount = 0;
+};
+
+} // namespace ceal
+
+#endif // CEAL_SUPPORT_ARENA_H

@@ -1,0 +1,82 @@
+//===- support/Random.h - Deterministic PRNGs ------------------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random generators used by workload builders and by
+/// the randomized tree-contraction algorithm. Benchmarks must be
+/// reproducible across runs, so no std::random_device anywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_SUPPORT_RANDOM_H
+#define CEAL_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace ceal {
+
+/// SplitMix64: used both as a stand-alone generator and to seed Xoshiro.
+inline uint64_t splitMix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// A stateless hash of (Key, Round); tree contraction uses this so that a
+/// node's coin flips are a pure function of its identity, which is what
+/// makes re-executions reproduce the same contraction decisions.
+inline uint64_t hashPair(uint64_t Key, uint64_t Round) {
+  uint64_t State = Key * 0x9e3779b97f4a7c15ULL + Round;
+  return splitMix64(State);
+}
+
+/// xoshiro256** by Blackman and Vigna; fast, high-quality, 64-bit output.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x5eed5eed5eedULL) {
+    uint64_t S = Seed;
+    for (uint64_t &Word : State)
+      Word = splitMix64(S);
+  }
+
+  uint64_t next() {
+    auto Rotl = [](uint64_t X, int K) {
+      return (X << K) | (X >> (64 - K));
+    };
+    uint64_t Result = Rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = Rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound); Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool flip() { return next() & 1; }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace ceal
+
+#endif // CEAL_SUPPORT_RANDOM_H

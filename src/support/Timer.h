@@ -1,0 +1,40 @@
+//===- support/Timer.h - Wall-clock timing ---------------------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin monotonic wall-clock timer used by the table/figure harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_SUPPORT_TIMER_H
+#define CEAL_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace ceal {
+
+/// Measures elapsed wall time in seconds from construction or restart().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void restart() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction/restart.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace ceal
+
+#endif // CEAL_SUPPORT_TIMER_H

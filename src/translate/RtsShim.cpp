@@ -1,0 +1,186 @@
+//===- translate/RtsShim.cpp - C ABI for compiled CEAL code ----------------===//
+//
+// Closure layout used for compiled C functions (cf. interp/Vm.cpp, which
+// uses the same scheme for interpreted functions):
+//
+//   args[0]  substitution slot — Runtime::read / Runtime::allocate write
+//            the read value / block address here;
+//   args[1]  the C function pointer;
+//   args[2]  its arity;
+//   args[3]  the index of the parameter that receives args[0]
+//            (~0 if none);
+//   args[4+] the parameter words (the substitution position holds a 0
+//            placeholder so memo keys stay stable).
+//
+//===----------------------------------------------------------------------===//
+
+#include "translate/RtsShim.h"
+
+#include <cassert>
+#include <cstdint>
+
+using namespace ceal;
+
+// The C-side declarations (mirrors the emitted prelude).
+extern "C" {
+typedef struct ceal_modref_c {
+  void *Opaque[4];
+} modref_t_c;
+
+Closure *ceal_closure_make_words(void *Fn, int NumArgs,
+                                 const intptr_t *Args);
+Closure *ceal_closure_with_subst(Closure *C, int Pos);
+void closure_run(Closure *C);
+void modref_init(modref_t_c *M);
+void modref_write(modref_t_c *M, void *V);
+Closure *modref_read(modref_t_c *M, Closure *C);
+void *allocate(size_t N, Closure *C);
+} // extern "C"
+
+namespace {
+
+Runtime *GlobalRT = nullptr;
+
+constexpr Word NoSubst = ~Word(0);
+
+Runtime &rt() {
+  assert(GlobalRT && "shim::setRuntime not called");
+  return *GlobalRT;
+}
+
+/// Calls a compiled C core function with \p N word arguments.
+Closure *callCFunction(void *Fn, const Word *W, size_t N) {
+  using W1 = Word;
+  switch (N) {
+  case 0:
+    return ((Closure * (*)()) Fn)();
+  case 1:
+    return ((Closure * (*)(W1)) Fn)(W[0]);
+  case 2:
+    return ((Closure * (*)(W1, W1)) Fn)(W[0], W[1]);
+  case 3:
+    return ((Closure * (*)(W1, W1, W1)) Fn)(W[0], W[1], W[2]);
+  case 4:
+    return ((Closure * (*)(W1, W1, W1, W1)) Fn)(W[0], W[1], W[2], W[3]);
+  case 5:
+    return ((Closure * (*)(W1, W1, W1, W1, W1)) Fn)(W[0], W[1], W[2], W[3],
+                                                    W[4]);
+  case 6:
+    return ((Closure * (*)(W1, W1, W1, W1, W1, W1)) Fn)(W[0], W[1], W[2],
+                                                        W[3], W[4], W[5]);
+  case 7:
+    return ((Closure * (*)(W1, W1, W1, W1, W1, W1, W1)) Fn)(
+        W[0], W[1], W[2], W[3], W[4], W[5], W[6]);
+  case 8:
+    return ((Closure * (*)(W1, W1, W1, W1, W1, W1, W1, W1)) Fn)(
+        W[0], W[1], W[2], W[3], W[4], W[5], W[6], W[7]);
+  case 9:
+    return ((Closure * (*)(W1, W1, W1, W1, W1, W1, W1, W1, W1)) Fn)(
+        W[0], W[1], W[2], W[3], W[4], W[5], W[6], W[7], W[8]);
+  case 10:
+    return ((Closure * (*)(W1, W1, W1, W1, W1, W1, W1, W1, W1, W1)) Fn)(
+        W[0], W[1], W[2], W[3], W[4], W[5], W[6], W[7], W[8], W[9]);
+  case 11:
+    return (
+        (Closure * (*)(W1, W1, W1, W1, W1, W1, W1, W1, W1, W1, W1)) Fn)(
+        W[0], W[1], W[2], W[3], W[4], W[5], W[6], W[7], W[8], W[9], W[10]);
+  case 12:
+    return ((Closure *
+             (*)(W1, W1, W1, W1, W1, W1, W1, W1, W1, W1, W1, W1)) Fn)(
+        W[0], W[1], W[2], W[3], W[4], W[5], W[6], W[7], W[8], W[9], W[10],
+        W[11]);
+  default:
+    assert(false && "compiled function arity exceeds shim limit");
+    return nullptr;
+  }
+}
+
+/// The trampoline entry for shim closures.
+Closure *shimInvoker(Runtime &, Closure *C) {
+  const Word *A = C->args();
+  void *Fn = fromWord<void *>(A[1]);
+  size_t N = static_cast<size_t>(A[2]);
+  Word SubstPos = A[3];
+  assert(C->NumArgs == N + 4 && "shim closure frame corrupt");
+  // Initializers of modifiables are handled in the shim itself: the
+  // block address arrives in the substitution slot.
+  if (Fn == reinterpret_cast<void *>(&modref_init)) {
+    new (fromWord<void *>(A[0])) Modref();
+    return nullptr;
+  }
+  Word W[shim::MaxCArity];
+  assert(N <= shim::MaxCArity && "compiled function arity exceeds limit");
+  for (size_t I = 0; I < N; ++I)
+    W[I] = A[4 + I];
+  if (SubstPos != NoSubst)
+    W[SubstPos] = A[0];
+  return callCFunction(Fn, W, N);
+}
+
+} // namespace
+
+void shim::setRuntime(Runtime *RT) { GlobalRT = RT; }
+Runtime *shim::currentRuntime() { return GlobalRT; }
+
+Closure *shim::makeEntryClosure(Runtime &RT, void *CFn,
+                                const std::vector<Word> &Args) {
+  std::vector<Word> Frame(4 + Args.size());
+  Frame[0] = 0;
+  Frame[1] = toWord(CFn);
+  Frame[2] = Args.size();
+  Frame[3] = NoSubst;
+  for (size_t I = 0; I < Args.size(); ++I)
+    Frame[4 + I] = Args[I];
+  return RT.makeRaw(&shimInvoker, Frame.data(), Frame.size());
+}
+
+//===----------------------------------------------------------------------===//
+// The C ABI (paper Fig. 11)
+//===----------------------------------------------------------------------===//
+
+Closure *ceal_closure_make_words(void *Fn, int NumArgs,
+                                 const intptr_t *Args) {
+  Runtime &RT = rt();
+  std::vector<Word> Frame(4 + NumArgs);
+  Frame[0] = 0;
+  Frame[1] = toWord(Fn);
+  Frame[2] = static_cast<Word>(NumArgs);
+  Frame[3] = NoSubst;
+  for (int I = 0; I < NumArgs; ++I)
+    Frame[4 + I] = static_cast<Word>(Args[I]);
+  return RT.makeRaw(&shimInvoker, Frame.data(), Frame.size());
+}
+
+Closure *ceal_closure_with_subst(Closure *C, int Pos) {
+  assert(Pos >= 0 && static_cast<Word>(Pos) < C->args()[2] &&
+         "substitution position out of range");
+  C->args()[3] = static_cast<Word>(Pos);
+  return C;
+}
+
+void closure_run(Closure *C) { rt().call(C); }
+
+void modref_init(modref_t_c *M) {
+  // Normally intercepted by shimInvoker (the address is the marker);
+  // callable directly for completeness.
+  new (M) Modref();
+}
+
+void modref_write(modref_t_c *M, void *V) {
+  rt().write(reinterpret_cast<Modref *>(M), toWord(V));
+}
+
+Closure *modref_read(modref_t_c *M, Closure *C) {
+  return rt().read(reinterpret_cast<Modref *>(M), C);
+}
+
+void *allocate(size_t N, Closure *C) {
+  // Blocks initialized by modref_init are modifiables and participate in
+  // the runtime's trace collection accordingly.
+  uint8_t Flags = 0;
+  if (C->NumArgs >= 2 &&
+      fromWord<void *>(C->args()[1]) ==
+          reinterpret_cast<void *>(&modref_init))
+    Flags = AllocNode::FlagModref;
+  return rt().allocate(N, C, Flags);
+}

@@ -1,0 +1,79 @@
+//===- tests/ArenaTest.cpp - Arena allocator tests ------------------------===//
+
+#include "support/Arena.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+using namespace ceal;
+
+TEST(Arena, AllocateAndReuse) {
+  Arena A;
+  void *P1 = A.allocate(32);
+  ASSERT_NE(P1, nullptr);
+  A.deallocate(P1, 32);
+  void *P2 = A.allocate(32);
+  EXPECT_EQ(P1, P2) << "freelist should recycle same-class blocks";
+}
+
+TEST(Arena, LiveByteAccounting) {
+  Arena A;
+  EXPECT_EQ(A.liveBytes(), 0u);
+  void *P = A.allocate(100); // Rounds to 112.
+  EXPECT_EQ(A.liveBytes(), 112u);
+  void *Q = A.allocate(16);
+  EXPECT_EQ(A.liveBytes(), 128u);
+  A.deallocate(P, 100);
+  EXPECT_EQ(A.liveBytes(), 16u);
+  EXPECT_EQ(A.maxLiveBytes(), 128u);
+  A.deallocate(Q, 16);
+  EXPECT_EQ(A.liveBytes(), 0u);
+  EXPECT_EQ(A.maxLiveBytes(), 128u);
+}
+
+TEST(Arena, LargeBlocksBypassFreelists) {
+  Arena A;
+  void *P = A.allocate(1 << 16);
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 0xab, 1 << 16);
+  EXPECT_EQ(A.liveBytes(), size_t(1) << 16);
+  A.deallocate(P, 1 << 16);
+  EXPECT_EQ(A.liveBytes(), 0u);
+}
+
+TEST(Arena, DistinctBlocksDoNotOverlap) {
+  Arena A;
+  std::vector<char *> Blocks;
+  for (int I = 0; I < 1000; ++I) {
+    auto *P = static_cast<char *>(A.allocate(48));
+    std::memset(P, I & 0xff, 48);
+    Blocks.push_back(P);
+  }
+  for (int I = 0; I < 1000; ++I)
+    for (int J = 0; J < 48; ++J)
+      ASSERT_EQ(Blocks[I][J], static_cast<char>(I & 0xff));
+}
+
+TEST(Arena, RandomizedChurn) {
+  Arena A;
+  Rng R(7);
+  std::vector<std::pair<void *, size_t>> Live;
+  for (int Op = 0; Op < 20000; ++Op) {
+    if (Live.empty() || R.below(100) < 60) {
+      size_t Size = 1 + R.below(700);
+      Live.push_back({A.allocate(Size), Size});
+    } else {
+      size_t Idx = R.below(Live.size());
+      A.deallocate(Live[Idx].first, Live[Idx].second);
+      Live[Idx] = Live.back();
+      Live.pop_back();
+    }
+  }
+  for (auto &Entry : Live)
+    A.deallocate(Entry.first, Entry.second);
+  EXPECT_EQ(A.liveBytes(), 0u);
+  EXPECT_GT(A.allocationCount(), 0u);
+}

@@ -1,0 +1,126 @@
+//===- tests/BaselineTest.cpp - SaSML-simulator behaviour -----------------===//
+
+#include "apps/ListApps.h"
+#include "baseline/SaSmlSim.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace ceal;
+using namespace ceal::apps;
+
+namespace {
+
+Word mapFn(Word X, Word) { return X / 3 + X / 7 + X / 9; }
+
+std::vector<Word> randomInput(size_t N) {
+  Rng R(321);
+  std::vector<Word> V(N);
+  for (Word &W : V)
+    W = R.below(1000000);
+  return V;
+}
+
+} // namespace
+
+TEST(Baseline, ProducesIdenticalResults) {
+  std::vector<Word> In = randomInput(400);
+  Runtime Plain;
+  Runtime Sasml(baseline::sasmlConfig());
+  ListHandle LP = buildList(Plain, In);
+  ListHandle LS = buildList(Sasml, In);
+  Modref *DP = Plain.modref(), *DS = Sasml.modref();
+  Plain.runCore<&mapCore>(LP.Head, DP, &mapFn, Word(0));
+  Sasml.runCore<&mapCore>(LS.Head, DS, &mapFn, Word(0));
+  EXPECT_EQ(readList(Plain, DP), readList(Sasml, DS));
+
+  for (size_t I : {3u, 100u, 399u}) {
+    detachCell(Plain, LP, I);
+    detachCell(Sasml, LS, I);
+    Plain.propagate();
+    Sasml.propagate();
+    ASSERT_EQ(readList(Plain, DP), readList(Sasml, DS));
+    reattachCell(Plain, LP, I);
+    reattachCell(Sasml, LS, I);
+    Plain.propagate();
+    Sasml.propagate();
+    ASSERT_EQ(readList(Plain, DP), readList(Sasml, DS));
+  }
+}
+
+TEST(Baseline, UsesSubstantiallyMoreSpace) {
+  std::vector<Word> In = randomInput(2000);
+  Runtime Plain;
+  Runtime Sasml(baseline::sasmlConfig());
+  ListHandle LP = buildList(Plain, In);
+  ListHandle LS = buildList(Sasml, In);
+  Modref *DP = Plain.modref(), *DS = Sasml.modref();
+  Plain.runCore<&mapCore>(LP.Head, DP, &mapFn, Word(0));
+  Sasml.runCore<&mapCore>(LS.Head, DS, &mapFn, Word(0));
+  double Ratio = double(Sasml.maxLiveBytes()) / double(Plain.maxLiveBytes());
+  // Table 2 measures SaSML at ~3-5x the space; the simulator must land
+  // in a plausible band.
+  EXPECT_GT(Ratio, 2.0);
+  EXPECT_LT(Ratio, 8.0);
+}
+
+TEST(Baseline, BoundedHeapTriggersGcScans) {
+  std::vector<Word> In = randomInput(3000);
+  // Budget: just above the live size of this trace, so the collector
+  // must run but the program still fits.
+  Runtime Probe(baseline::sasmlConfig());
+  {
+    ListHandle L = buildList(Probe, In);
+    Modref *D = Probe.modref();
+    Probe.runCore<&mapCore>(L.Head, D, &mapFn, Word(0));
+  }
+  size_t Live = Probe.maxLiveBytes();
+
+  Runtime Tight(baseline::sasmlConfig(Live + Live / 4));
+  ListHandle L = buildList(Tight, In);
+  Modref *D = Tight.modref();
+  Tight.runCore<&mapCore>(L.Head, D, &mapFn, Word(0));
+  EXPECT_FALSE(Tight.outOfMemory());
+  EXPECT_GE(Tight.stats().GcScans, 1u);
+  EXPECT_EQ(readList(Tight, D).size(), In.size());
+}
+
+TEST(Baseline, ReportsOutOfMemoryWhenLiveExceedsHeap) {
+  std::vector<Word> In = randomInput(3000);
+  Runtime Probe(baseline::sasmlConfig());
+  {
+    ListHandle L = buildList(Probe, In);
+    Modref *D = Probe.modref();
+    Probe.runCore<&mapCore>(L.Head, D, &mapFn, Word(0));
+  }
+  size_t Live = Probe.maxLiveBytes();
+
+  Runtime Tiny(baseline::sasmlConfig(Live / 2));
+  ListHandle L = buildList(Tiny, In);
+  Modref *D = Tiny.modref();
+  Tiny.runCore<&mapCore>(L.Head, D, &mapFn, Word(0));
+  EXPECT_TRUE(Tiny.outOfMemory());
+}
+
+TEST(Baseline, GcPressureGrowsAsHeapShrinks) {
+  std::vector<Word> In = randomInput(2500);
+  Runtime Probe(baseline::sasmlConfig());
+  {
+    ListHandle L = buildList(Probe, In);
+    Modref *D = Probe.modref();
+    Probe.runCore<&mapCore>(L.Head, D, &mapFn, Word(0));
+  }
+  size_t Live = Probe.maxLiveBytes();
+
+  uint64_t PrevScans = 0;
+  for (double Factor : {8.0, 2.0, 1.2}) {
+    Runtime RT(baseline::sasmlConfig(size_t(Live * Factor)));
+    ListHandle L = buildList(RT, In);
+    Modref *D = RT.modref();
+    RT.runCore<&mapCore>(L.Head, D, &mapFn, Word(0));
+    ASSERT_FALSE(RT.outOfMemory()) << "factor " << Factor;
+    EXPECT_GE(RT.stats().GcScans, PrevScans) << "factor " << Factor;
+    PrevScans = RT.stats().GcScans;
+  }
+  EXPECT_GT(PrevScans, 0u);
+}

@@ -1,0 +1,158 @@
+//===- tests/ClFrontendTest.cpp - CL parser/printer/verifier tests --------===//
+
+#include "cl/Builder.h"
+#include "cl/Parser.h"
+#include "cl/Printer.h"
+#include "cl/Samples.h"
+#include "cl/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace ceal;
+using namespace ceal::cl;
+
+TEST(ClParser, MinimalFunction) {
+  auto R = parseProgram("func f() { e: done; }");
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.Prog->Funcs.size(), 1u);
+  EXPECT_EQ(R.Prog->Funcs[0].Name, "f");
+  EXPECT_EQ(R.Prog->Funcs[0].Blocks.size(), 1u);
+  EXPECT_EQ(R.Prog->Funcs[0].Blocks[0].K, BasicBlock::Done);
+}
+
+TEST(ClParser, AllCommandForms) {
+  const char *Src = R"(
+func init(int* blk, int v) {
+  var int i0;
+  e0: i0 := 0; goto e1;
+  e1: blk[i0] := v; goto e2;
+  e2: done;
+}
+func main(modref* m, int n) {
+  var int x; var int y; var int* p; var modref* r;
+  b0: nop; goto b1;
+  b1: x := 5; goto b2;
+  b2: y := add(x, n); goto b3;
+  b3: r := modref(); goto b4;
+  b4: write(r, y); goto b5;
+  b5: x := read m; goto b6;
+  b6: p := alloc(x, init, y); goto b7;
+  b7: y := p[i0q]; goto b8;
+  b8: p[i0q] := x; goto b9;
+  b9: call init(p, y); goto b10;
+  b10: if x then goto b11 else tail main(r, y);
+  b11: done;
+}
+)";
+  // b7 references i0q which is undeclared: expect a parse error first.
+  auto Bad = parseProgram(Src);
+  EXPECT_FALSE(Bad);
+  EXPECT_NE(Bad.Error.find("unknown variable"), std::string::npos);
+
+  std::string Fixed(Src);
+  // Declare the missing variable.
+  size_t Pos = Fixed.find("var modref* r;");
+  Fixed.insert(Pos, "var int i0q; ");
+  auto Good = parseProgram(Fixed);
+  ASSERT_TRUE(Good) << Good.Error;
+  EXPECT_TRUE(verifyProgram(*Good.Prog).empty());
+}
+
+TEST(ClParser, ReportsUsefulErrors) {
+  struct Case {
+    const char *Src;
+    const char *Fragment;
+  };
+  const Case Cases[] = {
+      {"func f() { e: goto nowhere; }", "unknown variable"},
+      {"func f() { e: nop; goto missing; }", "undefined label"},
+      {"func f() { e: nop; tail g(); }", "unknown function"},
+      {"func f(int x, int x) { e: done; }", "duplicate"},
+      {"func f() { e: x := 5; goto e; }", "unknown variable"},
+      {"func f() { e: done; } func f() { e: done; }", "duplicate function"},
+      {"", "empty program"},
+      {"func f() { }", "no blocks"},
+  };
+  for (const Case &C : Cases) {
+    auto R = parseProgram(C.Src);
+    EXPECT_FALSE(R) << C.Src;
+    EXPECT_NE(R.Error.find(C.Fragment), std::string::npos)
+        << "error was: " << R.Error << "\nfor: " << C.Src;
+  }
+}
+
+TEST(ClPrinter, RoundTripsAllSamples) {
+  for (const auto &[Name, Source] : samples::allPrograms()) {
+    auto First = parseProgram(Source);
+    ASSERT_TRUE(First) << Name << ": " << First.Error;
+    EXPECT_TRUE(verifyProgram(*First.Prog).empty()) << Name;
+    std::string Printed = printProgram(*First.Prog);
+    auto Second = parseProgram(Printed);
+    ASSERT_TRUE(Second) << Name << " (reparse): " << Second.Error;
+    EXPECT_EQ(Printed, printProgram(*Second.Prog)) << Name;
+  }
+}
+
+TEST(ClVerifier, CatchesArityMismatch) {
+  ProgramBuilder PB;
+  FuncBuilder G = PB.beginFunc("g");
+  G.param("x", Type::intTy());
+  BlockId GB = G.block();
+  G.setDone(GB);
+
+  FuncBuilder F = PB.beginFunc("f");
+  VarId X = F.param("x", Type::intTy());
+  BlockId FB = F.block();
+  // Tail to g with two args although g takes one.
+  F.setCmd(FB, FuncBuilder::nop(), Jump::tailCall(G.id(), {X, X}));
+  Program P = PB.take();
+  auto Diags = verifyProgram(P);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_NE(Diags[0].find("passes 2 arguments"), std::string::npos);
+}
+
+TEST(ClVerifier, CatchesReadOfNonModref) {
+  auto R = parseProgram(R"(
+func f(int x) {
+  var int y;
+  e: y := read x; tail f(y);
+}
+)");
+  ASSERT_TRUE(R) << R.Error;
+  auto Diags = verifyProgram(*R.Prog);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].find("read of non-modref"), std::string::npos);
+}
+
+TEST(ClVerifier, NormalFormPredicate) {
+  auto NotNormal = parseProgram(R"(
+func f(modref* m) {
+  var int x;
+  e: x := read m; goto g;
+  g: done;
+}
+)");
+  ASSERT_TRUE(NotNormal) << NotNormal.Error;
+  EXPECT_FALSE(isNormalForm(*NotNormal.Prog));
+
+  auto Normal = parseProgram(R"(
+func f(modref* m) {
+  var int x;
+  e: x := read m; tail g(x);
+}
+func g(int x) {
+  e: done;
+}
+)");
+  ASSERT_TRUE(Normal) << Normal.Error;
+  EXPECT_TRUE(isNormalForm(*Normal.Prog));
+}
+
+TEST(ClIr, SizeInWordsIsMonotone) {
+  auto Small = parseProgram("func f() { e: done; }");
+  auto Big = parseProgram(samples::ListPrims);
+  ASSERT_TRUE(Small);
+  ASSERT_TRUE(Big);
+  EXPECT_LT(Small.Prog->sizeInWords(), Big.Prog->sizeInWords());
+  EXPECT_GT(Big.Prog->blockCount(), 50u);
+}

@@ -1,0 +1,272 @@
+//===- tests/FuzzTest.cpp - Parser fuzzing and heap-program properties ----===//
+//
+// Two robustness suites:
+//
+//  * Parser fuzzing: mutate valid CL sources at the character level and
+//    splice random token soup; the parser must either succeed or report
+//    a diagnostic — never crash — and anything it accepts must verify or
+//    be rejected by the verifier without crashing either.
+//
+//  * Heap-program properties: random CL programs that allocate blocks,
+//    store into them during initialization, and load from them later —
+//    exercising alloc/store/index through NORMALIZE, the conventional
+//    interpreter, the VM, and change propagation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cl/Builder.h"
+#include "cl/Parser.h"
+#include "cl/Printer.h"
+#include "cl/Samples.h"
+#include "cl/Verifier.h"
+#include "interp/Vm.h"
+#include "normalize/Normalize.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace ceal;
+using namespace ceal::cl;
+using namespace ceal::interp;
+using namespace ceal::normalize;
+
+//===----------------------------------------------------------------------===//
+// Parser fuzzing
+//===----------------------------------------------------------------------===//
+
+TEST(ParserFuzz, CharacterMutationsNeverCrash) {
+  Rng R(1234);
+  std::string Base = samples::ListPrims;
+  const char Alphabet[] = "abcxyz019(){}[];:=*,_ \n\tfunc goto tail read";
+  int Accepted = 0, Rejected = 0;
+  for (int Trial = 0; Trial < 400; ++Trial) {
+    std::string Mutated = Base;
+    int Edits = 1 + static_cast<int>(R.below(8));
+    for (int E = 0; E < Edits; ++E) {
+      size_t Pos = R.below(Mutated.size());
+      switch (R.below(3)) {
+      case 0:
+        Mutated[Pos] = Alphabet[R.below(sizeof(Alphabet) - 1)];
+        break;
+      case 1:
+        Mutated.erase(Pos, 1 + R.below(4));
+        break;
+      default:
+        Mutated.insert(Pos, 1, Alphabet[R.below(sizeof(Alphabet) - 1)]);
+        break;
+      }
+    }
+    auto Result = parseProgram(Mutated);
+    if (Result) {
+      ++Accepted;
+      // Whatever parses must be printable and verifiable without crashes.
+      std::string Printed = printProgram(*Result.Prog);
+      EXPECT_FALSE(Printed.empty());
+      (void)verifyProgram(*Result.Prog);
+    } else {
+      ++Rejected;
+      EXPECT_FALSE(Result.Error.empty());
+    }
+  }
+  // Most mutations must be caught; a few survive harmlessly (e.g. edits
+  // inside comments or label names).
+  EXPECT_GT(Rejected, 200);
+  EXPECT_GT(Accepted, 0);
+}
+
+TEST(ParserFuzz, RandomTokenSoupNeverCrashes) {
+  Rng R(99);
+  const char *Tokens[] = {"func",  "goto", "tail", "read", "write", "alloc",
+                          "modref", "call", "done", "if",   "then",  "else",
+                          "var",   "int",  "x",    "y",    "f",     "(",
+                          ")",     "{",    "}",    "[",    "]",     ";",
+                          ":",     ":=",   "*",    ",",    "42",    "-3"};
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    std::string Soup;
+    size_t Len = 5 + R.below(120);
+    for (size_t I = 0; I < Len; ++I) {
+      Soup += Tokens[R.below(std::size(Tokens))];
+      Soup += ' ';
+    }
+    auto Result = parseProgram(Soup);
+    if (!Result) {
+      EXPECT_FALSE(Result.Error.empty());
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Random heap programs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Generates a program that allocates a 4-word block (initialized from
+/// the int parameters by a random initializer body), loads random slots,
+/// mixes them with arithmetic and reads, writes results into output
+/// modifiables, and chains to further functions — all forward-only, so
+/// it terminates.
+Program randomHeapProgram(Rng &R) {
+  ProgramBuilder PB;
+  unsigned NumFuncs = 2 + static_cast<unsigned>(R.below(2));
+  std::vector<FuncBuilder> Fbs;
+  // Function 0..NumFuncs-1: computation; function NumFuncs: initializer.
+  for (unsigned I = 0; I < NumFuncs; ++I)
+    Fbs.push_back(PB.beginFunc("f" + std::to_string(I)));
+  FuncBuilder Init = PB.beginFunc("blkinit");
+
+  // The initializer: blkinit(blk, a, b) { blk[0..3] := derived values }.
+  {
+    VarId Blk = Init.param("blk", Type::ptrTo(Type::intTy()));
+    VarId A = Init.param("a", Type::intTy());
+    VarId B = Init.param("b", Type::intTy());
+    VarId Idx = Init.local("i", Type::intTy());
+    VarId Tmp = Init.local("t", Type::intTy());
+    std::vector<BlockId> Blocks;
+    for (int I = 0; I < 9; ++I)
+      Blocks.push_back(Init.block());
+    for (int Slot = 0; Slot < 4; ++Slot) {
+      Init.setCmd(Blocks[2 * Slot],
+                  FuncBuilder::assign(Idx, Expr::makeConst(Slot)),
+                  Jump::gotoBlock(Blocks[2 * Slot + 1]));
+      Expr Val = Slot % 2 ? Expr::makePrim(OpKind::Add, {A, B})
+                          : Expr::makePrim(OpKind::Mul, {A, B});
+      (void)Tmp;
+      Init.setCmd(Blocks[2 * Slot + 1], FuncBuilder::store(Blk, Idx, Val),
+                  Jump::gotoBlock(Blocks[2 * Slot + 2]));
+    }
+    Init.setDone(Blocks[8]);
+  }
+
+  for (unsigned FI = 0; FI < NumFuncs; ++FI) {
+    FuncBuilder &FB = Fbs[FI];
+    std::vector<VarId> Ints, Mods;
+    Ints.push_back(FB.param("a", Type::intTy()));
+    Ints.push_back(FB.param("b", Type::intTy()));
+    for (int I = 0; I < 3; ++I)
+      Mods.push_back(FB.param("m" + std::to_string(I),
+                              Type::ptrTo(Type::modrefTy())));
+    VarId Blk = FB.local("blk", Type::ptrTo(Type::intTy()));
+    VarId Sz = FB.local("sz", Type::intTy());
+    VarId Idx = FB.local("ix", Type::intTy());
+    for (int I = 0; I < 2; ++I)
+      Ints.push_back(FB.local("t" + std::to_string(I), Type::intTy()));
+
+    unsigned NumBlocks = 6 + static_cast<unsigned>(R.below(6));
+    std::vector<BlockId> Blocks;
+    for (unsigned B = 0; B < NumBlocks; ++B)
+      Blocks.push_back(FB.block());
+
+    auto RandInt = [&] { return Ints[R.below(Ints.size())]; };
+    auto RandMod = [&] { return Mods[R.below(Mods.size())]; };
+    auto NextJump = [&](unsigned B) {
+      if (B + 1 < NumBlocks)
+        return Jump::gotoBlock(
+            Blocks[B + 1 + R.below(NumBlocks - B - 1)]);
+      return Jump::gotoBlock(Blocks[B]); // Unused (last block is done).
+    };
+
+    // Fixed prologue: sz := 32; blk := alloc(sz, blkinit, a, b);
+    FB.setCmd(Blocks[0], FuncBuilder::assign(Sz, Expr::makeConst(32)),
+              Jump::gotoBlock(Blocks[1]));
+    FB.setCmd(Blocks[1],
+              FuncBuilder::alloc(Blk, Sz, Init.id(), {Ints[0], Ints[1]}),
+              Jump::gotoBlock(Blocks[2]));
+
+    for (unsigned B = 2; B + 1 < NumBlocks; ++B) {
+      Command C;
+      switch (R.below(6)) {
+      case 0:
+        C = FuncBuilder::assign(Idx,
+                                Expr::makeConst(int64_t(R.below(4))));
+        break;
+      case 1:
+        C = FuncBuilder::assign(RandInt(), Expr::makeIndex(Blk, Idx));
+        break;
+      case 2:
+        C = FuncBuilder::write(RandMod(), RandInt());
+        break;
+      case 3:
+        C = FuncBuilder::read(RandInt(), RandMod());
+        break;
+      case 4:
+        C = FuncBuilder::assign(
+            RandInt(), Expr::makePrim(OpKind::Add, {RandInt(), RandInt()}));
+        break;
+      default:
+        C = FuncBuilder::nop();
+        break;
+      }
+      FB.setCmd(Blocks[B], std::move(C), NextJump(B));
+    }
+    // Epilogue: either done or a tail to a later function.
+    if (FI + 1 < NumFuncs && R.flip()) {
+      FuncId Target =
+          FI + 1 + static_cast<FuncId>(R.below(NumFuncs - FI - 1));
+      FB.setCmd(Blocks[NumBlocks - 1], FuncBuilder::nop(),
+                Jump::tailCall(Target, {Ints[0], Ints[1], Mods[0], Mods[1],
+                                        Mods[2]}));
+    } else {
+      FB.setDone(Blocks[NumBlocks - 1]);
+    }
+  }
+  return PB.take();
+}
+
+} // namespace
+
+TEST(HeapProgramFuzz, NormalizationAndVmAgreeWithOracle) {
+  int Ran = 0;
+  for (uint64_t Seed = 1; Seed <= 80; ++Seed) {
+    Rng R(Seed * 104729);
+    Program P = randomHeapProgram(R);
+    ASSERT_TRUE(verifyProgram(P).empty()) << "seed " << Seed;
+    Program Norm = normalizeProgram(P).Prog;
+
+    auto RunConv = [&](const Program &Prog, const std::vector<int64_t> &In) {
+      ConvInterp CI(Prog);
+      std::vector<Word *> Cells;
+      for (int64_t V : In)
+        Cells.push_back(CI.newCell(toWord(V)));
+      CI.run("f0", {toWord(int64_t(4)), toWord(int64_t(9)),
+                    toWord(Cells[0]), toWord(Cells[1]), toWord(Cells[2])});
+      std::vector<int64_t> Out;
+      for (Word *C : Cells)
+        Out.push_back(fromWord<int64_t>(*C));
+      return Out;
+    };
+    std::vector<int64_t> Init = {int64_t(R.below(30)), int64_t(R.below(30)),
+                                 int64_t(R.below(30))};
+    std::vector<int64_t> Want = RunConv(P, Init);
+    ASSERT_EQ(RunConv(Norm, Init), Want) << "seed " << Seed;
+
+    Runtime RT;
+    Vm M(RT, Norm);
+    std::vector<Modref *> Ms;
+    for (int64_t V : Init) {
+      Ms.push_back(M.metaModref());
+      M.metaWrite(Ms.back(), toWord(V));
+    }
+    M.runCore("f0", {toWord(int64_t(4)), toWord(int64_t(9)), toWord(Ms[0]),
+                     toWord(Ms[1]), toWord(Ms[2])});
+    auto VmOut = [&] {
+      std::vector<int64_t> Out;
+      for (Modref *Mr : Ms)
+        Out.push_back(fromWord<int64_t>(M.metaRead(Mr)));
+      return Out;
+    };
+    ASSERT_EQ(VmOut(), Want) << "seed " << Seed;
+
+    std::vector<int64_t> Cur = Init;
+    for (int Round = 0; Round < 2; ++Round) {
+      size_t Which = R.below(3);
+      Cur[Which] = int64_t(R.below(30));
+      M.metaWrite(Ms[Which], toWord(Cur[Which]));
+      M.propagate();
+      ASSERT_EQ(VmOut(), RunConv(Norm, Cur))
+          << "seed " << Seed << " round " << Round;
+    }
+    ++Ran;
+  }
+  EXPECT_EQ(Ran, 80);
+}

@@ -1,0 +1,189 @@
+//===- tests/GeometryTest.cpp - Geometry benchmark correctness ------------===//
+
+#include "apps/Geometry.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ceal;
+using namespace ceal::apps;
+
+namespace {
+
+std::vector<const Point *> hullFromRuntime(Runtime &RT, Modref *Dst) {
+  std::vector<const Point *> Result;
+  for (auto *C = RT.derefT<Cell *>(Dst); C; C = RT.derefT<Cell *>(C->Tail))
+    Result.push_back(fromWord<const Point *>(C->Head));
+  return Result;
+}
+
+std::vector<const Point *> asConst(const std::vector<Point *> &Pts) {
+  return {Pts.begin(), Pts.end()};
+}
+
+std::vector<const Point *> activePoints(Runtime &RT, const ListHandle &L) {
+  std::vector<const Point *> Result;
+  for (auto *C = RT.derefT<Cell *>(L.Head); C; C = RT.derefT<Cell *>(C->Tail))
+    Result.push_back(fromWord<const Point *>(C->Head));
+  return Result;
+}
+
+} // namespace
+
+TEST(Geometry, QuickhullMatchesConventional) {
+  Rng R(41);
+  Runtime RT;
+  std::vector<Point *> Pts = randomPoints(RT, R, 400);
+  ListHandle L = buildPointList(RT, Pts);
+  Modref *Dst = RT.modref();
+  RT.runCore<&quickhullCore>(L.Head, Dst);
+  EXPECT_EQ(hullFromRuntime(RT, Dst), conv::quickhull(asConst(Pts)));
+}
+
+TEST(Geometry, QuickhullTinyInputs) {
+  Rng R(42);
+  for (size_t N : {0u, 1u, 2u, 3u, 4u}) {
+    Runtime RT;
+    std::vector<Point *> Pts = randomPoints(RT, R, N);
+    ListHandle L = buildPointList(RT, Pts);
+    Modref *Dst = RT.modref();
+    RT.runCore<&quickhullCore>(L.Head, Dst);
+    EXPECT_EQ(hullFromRuntime(RT, Dst), conv::quickhull(asConst(Pts)))
+        << "N=" << N;
+  }
+}
+
+TEST(Geometry, QuickhullCollinearPoints) {
+  Runtime RT;
+  std::vector<Point *> Pts;
+  for (int I = 0; I < 10; ++I) {
+    auto *P = static_cast<Point *>(RT.arena().allocate(sizeof(Point)));
+    P->X = I * 0.1;
+    P->Y = I * 0.2; // All on one line.
+    Pts.push_back(P);
+  }
+  ListHandle L = buildPointList(RT, Pts);
+  Modref *Dst = RT.modref();
+  RT.runCore<&quickhullCore>(L.Head, Dst);
+  EXPECT_EQ(hullFromRuntime(RT, Dst), conv::quickhull(asConst(Pts)));
+}
+
+TEST(Geometry, QuickhullEditSweep) {
+  Rng R(43);
+  Runtime RT;
+  std::vector<Point *> Pts = randomPoints(RT, R, 250);
+  ListHandle L = buildPointList(RT, Pts);
+  Modref *Dst = RT.modref();
+  RT.runCore<&quickhullCore>(L.Head, Dst);
+  for (int Edit = 0; Edit < 40; ++Edit) {
+    size_t Index = R.below(L.Cells.size());
+    detachCell(RT, L, Index);
+    RT.propagate();
+    ASSERT_EQ(hullFromRuntime(RT, Dst),
+              conv::quickhull(activePoints(RT, L)))
+        << "after deleting index " << Index;
+    reattachCell(RT, L, Index);
+    RT.propagate();
+    ASSERT_EQ(hullFromRuntime(RT, Dst),
+              conv::quickhull(activePoints(RT, L)))
+        << "after reinserting index " << Index;
+  }
+}
+
+TEST(Geometry, QuickhullDeletingHullVertexUpdates) {
+  // Force a structural change: delete the extreme point itself.
+  Rng R(44);
+  Runtime RT;
+  std::vector<Point *> Pts = randomPoints(RT, R, 100);
+  // Add a far-out point that must be on the hull.
+  auto *Far = static_cast<Point *>(RT.arena().allocate(sizeof(Point)));
+  Far->X = 10.0;
+  Far->Y = 0.5;
+  Pts.push_back(Far);
+  ListHandle L = buildPointList(RT, Pts);
+  Modref *Dst = RT.modref();
+  RT.runCore<&quickhullCore>(L.Head, Dst);
+  std::vector<const Point *> Hull = hullFromRuntime(RT, Dst);
+  EXPECT_NE(std::find(Hull.begin(), Hull.end(), Far), Hull.end());
+
+  detachCell(RT, L, Pts.size() - 1);
+  RT.propagate();
+  std::vector<const Point *> Hull2 = hullFromRuntime(RT, Dst);
+  EXPECT_EQ(std::find(Hull2.begin(), Hull2.end(), Far), Hull2.end());
+  EXPECT_EQ(Hull2, conv::quickhull(activePoints(RT, L)));
+}
+
+TEST(Geometry, DiameterMatchesAndUpdates) {
+  Rng R(45);
+  Runtime RT;
+  std::vector<Point *> Pts = randomPoints(RT, R, 300);
+  ListHandle L = buildPointList(RT, Pts);
+  Modref *Dst = RT.modref();
+  RT.runCore<&diameterCore>(L.Head, Dst);
+  EXPECT_DOUBLE_EQ(RT.derefT<double>(Dst), conv::diameter2(asConst(Pts)));
+
+  for (int Edit = 0; Edit < 20; ++Edit) {
+    size_t Index = R.below(L.Cells.size());
+    detachCell(RT, L, Index);
+    RT.propagate();
+    ASSERT_DOUBLE_EQ(RT.derefT<double>(Dst),
+                     conv::diameter2(activePoints(RT, L)));
+    reattachCell(RT, L, Index);
+    RT.propagate();
+    ASSERT_DOUBLE_EQ(RT.derefT<double>(Dst),
+                     conv::diameter2(activePoints(RT, L)));
+  }
+}
+
+TEST(Geometry, DistanceMatchesAndUpdates) {
+  // Two unit squares separated by a gap, as in the paper's setup.
+  Rng R(46);
+  Runtime RT;
+  std::vector<Point *> A = randomPoints(RT, R, 200, 0.0);
+  std::vector<Point *> B = randomPoints(RT, R, 200, 2.5);
+  ListHandle LA = buildPointList(RT, A);
+  ListHandle LB = buildPointList(RT, B);
+  Modref *Dst = RT.modref();
+  RT.runCore<&distanceCore>(LA.Head, LB.Head, Dst);
+  EXPECT_DOUBLE_EQ(RT.derefT<double>(Dst),
+                   conv::distance2(asConst(A), asConst(B)));
+
+  for (int Edit = 0; Edit < 16; ++Edit) {
+    bool EditA = R.flip();
+    ListHandle &L = EditA ? LA : LB;
+    size_t Index = R.below(L.Cells.size());
+    detachCell(RT, L, Index);
+    RT.propagate();
+    ASSERT_DOUBLE_EQ(
+        RT.derefT<double>(Dst),
+        conv::distance2(activePoints(RT, LA), activePoints(RT, LB)));
+    reattachCell(RT, L, Index);
+    RT.propagate();
+    ASSERT_DOUBLE_EQ(
+        RT.derefT<double>(Dst),
+        conv::distance2(activePoints(RT, LA), activePoints(RT, LB)));
+  }
+}
+
+TEST(Geometry, QuickhullUpdateIsSublinear) {
+  Rng R(47);
+  Runtime RT;
+  std::vector<Point *> Pts = randomPoints(RT, R, 4000);
+  ListHandle L = buildPointList(RT, Pts);
+  Modref *Dst = RT.modref();
+  RT.runCore<&quickhullCore>(L.Head, Dst);
+  uint64_t Before = RT.stats().ReadsTraced + RT.stats().ReadsReexecuted;
+  int Updates = 0;
+  for (size_t I = 100; I < 3900; I += 500, Updates += 2) {
+    detachCell(RT, L, I);
+    RT.propagate();
+    reattachCell(RT, L, I);
+    RT.propagate();
+  }
+  uint64_t Work = RT.stats().ReadsTraced + RT.stats().ReadsReexecuted - Before;
+  // Interior points mostly touch a filter chain and a few reduce runs;
+  // the whole computation performs >> 100k reads from scratch.
+  EXPECT_LT(Work / Updates, 2500u);
+}

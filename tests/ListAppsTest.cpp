@@ -1,0 +1,322 @@
+//===- tests/ListAppsTest.cpp - List benchmark correctness ---------------===//
+//
+// Each self-adjusting list primitive is checked three ways:
+//  1. initial run matches the conventional implementation,
+//  2. every random edit + propagate matches a from-scratch conventional
+//     recomputation of the edited input (the paper's correctness
+//     guarantee for change propagation),
+//  3. updates are *incremental*: the work counters stay far below
+//     input size for single-element edits where the paper promises it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/ListApps.h"
+#include "apps/ListConv.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+using namespace ceal;
+using namespace ceal::apps;
+
+namespace {
+
+Word mapPaper(Word X, Word) { return X / 3 + X / 7 + X / 9; }
+bool filterPaper(Word X, Word) { return (mapPaper(X, 0) & 1) == 0; }
+Word combineMin(Word A, Word B, Word) { return A < B ? A : B; }
+Word combineSum(Word A, Word B, Word) { return A + B; }
+int cmpWord(Word A, Word B) { return A < B ? -1 : (A > B ? 1 : 0); }
+int cmpStr(Word A, Word B) {
+  return std::strcmp(reinterpret_cast<const char *>(A),
+                     reinterpret_cast<const char *>(B));
+}
+
+std::vector<Word> randomWords(Rng &R, size_t N, Word Bound = 1000000) {
+  std::vector<Word> V(N);
+  for (Word &W : V)
+    W = R.below(Bound);
+  return V;
+}
+
+/// Oracle versions computed with the conventional implementations.
+std::vector<Word> oracleSorted(std::vector<Word> V) {
+  std::sort(V.begin(), V.end());
+  return V;
+}
+
+struct EditSweepParam {
+  uint64_t Seed;
+  size_t N;
+  int Edits;
+};
+
+class ListEditSweep : public ::testing::TestWithParam<EditSweepParam> {};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Initial runs match the conventional implementations.
+//===----------------------------------------------------------------------===//
+
+TEST(ListApps, MapMatchesConventional) {
+  Rng R(1);
+  std::vector<Word> In = randomWords(R, 300);
+  Runtime RT;
+  ListHandle L = buildList(RT, In);
+  Modref *Dst = RT.modref();
+  RT.runCore<&mapCore>(L.Head, Dst, &mapPaper, Word(0));
+
+  Arena A;
+  conv::PCell *CIn = conv::buildList(A, In);
+  EXPECT_EQ(readList(RT, Dst),
+            conv::toVector(conv::mapList(A, CIn, &mapPaper, 0)));
+}
+
+TEST(ListApps, FilterMatchesConventional) {
+  Rng R(2);
+  std::vector<Word> In = randomWords(R, 300);
+  Runtime RT;
+  ListHandle L = buildList(RT, In);
+  Modref *Dst = RT.modref();
+  RT.runCore<&filterCore>(L.Head, Dst, &filterPaper, Word(0));
+
+  Arena A;
+  conv::PCell *CIn = conv::buildList(A, In);
+  EXPECT_EQ(readList(RT, Dst),
+            conv::toVector(conv::filterList(A, CIn, &filterPaper, 0)));
+}
+
+TEST(ListApps, ReverseMatchesConventional) {
+  Rng R(3);
+  std::vector<Word> In = randomWords(R, 257);
+  Runtime RT;
+  ListHandle L = buildList(RT, In);
+  Modref *Dst = RT.modref();
+  RT.runCore<&reverseCore>(L.Head, Dst);
+
+  std::vector<Word> Expected(In.rbegin(), In.rend());
+  EXPECT_EQ(readList(RT, Dst), Expected);
+}
+
+TEST(ListApps, ReduceMinAndSum) {
+  Rng R(4);
+  std::vector<Word> In = randomWords(R, 513);
+  Runtime RT;
+  ListHandle L = buildList(RT, In);
+  Modref *MinDst = RT.modref();
+  Modref *SumDst = RT.modref();
+  RT.runCore<&reduceCore>(L.Head, MinDst, &combineMin, Word(0),
+                          Word(UINT64_MAX));
+  RT.runCore<&reduceCore>(L.Head, SumDst, &combineSum, Word(0), Word(0));
+  EXPECT_EQ(RT.deref(MinDst), *std::min_element(In.begin(), In.end()));
+  Word Sum = 0;
+  for (Word V : In)
+    Sum += V;
+  EXPECT_EQ(RT.deref(SumDst), Sum);
+}
+
+TEST(ListApps, ReduceEmptyAndSingleton) {
+  Runtime RT;
+  ListHandle Empty = buildList(RT, {});
+  Modref *D1 = RT.modref();
+  RT.runCore<&reduceCore>(Empty.Head, D1, &combineSum, Word(0), Word(99));
+  EXPECT_EQ(RT.deref(D1), 99u) << "empty reduce yields the identity";
+
+  ListHandle One = buildList(RT, {42});
+  Modref *D2 = RT.modref();
+  RT.runCore<&reduceCore>(One.Head, D2, &combineSum, Word(0), Word(0));
+  EXPECT_EQ(RT.deref(D2), 42u);
+}
+
+TEST(ListApps, QuicksortSortsRandomWords) {
+  Rng R(5);
+  std::vector<Word> In = randomWords(R, 400);
+  Runtime RT;
+  ListHandle L = buildList(RT, In);
+  Modref *Dst = RT.modref();
+  RT.runCore<&quicksortCore>(L.Head, Dst, &cmpWord);
+  EXPECT_EQ(readList(RT, Dst), oracleSorted(In));
+}
+
+TEST(ListApps, MergesortSortsRandomWords) {
+  Rng R(6);
+  std::vector<Word> In = randomWords(R, 400);
+  Runtime RT;
+  ListHandle L = buildList(RT, In);
+  Modref *Dst = RT.modref();
+  RT.runCore<&mergesortCore>(L.Head, Dst, &cmpWord);
+  EXPECT_EQ(readList(RT, Dst), oracleSorted(In));
+}
+
+TEST(ListApps, SortsHandleDuplicatesAndTinyLists) {
+  for (const std::vector<Word> &In :
+       {std::vector<Word>{}, std::vector<Word>{1}, std::vector<Word>{2, 1},
+        std::vector<Word>{5, 5, 5, 5}, std::vector<Word>{3, 1, 3, 1, 3}}) {
+    Runtime RT;
+    ListHandle L = buildList(RT, In);
+    Modref *DQ = RT.modref();
+    Modref *DM = RT.modref();
+    RT.runCore<&quicksortCore>(L.Head, DQ, &cmpWord);
+    RT.runCore<&mergesortCore>(L.Head, DM, &cmpWord);
+    EXPECT_EQ(readList(RT, DQ), oracleSorted(In));
+    EXPECT_EQ(readList(RT, DM), oracleSorted(In));
+  }
+}
+
+TEST(ListApps, QuicksortSortsStrings) {
+  // The paper sorts lists of random 32-character strings.
+  Rng R(7);
+  std::vector<std::string> Strs;
+  std::vector<Word> In;
+  for (int I = 0; I < 200; ++I) {
+    std::string S;
+    for (int J = 0; J < 32; ++J)
+      S.push_back('a' + static_cast<char>(R.below(26)));
+    Strs.push_back(std::move(S));
+  }
+  for (const std::string &S : Strs)
+    In.push_back(reinterpret_cast<Word>(S.c_str()));
+  Runtime RT;
+  ListHandle L = buildList(RT, In);
+  Modref *Dst = RT.modref();
+  RT.runCore<&quicksortCore>(L.Head, Dst, &cmpStr);
+
+  std::vector<std::string> Expected = Strs;
+  std::sort(Expected.begin(), Expected.end());
+  std::vector<Word> Got = readList(RT, Dst);
+  ASSERT_EQ(Got.size(), Expected.size());
+  for (size_t I = 0; I < Got.size(); ++I)
+    EXPECT_EQ(reinterpret_cast<const char *>(Got[I]), Expected[I]);
+}
+
+//===----------------------------------------------------------------------===//
+// Edit sweeps: delete + propagate + reinsert + propagate on every
+// primitive, checked against conventional recomputation.
+//===----------------------------------------------------------------------===//
+
+TEST_P(ListEditSweep, AllPrimitivesStayConsistent) {
+  const EditSweepParam P = GetParam();
+  Rng R(P.Seed);
+  std::vector<Word> In = randomWords(R, P.N);
+
+  Runtime RT;
+  ListHandle L = buildList(RT, In);
+  Modref *DMap = RT.modref(), *DFil = RT.modref(), *DRev = RT.modref(),
+         *DMin = RT.modref(), *DSum = RT.modref(), *DQs = RT.modref(),
+         *DMs = RT.modref();
+  RT.runCore<&mapCore>(L.Head, DMap, &mapPaper, Word(0));
+  RT.runCore<&filterCore>(L.Head, DFil, &filterPaper, Word(0));
+  RT.runCore<&reverseCore>(L.Head, DRev);
+  RT.runCore<&reduceCore>(L.Head, DMin, &combineMin, Word(0),
+                          Word(UINT64_MAX));
+  RT.runCore<&reduceCore>(L.Head, DSum, &combineSum, Word(0), Word(0));
+  RT.runCore<&quicksortCore>(L.Head, DQs, &cmpWord);
+  RT.runCore<&mergesortCore>(L.Head, DMs, &cmpWord);
+
+  auto CheckAll = [&](const char *When) {
+    std::vector<Word> Cur = readList(RT, L.Head);
+    Arena A;
+    conv::PCell *CIn = conv::buildList(A, Cur);
+    ASSERT_EQ(readList(RT, DMap),
+              conv::toVector(conv::mapList(A, CIn, &mapPaper, 0)))
+        << When;
+    ASSERT_EQ(readList(RT, DFil),
+              conv::toVector(conv::filterList(A, CIn, &filterPaper, 0)))
+        << When;
+    std::vector<Word> Rev(Cur.rbegin(), Cur.rend());
+    ASSERT_EQ(readList(RT, DRev), Rev) << When;
+    ASSERT_EQ(RT.deref(DMin),
+              conv::reduceList(CIn, &combineMin, 0, UINT64_MAX))
+        << When;
+    ASSERT_EQ(RT.deref(DSum), conv::reduceList(CIn, &combineSum, 0, 0))
+        << When;
+    ASSERT_EQ(readList(RT, DQs), oracleSorted(Cur)) << When;
+    ASSERT_EQ(readList(RT, DMs), oracleSorted(Cur)) << When;
+  };
+
+  CheckAll("initial");
+  for (int Edit = 0; Edit < P.Edits; ++Edit) {
+    size_t Index = R.below(L.Cells.size());
+    detachCell(RT, L, Index);
+    RT.propagate();
+    CheckAll("after delete");
+    reattachCell(RT, L, Index);
+    RT.propagate();
+    CheckAll("after reinsert");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, ListEditSweep,
+    ::testing::Values(EditSweepParam{101, 64, 8}, EditSweepParam{202, 128, 6},
+                      EditSweepParam{303, 200, 5},
+                      EditSweepParam{404, 33, 12},
+                      EditSweepParam{505, 7, 10}));
+
+//===----------------------------------------------------------------------===//
+// Incrementality: single-element edits must not re-run the whole core.
+//===----------------------------------------------------------------------===//
+
+TEST(ListApps, MapUpdateIsConstantWork) {
+  Rng R(8);
+  std::vector<Word> In = randomWords(R, 4000);
+  Runtime RT;
+  ListHandle L = buildList(RT, In);
+  Modref *Dst = RT.modref();
+  RT.runCore<&mapCore>(L.Head, Dst, &mapPaper, Word(0));
+
+  uint64_t Before = RT.stats().ReadsTraced + RT.stats().ReadsReexecuted;
+  for (size_t I = 500; I < 520; ++I) {
+    detachCell(RT, L, I);
+    RT.propagate();
+    reattachCell(RT, L, I);
+    RT.propagate();
+  }
+  uint64_t Work = RT.stats().ReadsTraced + RT.stats().ReadsReexecuted - Before;
+  // 40 propagations; each should cost O(1) reads, far below list size.
+  EXPECT_LT(Work, 400u);
+}
+
+TEST(ListApps, ReduceUpdateIsLogarithmicWork) {
+  Rng R(9);
+  std::vector<Word> In = randomWords(R, 8192);
+  Runtime RT;
+  ListHandle L = buildList(RT, In);
+  Modref *Dst = RT.modref();
+  RT.runCore<&reduceCore>(L.Head, Dst, &combineSum, Word(0), Word(0));
+  uint64_t Before = RT.stats().ReadsTraced + RT.stats().ReadsReexecuted;
+  int Updates = 0;
+  for (size_t I = 100; I < 8100; I += 400, Updates += 2) {
+    detachCell(RT, L, I);
+    RT.propagate();
+    reattachCell(RT, L, I);
+    RT.propagate();
+  }
+  uint64_t Work = RT.stats().ReadsTraced + RT.stats().ReadsReexecuted - Before;
+  // Each update should touch ~O(log n) runs, not the whole list. Allow a
+  // generous constant.
+  EXPECT_LT(Work / Updates, 60 * 13u);
+}
+
+TEST(ListApps, QuicksortUpdateIsPolylogWork) {
+  Rng R(10);
+  std::vector<Word> In = randomWords(R, 4096);
+  Runtime RT;
+  ListHandle L = buildList(RT, In);
+  Modref *Dst = RT.modref();
+  RT.runCore<&quicksortCore>(L.Head, Dst, &cmpWord);
+  uint64_t Before = RT.stats().ReadsTraced + RT.stats().ReadsReexecuted;
+  int Updates = 0;
+  for (size_t I = 64; I < 4000; I += 256, Updates += 2) {
+    detachCell(RT, L, I);
+    RT.propagate();
+    reattachCell(RT, L, I);
+    RT.propagate();
+  }
+  uint64_t Work = RT.stats().ReadsTraced + RT.stats().ReadsReexecuted - Before;
+  // O(log^2 n) expected per update; n=4096 -> log^2 = 144. Allow slack.
+  EXPECT_LT(Work / Updates, 3000u) << "quicksort update not incremental";
+}

@@ -1,0 +1,212 @@
+//===- tests/OrderListTest.cpp - Order-maintenance tests ------------------===//
+//
+// Unit and property tests for the order-maintenance list, including a
+// randomized comparison against an exact oracle (a std::list whose
+// iterator order defines the truth).
+//
+//===----------------------------------------------------------------------===//
+
+#include "om/OrderList.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <vector>
+
+using namespace ceal;
+
+TEST(OrderList, BaseIsMinimum) {
+  OrderList L;
+  OmNode *A = L.insertAfter(L.base());
+  EXPECT_TRUE(OrderList::precedes(L.base(), A));
+  EXPECT_FALSE(OrderList::precedes(A, L.base()));
+  EXPECT_FALSE(OrderList::precedes(A, A));
+  EXPECT_EQ(L.size(), 2u);
+}
+
+TEST(OrderList, InsertAfterOrdersChain) {
+  OrderList L;
+  OmNode *A = L.insertAfter(L.base());
+  OmNode *B = L.insertAfter(A);
+  OmNode *C = L.insertAfter(A); // Between A and B.
+  EXPECT_TRUE(OrderList::precedes(A, C));
+  EXPECT_TRUE(OrderList::precedes(C, B));
+  EXPECT_TRUE(OrderList::precedes(A, B));
+  L.verifyInvariants();
+}
+
+TEST(OrderList, PayloadIsPreserved) {
+  OrderList L;
+  int X = 42;
+  OmNode *A = L.insertAfter(L.base(), &X);
+  EXPECT_EQ(A->Item, &X);
+}
+
+TEST(OrderList, RemoveKeepsOrder) {
+  OrderList L;
+  OmNode *A = L.insertAfter(L.base());
+  OmNode *B = L.insertAfter(A);
+  OmNode *C = L.insertAfter(B);
+  L.remove(B);
+  EXPECT_TRUE(OrderList::precedes(A, C));
+  EXPECT_EQ(OrderList::next(A), C);
+  EXPECT_EQ(L.size(), 3u);
+  L.verifyInvariants();
+}
+
+TEST(OrderList, SequentialInsertionIsTotalOrder) {
+  OrderList L;
+  std::vector<OmNode *> Nodes;
+  OmNode *Cur = L.base();
+  for (int I = 0; I < 10000; ++I) {
+    Cur = L.insertAfter(Cur);
+    Nodes.push_back(Cur);
+  }
+  for (size_t I = 1; I < Nodes.size(); I += 97)
+    EXPECT_TRUE(OrderList::precedes(Nodes[I - 1], Nodes[I]));
+  L.verifyInvariants();
+}
+
+TEST(OrderList, PathologicalFrontInsertion) {
+  // Always inserting at the same position maximizes relabeling pressure.
+  OrderList L;
+  std::vector<OmNode *> Nodes;
+  for (int I = 0; I < 20000; ++I)
+    Nodes.push_back(L.insertAfter(L.base()));
+  // Later-created nodes come earlier in the order.
+  for (size_t I = 1; I < Nodes.size(); I += 131)
+    EXPECT_TRUE(OrderList::precedes(Nodes[I], Nodes[I - 1]));
+  L.verifyInvariants();
+}
+
+namespace {
+
+/// Oracle for randomized testing: a std::list of node ids whose sequence
+/// order is the ground truth.
+class OrderOracle {
+public:
+  using Pos = std::list<int>::iterator;
+
+  OrderOracle() { Positions[0] = Seq.insert(Seq.end(), 0); }
+
+  int insertAfter(int After) {
+    int Id = NextId++;
+    auto It = Positions.at(After);
+    Positions[Id] = Seq.insert(std::next(It), Id);
+    return Id;
+  }
+
+  void remove(int Id) {
+    Seq.erase(Positions.at(Id));
+    Positions.erase(Id);
+  }
+
+  bool precedes(int A, int B) const {
+    for (int Id : Seq) {
+      if (Id == A)
+        return true;
+      if (Id == B)
+        return false;
+    }
+    ADD_FAILURE() << "ids not present";
+    return false;
+  }
+
+  std::vector<int> ids() const {
+    std::vector<int> Result;
+    for (auto &Entry : Positions)
+      Result.push_back(Entry.first);
+    return Result;
+  }
+
+private:
+  std::list<int> Seq;
+  std::map<int, Pos> Positions;
+  int NextId = 1;
+};
+
+struct RandomOpsParam {
+  uint64_t Seed;
+  int NumOps;
+  int RemoveWeight; // Out of 100.
+};
+
+class OrderListRandomTest : public ::testing::TestWithParam<RandomOpsParam> {};
+
+} // namespace
+
+TEST_P(OrderListRandomTest, MatchesOracle) {
+  const RandomOpsParam P = GetParam();
+  Rng R(P.Seed);
+  OrderList L;
+  OrderOracle Oracle;
+  std::map<int, OmNode *> NodeById;
+  NodeById[0] = L.base();
+
+  for (int Op = 0; Op < P.NumOps; ++Op) {
+    std::vector<int> Ids = Oracle.ids();
+    bool DoRemove =
+        Ids.size() > 1 && static_cast<int>(R.below(100)) < P.RemoveWeight;
+    if (DoRemove) {
+      int Victim;
+      do {
+        Victim = Ids[R.below(Ids.size())];
+      } while (Victim == 0);
+      Oracle.remove(Victim);
+      L.remove(NodeById.at(Victim));
+      NodeById.erase(Victim);
+    } else {
+      int After = Ids[R.below(Ids.size())];
+      int Id = Oracle.insertAfter(After);
+      NodeById[Id] = L.insertAfter(NodeById.at(After));
+    }
+    if (Op % 64 == 0) {
+      L.verifyInvariants();
+      // Spot-check a handful of random order queries against the oracle.
+      std::vector<int> Cur = Oracle.ids();
+      for (int Q = 0; Q < 8 && Cur.size() >= 2; ++Q) {
+        int A = Cur[R.below(Cur.size())];
+        int B = Cur[R.below(Cur.size())];
+        if (A == B)
+          continue;
+        EXPECT_EQ(Oracle.precedes(A, B),
+                  OrderList::precedes(NodeById.at(A), NodeById.at(B)))
+            << "seed=" << P.Seed << " op=" << Op;
+      }
+    }
+  }
+  L.verifyInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomOps, OrderListRandomTest,
+    ::testing::Values(RandomOpsParam{1, 800, 0}, RandomOpsParam{2, 800, 25},
+                      RandomOpsParam{3, 800, 45}, RandomOpsParam{4, 2000, 30},
+                      RandomOpsParam{5, 2000, 10}, RandomOpsParam{6, 400, 60},
+                      RandomOpsParam{7, 3000, 33},
+                      RandomOpsParam{8, 3000, 5}));
+
+TEST(OrderList, HeavyMixedChurn) {
+  // Large-scale smoke test: interleave bursts of localized insertion with
+  // random deletion; verify invariants at the end.
+  Rng R(99);
+  OrderList L;
+  std::vector<OmNode *> Live{L.base()};
+  for (int Round = 0; Round < 50; ++Round) {
+    OmNode *Spot = Live[R.below(Live.size())];
+    for (int I = 0; I < 500; ++I) {
+      Spot = L.insertAfter(Spot);
+      Live.push_back(Spot);
+    }
+    for (int I = 0; I < 200 && Live.size() > 1; ++I) {
+      size_t Idx = 1 + R.below(Live.size() - 1);
+      L.remove(Live[Idx]);
+      Live[Idx] = Live.back();
+      Live.pop_back();
+    }
+  }
+  L.verifyInvariants();
+  EXPECT_EQ(L.size(), Live.size());
+}

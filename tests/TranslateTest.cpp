@@ -1,0 +1,116 @@
+//===- tests/TranslateTest.cpp - CL -> C translation tests ----------------===//
+
+#include "cl/Parser.h"
+#include "cl/Samples.h"
+#include "normalize/Normalize.h"
+#include "translate/EmitC.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+using namespace ceal;
+using namespace ceal::cl;
+using namespace ceal::normalize;
+using namespace ceal::translate;
+
+namespace {
+
+Program normalizedSample(const char *Source) {
+  auto R = parseProgram(Source);
+  EXPECT_TRUE(R) << R.Error;
+  return normalizeProgram(*R.Prog).Prog;
+}
+
+/// Runs `gcc -fsyntax-only` on the emitted C; returns the exit status.
+int syntaxCheck(const std::string &Code, const std::string &Tag) {
+  std::string Path = "/tmp/ceal_emit_" + Tag + ".c";
+  std::ofstream(Path) << Code;
+  std::string Cmd = "gcc -std=gnu11 -fsyntax-only " + Path + " 2>/tmp/ceal_emit_" +
+                    Tag + ".log";
+  return std::system(Cmd.c_str());
+}
+
+} // namespace
+
+TEST(EmitC, RefinedOutputIsValidC) {
+  for (const auto &[Name, Source] : samples::allPrograms()) {
+    Program P = normalizedSample(Source.c_str());
+    EmitResult R = emitC(P, Mode::Refined);
+    EXPECT_GT(R.EmittedBytes, 500u) << Name;
+    EXPECT_EQ(syntaxCheck(R.Code, Name + "_refined"), 0)
+        << Name << ": emitted C does not compile";
+  }
+}
+
+TEST(EmitC, BasicOutputIsValidC) {
+  for (const auto &[Name, Source] : samples::allPrograms()) {
+    Program P = normalizedSample(Source.c_str());
+    EmitResult R = emitC(P, Mode::Basic);
+    EXPECT_EQ(syntaxCheck(R.Code, Name + "_basic"), 0)
+        << Name << ": emitted C does not compile";
+  }
+}
+
+TEST(EmitC, RefinedTailsAreDirectCalls) {
+  Program P = normalizedSample(samples::ListPrims);
+  EmitResult Refined = emitC(P, Mode::Refined);
+  EmitResult Basic = emitC(P, Mode::Basic);
+  // The refined translation replaces `return closure_make_f(...)` with
+  // `return f_f(...)` on non-read tails, so it needs strictly fewer
+  // monomorphized makers and emits `return f_...` direct calls.
+  EXPECT_LT(Refined.MonomorphInstances, Basic.MonomorphInstances);
+  EXPECT_NE(Refined.Code.find("return f_"), std::string::npos);
+  // Reads still go through closures in both modes.
+  EXPECT_NE(Refined.Code.find("modref_read("), std::string::npos);
+  EXPECT_NE(Basic.Code.find("modref_read("), std::string::npos);
+}
+
+TEST(EmitC, ReadsUseSubstitutionPlaceholder) {
+  Program P = normalizedSample(samples::ExpTrees);
+  EmitResult R = emitC(P, Mode::Refined);
+  // Every read emits a closure whose read-destination slot is the
+  // substitution placeholder.
+  EXPECT_NE(R.Code.find("/*subst*/0"), std::string::npos);
+  EXPECT_NE(R.Code.find("allocate(sizeof(modref_t)"), std::string::npos);
+}
+
+TEST(EmitC, SizeWithinTheorem5Bound) {
+  // Theorem 5: the generated C is O(m + n * ML(P)) words. Check a
+  // generous concrete constant over all samples (chars as word proxy).
+  for (const auto &[Name, Source] : samples::allPrograms()) {
+    auto Parsed = parseProgram(Source);
+    ASSERT_TRUE(Parsed) << Parsed.Error;
+    NormalizeResult N = normalizeProgram(*Parsed.Prog);
+    EmitResult R = emitC(N.Prog, Mode::Refined);
+    size_t WordBound =
+        N.Stats.InputWords +
+        (N.Stats.InputBlocks + Parsed.Prog->Funcs.size() + 4) *
+            (2 * N.Stats.MaxLive + 10);
+    // ~24 characters per emitted word is ample for this C dialect.
+    EXPECT_LT(R.EmittedBytes, WordBound * 24) << Name;
+  }
+}
+
+TEST(EmitC, PassthroughPrintsOriginal) {
+  auto Parsed = parseProgram(samples::ExpTrees);
+  ASSERT_TRUE(Parsed) << Parsed.Error;
+  EmitResult R = emitPassthrough(*Parsed.Prog);
+  EXPECT_NE(R.Code.find("func eval"), std::string::npos);
+  EXPECT_EQ(R.MonomorphInstances, 0u);
+}
+
+TEST(EmitC, CompilationTimeScalesNearLinearly) {
+  // Fig. 15's property in miniature: pipeline time grows with output
+  // size, without a superlinear blowup. We only check the ratio here;
+  // bench/fig15 measures the curve.
+  auto Small = parseProgram(samples::ExpTrees);
+  auto Large = parseProgram(samples::allPrograms().back().second);
+  ASSERT_TRUE(Small);
+  ASSERT_TRUE(Large);
+  EmitResult RS = emitC(normalizeProgram(*Small.Prog).Prog, Mode::Refined);
+  EmitResult RL = emitC(normalizeProgram(*Large.Prog).Prog, Mode::Refined);
+  EXPECT_GT(RL.EmittedBytes, 3 * RS.EmittedBytes);
+}
