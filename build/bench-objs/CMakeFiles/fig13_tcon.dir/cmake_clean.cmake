@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_tcon"
+  "../bench/fig13_tcon.pdb"
+  "CMakeFiles/fig13_tcon.dir/fig13_tcon.cpp.o"
+  "CMakeFiles/fig13_tcon.dir/fig13_tcon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tcon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_heaplimit"
+  "../bench/fig14_heaplimit.pdb"
+  "CMakeFiles/fig14_heaplimit.dir/fig14_heaplimit.cpp.o"
+  "CMakeFiles/fig14_heaplimit.dir/fig14_heaplimit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_heaplimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_compile_scaling"
+  "../bench/fig15_compile_scaling.pdb"
+  "CMakeFiles/fig15_compile_scaling.dir/fig15_compile_scaling.cpp.o"
+  "CMakeFiles/fig15_compile_scaling.dir/fig15_compile_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_compile_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/rt_microbench"
+  "../bench/rt_microbench.pdb"
+  "CMakeFiles/rt_microbench.dir/rt_microbench.cpp.o"
+  "CMakeFiles/rt_microbench.dir/rt_microbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_vs_sasml"
+  "../bench/table2_vs_sasml.pdb"
+  "CMakeFiles/table2_vs_sasml.dir/table2_vs_sasml.cpp.o"
+  "CMakeFiles/table2_vs_sasml.dir/table2_vs_sasml.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_vs_sasml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

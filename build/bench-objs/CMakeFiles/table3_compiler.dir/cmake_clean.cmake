@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_compiler"
+  "../bench/table3_compiler.pdb"
+  "CMakeFiles/table3_compiler.dir/table3_compiler.cpp.o"
+  "CMakeFiles/table3_compiler.dir/table3_compiler.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cealc.dir/cealc.cpp.o"
+  "CMakeFiles/cealc.dir/cealc.cpp.o.d"
+  "cealc"
+  "cealc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cealc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

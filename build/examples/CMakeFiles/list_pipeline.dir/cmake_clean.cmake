@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_pipeline.dir/list_pipeline.cpp.o"
+  "CMakeFiles/list_pipeline.dir/list_pipeline.cpp.o.d"
+  "list_pipeline"
+  "list_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

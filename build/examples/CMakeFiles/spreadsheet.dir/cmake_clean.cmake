@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spreadsheet.dir/spreadsheet.cpp.o"
+  "CMakeFiles/spreadsheet.dir/spreadsheet.cpp.o.d"
+  "spreadsheet"
+  "spreadsheet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spreadsheet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_analysis.dir/analysis/Dominators.cpp.o"
+  "CMakeFiles/ceal_analysis.dir/analysis/Dominators.cpp.o.d"
+  "CMakeFiles/ceal_analysis.dir/analysis/Liveness.cpp.o"
+  "CMakeFiles/ceal_analysis.dir/analysis/Liveness.cpp.o.d"
+  "CMakeFiles/ceal_analysis.dir/analysis/ProgramGraph.cpp.o"
+  "CMakeFiles/ceal_analysis.dir/analysis/ProgramGraph.cpp.o.d"
+  "libceal_analysis.a"
+  "libceal_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/ExpTrees.cpp" "src/CMakeFiles/ceal_apps.dir/apps/ExpTrees.cpp.o" "gcc" "src/CMakeFiles/ceal_apps.dir/apps/ExpTrees.cpp.o.d"
+  "/root/repo/src/apps/Geometry.cpp" "src/CMakeFiles/ceal_apps.dir/apps/Geometry.cpp.o" "gcc" "src/CMakeFiles/ceal_apps.dir/apps/Geometry.cpp.o.d"
+  "/root/repo/src/apps/ListApps.cpp" "src/CMakeFiles/ceal_apps.dir/apps/ListApps.cpp.o" "gcc" "src/CMakeFiles/ceal_apps.dir/apps/ListApps.cpp.o.d"
+  "/root/repo/src/apps/ListConv.cpp" "src/CMakeFiles/ceal_apps.dir/apps/ListConv.cpp.o" "gcc" "src/CMakeFiles/ceal_apps.dir/apps/ListConv.cpp.o.d"
+  "/root/repo/src/apps/TreeContraction.cpp" "src/CMakeFiles/ceal_apps.dir/apps/TreeContraction.cpp.o" "gcc" "src/CMakeFiles/ceal_apps.dir/apps/TreeContraction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ceal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceal_om.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_apps.dir/apps/ExpTrees.cpp.o"
+  "CMakeFiles/ceal_apps.dir/apps/ExpTrees.cpp.o.d"
+  "CMakeFiles/ceal_apps.dir/apps/Geometry.cpp.o"
+  "CMakeFiles/ceal_apps.dir/apps/Geometry.cpp.o.d"
+  "CMakeFiles/ceal_apps.dir/apps/ListApps.cpp.o"
+  "CMakeFiles/ceal_apps.dir/apps/ListApps.cpp.o.d"
+  "CMakeFiles/ceal_apps.dir/apps/ListConv.cpp.o"
+  "CMakeFiles/ceal_apps.dir/apps/ListConv.cpp.o.d"
+  "CMakeFiles/ceal_apps.dir/apps/TreeContraction.cpp.o"
+  "CMakeFiles/ceal_apps.dir/apps/TreeContraction.cpp.o.d"
+  "libceal_apps.a"
+  "libceal_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cl/Builder.cpp" "src/CMakeFiles/ceal_cl.dir/cl/Builder.cpp.o" "gcc" "src/CMakeFiles/ceal_cl.dir/cl/Builder.cpp.o.d"
+  "/root/repo/src/cl/Ir.cpp" "src/CMakeFiles/ceal_cl.dir/cl/Ir.cpp.o" "gcc" "src/CMakeFiles/ceal_cl.dir/cl/Ir.cpp.o.d"
+  "/root/repo/src/cl/Lexer.cpp" "src/CMakeFiles/ceal_cl.dir/cl/Lexer.cpp.o" "gcc" "src/CMakeFiles/ceal_cl.dir/cl/Lexer.cpp.o.d"
+  "/root/repo/src/cl/Parser.cpp" "src/CMakeFiles/ceal_cl.dir/cl/Parser.cpp.o" "gcc" "src/CMakeFiles/ceal_cl.dir/cl/Parser.cpp.o.d"
+  "/root/repo/src/cl/Printer.cpp" "src/CMakeFiles/ceal_cl.dir/cl/Printer.cpp.o" "gcc" "src/CMakeFiles/ceal_cl.dir/cl/Printer.cpp.o.d"
+  "/root/repo/src/cl/Samples.cpp" "src/CMakeFiles/ceal_cl.dir/cl/Samples.cpp.o" "gcc" "src/CMakeFiles/ceal_cl.dir/cl/Samples.cpp.o.d"
+  "/root/repo/src/cl/Verifier.cpp" "src/CMakeFiles/ceal_cl.dir/cl/Verifier.cpp.o" "gcc" "src/CMakeFiles/ceal_cl.dir/cl/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ceal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

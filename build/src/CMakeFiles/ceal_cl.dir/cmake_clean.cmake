@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_cl.dir/cl/Builder.cpp.o"
+  "CMakeFiles/ceal_cl.dir/cl/Builder.cpp.o.d"
+  "CMakeFiles/ceal_cl.dir/cl/Ir.cpp.o"
+  "CMakeFiles/ceal_cl.dir/cl/Ir.cpp.o.d"
+  "CMakeFiles/ceal_cl.dir/cl/Lexer.cpp.o"
+  "CMakeFiles/ceal_cl.dir/cl/Lexer.cpp.o.d"
+  "CMakeFiles/ceal_cl.dir/cl/Parser.cpp.o"
+  "CMakeFiles/ceal_cl.dir/cl/Parser.cpp.o.d"
+  "CMakeFiles/ceal_cl.dir/cl/Printer.cpp.o"
+  "CMakeFiles/ceal_cl.dir/cl/Printer.cpp.o.d"
+  "CMakeFiles/ceal_cl.dir/cl/Samples.cpp.o"
+  "CMakeFiles/ceal_cl.dir/cl/Samples.cpp.o.d"
+  "CMakeFiles/ceal_cl.dir/cl/Verifier.cpp.o"
+  "CMakeFiles/ceal_cl.dir/cl/Verifier.cpp.o.d"
+  "libceal_cl.a"
+  "libceal_cl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_cl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

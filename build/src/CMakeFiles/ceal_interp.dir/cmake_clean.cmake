@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_interp.dir/interp/Vm.cpp.o"
+  "CMakeFiles/ceal_interp.dir/interp/Vm.cpp.o.d"
+  "libceal_interp.a"
+  "libceal_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

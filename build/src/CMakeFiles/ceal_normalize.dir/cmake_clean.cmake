@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_normalize.dir/normalize/Normalize.cpp.o"
+  "CMakeFiles/ceal_normalize.dir/normalize/Normalize.cpp.o.d"
+  "libceal_normalize.a"
+  "libceal_normalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_normalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_om.dir/om/OrderList.cpp.o"
+  "CMakeFiles/ceal_om.dir/om/OrderList.cpp.o.d"
+  "libceal_om.a"
+  "libceal_om.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_om.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_runtime.dir/runtime/Runtime.cpp.o"
+  "CMakeFiles/ceal_runtime.dir/runtime/Runtime.cpp.o.d"
+  "libceal_runtime.a"
+  "libceal_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

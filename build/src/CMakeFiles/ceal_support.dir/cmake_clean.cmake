@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_support.dir/support/Arena.cpp.o"
+  "CMakeFiles/ceal_support.dir/support/Arena.cpp.o.d"
+  "libceal_support.a"
+  "libceal_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/translate/EmitC.cpp" "src/CMakeFiles/ceal_translate.dir/translate/EmitC.cpp.o" "gcc" "src/CMakeFiles/ceal_translate.dir/translate/EmitC.cpp.o.d"
+  "/root/repo/src/translate/RtsShim.cpp" "src/CMakeFiles/ceal_translate.dir/translate/RtsShim.cpp.o" "gcc" "src/CMakeFiles/ceal_translate.dir/translate/RtsShim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ceal_normalize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceal_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceal_cl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceal_om.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceal_translate.dir/translate/EmitC.cpp.o"
+  "CMakeFiles/ceal_translate.dir/translate/EmitC.cpp.o.d"
+  "CMakeFiles/ceal_translate.dir/translate/RtsShim.cpp.o"
+  "CMakeFiles/ceal_translate.dir/translate/RtsShim.cpp.o.d"
+  "libceal_translate.a"
+  "libceal_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceal_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

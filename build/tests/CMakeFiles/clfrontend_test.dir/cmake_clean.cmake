@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfrontend_test.dir/ClFrontendTest.cpp.o"
+  "CMakeFiles/clfrontend_test.dir/ClFrontendTest.cpp.o.d"
+  "clfrontend_test"
+  "clfrontend_test.pdb"
+  "clfrontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfrontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

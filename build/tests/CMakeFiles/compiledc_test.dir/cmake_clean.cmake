@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiledc_test.dir/CompiledCTest.cpp.o"
+  "CMakeFiles/compiledc_test.dir/CompiledCTest.cpp.o.d"
+  "compiledc_test"
+  "compiledc_test.pdb"
+  "compiledc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiledc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

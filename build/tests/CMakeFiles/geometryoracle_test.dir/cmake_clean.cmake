@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometryoracle_test.dir/GeometryOracleTest.cpp.o"
+  "CMakeFiles/geometryoracle_test.dir/GeometryOracleTest.cpp.o.d"
+  "geometryoracle_test"
+  "geometryoracle_test.pdb"
+  "geometryoracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometryoracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listapps_test.dir/ListAppsTest.cpp.o"
+  "CMakeFiles/listapps_test.dir/ListAppsTest.cpp.o.d"
+  "listapps_test"
+  "listapps_test.pdb"
+  "listapps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listapps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modtyped_test.dir/ModTypedTest.cpp.o"
+  "CMakeFiles/modtyped_test.dir/ModTypedTest.cpp.o.d"
+  "modtyped_test"
+  "modtyped_test.pdb"
+  "modtyped_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modtyped_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

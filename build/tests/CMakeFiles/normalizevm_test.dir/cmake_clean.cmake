@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normalizevm_test.dir/NormalizeVmTest.cpp.o"
+  "CMakeFiles/normalizevm_test.dir/NormalizeVmTest.cpp.o.d"
+  "normalizevm_test"
+  "normalizevm_test.pdb"
+  "normalizevm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normalizevm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderlist_test.dir/OrderListTest.cpp.o"
+  "CMakeFiles/orderlist_test.dir/OrderListTest.cpp.o.d"
+  "orderlist_test"
+  "orderlist_test.pdb"
+  "orderlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

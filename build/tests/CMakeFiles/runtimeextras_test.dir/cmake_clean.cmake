@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtimeextras_test.dir/RuntimeExtrasTest.cpp.o"
+  "CMakeFiles/runtimeextras_test.dir/RuntimeExtrasTest.cpp.o.d"
+  "runtimeextras_test"
+  "runtimeextras_test.pdb"
+  "runtimeextras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtimeextras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

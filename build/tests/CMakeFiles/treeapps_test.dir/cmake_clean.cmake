@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treeapps_test.dir/TreeAppsTest.cpp.o"
+  "CMakeFiles/treeapps_test.dir/TreeAppsTest.cpp.o.d"
+  "treeapps_test"
+  "treeapps_test.pdb"
+  "treeapps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treeapps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
