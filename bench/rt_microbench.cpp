@@ -114,6 +114,36 @@ void BM_PropagateSingleEdit(benchmark::State &State) {
 }
 BENCHMARK(BM_PropagateSingleEdit);
 
+/// The same edit loop with the trace sanitizer auditing after every
+/// propagation. Not a performance target — it quantifies what
+/// AuditLevel::EveryPropagation costs (the audit walks the whole trace,
+/// so expect orders of magnitude) and keeps the audited path exercised
+/// from the bench binary. Compare against BM_PropagateSingleEdit to see
+/// the audit-off delta, which must stay at noise level.
+void BM_PropagateSingleEditAudited(benchmark::State &State) {
+  std::vector<Word> In(size_t(State.range(0)));
+  Rng R(10);
+  for (Word &W : In)
+    W = R.below(1000);
+  Runtime::Config Cfg;
+  Cfg.Audit = AuditLevel::EveryPropagation;
+  Runtime RT(Cfg);
+  ListHandle L = buildList(RT, In);
+  Modref *Dst = RT.modref();
+  RT.runCore<&mapCore>(L.Head, Dst, &identityMap, Word(0));
+  size_t I = 0;
+  for (auto _ : State) {
+    size_t Index = (I * 37) % In.size();
+    detachCell(RT, L, Index);
+    RT.propagate();
+    reattachCell(RT, L, Index);
+    RT.propagate();
+    ++I;
+  }
+  State.SetItemsProcessed(State.iterations() * 2);
+}
+BENCHMARK(BM_PropagateSingleEditAudited)->Arg(1000);
+
 void BM_MetaModifyDeref(benchmark::State &State) {
   Runtime RT;
   Modref *M = RT.modref<int64_t>(1);

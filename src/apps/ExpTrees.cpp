@@ -37,7 +37,7 @@ Closure *evalNode(Runtime &RT, ExpNode *T, Modref *Res) {
 }
 
 ExpNode *newNode(Runtime &RT) {
-  return static_cast<ExpNode *>(RT.arena().allocate(sizeof(ExpNode)));
+  return static_cast<ExpNode *>(RT.metaAlloc(sizeof(ExpNode)));
 }
 
 ExpNode *makeLeafNode(Runtime &RT, double Value) {

@@ -274,7 +274,7 @@ std::vector<Point *> apps::randomPoints(Runtime &RT, Rng &R, size_t N,
   std::vector<Point *> Pts;
   Pts.reserve(N);
   for (size_t I = 0; I < N; ++I) {
-    auto *P = static_cast<Point *>(RT.arena().allocate(sizeof(Point)));
+    auto *P = static_cast<Point *>(RT.metaAlloc(sizeof(Point)));
     P->X = R.unit() + ShiftX;
     P->Y = R.unit();
     Pts.push_back(P);

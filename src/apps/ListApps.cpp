@@ -423,7 +423,7 @@ ListHandle apps::buildList(Runtime &RT, const std::vector<Word> &Values) {
   L.Cells.reserve(Values.size());
   Modref *Cur = L.Head;
   for (Word V : Values) {
-    auto *C = static_cast<Cell *>(RT.arena().allocate(sizeof(Cell)));
+    auto *C = static_cast<Cell *>(RT.metaAlloc(sizeof(Cell)));
     C->Head = V;
     C->Tail = RT.modref<Cell *>(nullptr);
     RT.modifyT(Cur, C);

@@ -198,7 +198,7 @@ std::vector<std::pair<Word, Word>> TcForest::edges() const {
 
 /// Publishes node \p V's current adjacency as a fresh meta record.
 static void tcPublish(Runtime &RT, TcForest &F, Word V) {
-  auto *R = static_cast<TcRec *>(RT.arena().allocate(sizeof(TcRec)));
+  auto *R = static_cast<TcRec *>(RT.metaAlloc(sizeof(TcRec)));
   *R = F.Adj[V];
   RT.modifyT(&F.Table0[V], R);
 }
@@ -223,8 +223,7 @@ TcForest apps::buildRandomTree(Runtime &RT, Rng &R, size_t N) {
     }
     Open.push_back(V);
   }
-  F.Table0 = static_cast<Modref *>(
-      RT.arena().allocate(N * sizeof(Modref)));
+  F.Table0 = static_cast<Modref *>(RT.metaAlloc(N * sizeof(Modref)));
   for (size_t I = 0; I < N; ++I)
     new (F.Table0 + I) Modref();
   for (Word V = 0; V < N; ++V)

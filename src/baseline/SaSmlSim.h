@@ -39,9 +39,14 @@ namespace baseline {
 
 /// Runtime configuration modelling SaSML's cost behaviour. \p
 /// HeapLimitBytes bounds the simulated collected heap (0 = unbounded,
-/// used for Table 2's plentiful-memory comparison).
-inline Runtime::Config sasmlConfig(size_t HeapLimitBytes = 0) {
+/// used for Table 2's plentiful-memory comparison). \p Audit lets the
+/// comparison suites run the baseline shape with the trace sanitizer on:
+/// the bounded-heap reclamation paths are exactly where a trace/accounting
+/// bug would hide, so tests audit them; benchmarks leave it Off.
+inline Runtime::Config sasmlConfig(size_t HeapLimitBytes = 0,
+                                   AuditLevel Audit = AuditLevel::Off) {
   Runtime::Config C;
+  C.Audit = Audit;
   // One boxed continuation per tail jump: in normalized code tail jumps
   // and reads are in proportion; charge the closure traffic at the read.
   C.ExtraAllocsPerRead = 6;

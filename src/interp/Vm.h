@@ -57,7 +57,7 @@ public:
   void metaWrite(Modref *M, Word V) { RT.modify(M, V); }
   Word metaRead(const Modref *M) const { return RT.deref(M); }
   /// A plain input block (for mutator-built structures).
-  void *metaAlloc(size_t Bytes) { return RT.arena().allocate(Bytes); }
+  void *metaAlloc(size_t Bytes) { return RT.metaAlloc(Bytes); }
 
   /// Runs core function \p Name from scratch with word arguments.
   void runCore(const std::string &Name, const std::vector<Word> &Args);

@@ -96,6 +96,9 @@ public:
 
 private:
   friend struct OmGroup;
+  /// The trace sanitizer walks groups/nodes directly so it can *report*
+  /// violations (verifyInvariants aborts on the first one).
+  friend class TraceAudit;
 
   static constexpr uint32_t GroupLimit = 64;
   static constexpr uint32_t GroupTarget = 32;

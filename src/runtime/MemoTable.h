@@ -64,6 +64,13 @@ public:
 
   size_t size() const { return Count; }
 
+  /// Bucket enumeration for auditors (TraceAudit walks every chain to
+  /// check acyclicity, hash placement, and membership).
+  size_t bucketCount() const { return Buckets.size(); }
+  NodeT *bucketHead(size_t Index) const { return Buckets[Index]; }
+  /// The bucket \p Hash maps to under the current table size.
+  size_t bucketFor(uint64_t Hash) const { return bucketIndex(Hash); }
+
 private:
   size_t bucketIndex(uint64_t Hash) const {
     return Hash & (Buckets.size() - 1);

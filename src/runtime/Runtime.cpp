@@ -29,6 +29,8 @@
 
 #include "runtime/Runtime.h"
 
+#include "runtime/TraceAudit.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
@@ -121,14 +123,14 @@ Word Runtime::valueGoverning(const Use *U) const {
 //===----------------------------------------------------------------------===//
 
 Modref *Runtime::modref() {
-  void *Raw = Mem.allocate(sizeof(Modref));
+  void *Raw = metaAlloc(sizeof(Modref));
   return new (Raw) Modref();
 }
 
 void Runtime::metaFree(Modref *M) {
   assert(!M->Head && "freeing a modifiable with live traced uses");
   M->~Modref();
-  Mem.deallocate(M, sizeof(Modref));
+  metaRelease(M, sizeof(Modref));
 }
 
 void Runtime::modify(Modref *M, Word V) {
@@ -157,6 +159,8 @@ void Runtime::run(Closure *C) {
   trampoline(C);
   TraceEnd = Cursor;
   CurPhase = Phase::Meta;
+  if (Cfg.Audit == AuditLevel::EveryPropagation)
+    auditNow("after run_core");
 }
 
 void Runtime::propagate() {
@@ -171,6 +175,14 @@ void Runtime::propagate() {
   }
   flushDeferredFrees();
   CurPhase = Phase::Meta;
+  if (Cfg.Audit == AuditLevel::EveryPropagation)
+    auditNow("after propagate");
+}
+
+void Runtime::auditNow(const char *Where) const {
+  if (Cfg.Audit == AuditLevel::Off)
+    return;
+  TraceAudit::enforce(*this, Where);
 }
 
 //===----------------------------------------------------------------------===//

@@ -37,6 +37,20 @@
 
 namespace ceal {
 
+class TraceAudit;
+
+/// How aggressively the trace sanitizer (TraceAudit) runs.
+enum class AuditLevel : uint8_t {
+  /// Never; auditNow() is a no-op. The only cost is one branch per
+  /// propagate/run, so release builds pay nothing per traced operation.
+  Off,
+  /// Only when the mutator explicitly calls auditNow() (e.g. the oracle
+  /// harness between change sequences).
+  Checkpoints,
+  /// Additionally after every runCore and every propagate.
+  EveryPropagation,
+};
+
 /// The run-time system. See the file comment for the programming model.
 class Runtime {
 public:
@@ -66,6 +80,9 @@ public:
     /// proportional to the live trace runs; if the live trace itself
     /// exceeds the limit, the runtime reports out-of-memory.
     size_t HeapLimitBytes = 0;
+    /// Trace-sanitizer level (see TraceAudit.h). A violation prints every
+    /// finding and aborts, valgrind-style.
+    AuditLevel Audit = AuditLevel::Off;
   };
 
   /// Counters for tests and the benchmark harnesses.
@@ -102,6 +119,23 @@ public:
     return M;
   }
   void metaFree(Modref *M);
+
+  /// Allocates mutator-owned storage (input cells, points, records) from
+  /// the runtime arena, tracked so the trace sanitizer can reconcile
+  /// arena liveBytes with trace-reachable blocks. Mutator code should
+  /// prefer this over arena().allocate(): untracked meta allocations show
+  /// up as leaks under TraceAudit's arena reconciliation.
+  void *metaAlloc(size_t Size) {
+    MetaBytes += Arena::accountedSize(Size);
+    return Mem.allocate(Size);
+  }
+  /// Returns a block obtained from metaAlloc.
+  void metaRelease(void *Ptr, size_t Size) {
+    assert(MetaBytes >= Arena::accountedSize(Size) &&
+           "releasing more meta bytes than allocated");
+    MetaBytes -= Arena::accountedSize(Size);
+    Mem.deallocate(Ptr, Size);
+  }
 
   /// Mutator write (paper: `modify`): updates the value the core saw at
   /// the start of time and invalidates exactly the affected readers.
@@ -231,8 +265,17 @@ public:
   bool outOfMemory() const { return Oom; }
   /// Number of trace timestamps currently live (incl. the base).
   size_t traceSize() const { return Om.size(); }
+  /// Bytes currently held by tracked mutator-owned blocks (metaAlloc).
+  size_t metaBytes() const { return MetaBytes; }
+  const Config &config() const { return Cfg; }
+
+  /// Runs the trace sanitizer if Config::Audit is not Off; prints all
+  /// violations and aborts if any invariant fails. Must be called from
+  /// the meta phase (between runCore/propagate calls).
+  void auditNow(const char *Where = "checkpoint") const;
 
 private:
+  friend class TraceAudit;
   template <typename... Keys>
   static Closure *modrefInit(Runtime &, void *Block, Keys...) {
     new (Block) Modref();
@@ -334,6 +377,7 @@ private:
 
   Stats S;
   size_t GcAllocMark = 0;
+  size_t MetaBytes = 0;
   bool Oom = false;
 };
 

@@ -1,0 +1,442 @@
+//===- runtime/TraceAudit.cpp - Trace sanitizer ---------------------------===//
+//
+// The audit walks the runtime's state in five passes:
+//
+//   1. order structure   (groups, labels, links, two-level agreement)
+//   2. trace walk        (payload back-pointers, interval nesting,
+//                         closure ownership, per-node byte accounting)
+//   3. use-lists + heap  (per-modifiable ordering, equality-cut
+//                         soundness, dirty/queue agreement)
+//   4. memo indexes      (chain shape, hash placement, exact membership)
+//   5. arena             (trace-reachable + tracked meta bytes ==
+//                         liveBytes)
+//
+// Every check records a violation string instead of asserting, so one
+// corrupted structure produces a full report rather than a lone abort;
+// enforce() turns a non-empty report into a banner + abort.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TraceAudit.h"
+
+#include "runtime/Runtime.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace ceal;
+
+namespace {
+
+/// Cap on recorded violations; a badly corrupted trace would otherwise
+/// produce a report proportional to its size.
+constexpr size_t MaxViolations = 64;
+
+std::string formatv(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string S(Len > 0 ? static_cast<size_t>(Len) : 0, '\0');
+  if (Len > 0)
+    std::vsnprintf(S.data(), S.size() + 1, Fmt, Args);
+  return S;
+}
+
+} // namespace
+
+std::string TraceAudit::Report::summary() const {
+  if (Violations.empty()) {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "ok: %zu reads, %zu writes, %zu allocs, %zu timestamps, "
+                  "%zu trace bytes",
+                  Reads, Writes, Allocs, Timestamps, TraceBytes);
+    return Buf;
+  }
+  std::string S;
+  for (const std::string &V : Violations) {
+    if (!S.empty())
+      S += '\n';
+    S += V;
+  }
+  return S;
+}
+
+struct TraceAudit::Impl {
+  const Runtime &RT;
+  TraceAudit::Report &Rep;
+
+  // Populated by the trace walk, consumed by the later passes.
+  std::unordered_set<const TraceNode *> LiveNodes;
+  std::vector<const ReadNode *> Reads;
+  std::vector<const WriteNode *> Writes;
+  std::vector<const AllocNode *> Allocs;
+  std::unordered_map<const Modref *, std::vector<const Use *>> UsesByRef;
+
+  Impl(const Runtime &R, TraceAudit::Report &Out) : RT(R), Rep(Out) {}
+
+  void fail(const char *Fmt, ...) __attribute__((format(printf, 2, 3))) {
+    if (Rep.Violations.size() >= MaxViolations)
+      return;
+    va_list Args;
+    va_start(Args, Fmt);
+    Rep.Violations.push_back(formatv(Fmt, Args));
+    va_end(Args);
+    if (Rep.Violations.size() == MaxViolations)
+      Rep.Violations.push_back("... (further violations suppressed)");
+  }
+
+  void run() {
+    if (RT.CurPhase != Runtime::Phase::Meta) {
+      fail("audit invoked outside the meta phase");
+      return; // The structures below are in flux mid-execution.
+    }
+    checkOrderStructure();
+    walkTrace();
+    checkUseLists();
+    checkHeap();
+    checkMemos();
+    checkArena();
+  }
+
+  //===------------------------------------------------------------===//
+  // Pass 1: order-maintenance structure
+  //===------------------------------------------------------------===//
+
+  void checkOrderStructure() {
+    const OrderList &Om = RT.Om;
+    size_t SeenNodes = 0;
+    const OmNode *Expected = Om.Base; // Next node the chain should yield.
+    const OmGroup *PrevG = nullptr;
+    for (const OmGroup *G = Om.FirstGroup; G; G = G->Next) {
+      if (G->Prev != PrevG)
+        fail("om: group back-link broken at label %llu",
+             (unsigned long long)G->Label);
+      if (PrevG && G->Label <= PrevG->Label)
+        fail("om: group labels not strictly increasing (%llu after %llu)",
+             (unsigned long long)G->Label, (unsigned long long)PrevG->Label);
+      if (G->Count == 0) {
+        fail("om: empty group left in list");
+        PrevG = G;
+        continue;
+      }
+      if (G->First != Expected)
+        fail("om: group First out of sync with node chain");
+      const OmNode *N = G->First;
+      uint64_t PrevLabel = 0;
+      for (uint32_t I = 0; N && I < G->Count; ++I) {
+        if (N->Group != G)
+          fail("om: node points at wrong group");
+        if (I > 0 && N->Label <= PrevLabel)
+          fail("om: node labels not strictly increasing within group");
+        if (N->Next && N->Next->Prev != N)
+          fail("om: node back-link broken");
+        PrevLabel = N->Label;
+        ++SeenNodes;
+        Expected = N->Next;
+        N = N->Next;
+      }
+      PrevG = G;
+    }
+    if (Expected != nullptr)
+      fail("om: trailing nodes beyond the last group");
+    if (SeenNodes != Om.Size)
+      fail("om: size accounting out of sync (walked %zu, Size %zu)",
+           SeenNodes, Om.Size);
+    // Two-level agreement: the strict order precedes() computes from
+    // (group label, node label) must match the linked-list order.
+    for (const OmNode *N = Om.Base; N && N->Next; N = N->Next) {
+      if (!OrderList::precedes(N, N->Next) ||
+          OrderList::precedes(N->Next, N))
+        fail("om: precedes() disagrees with list order (labels %llu/%llu)",
+             (unsigned long long)N->Label,
+             (unsigned long long)N->Next->Label);
+    }
+  }
+
+  //===------------------------------------------------------------===//
+  // Pass 2: trace walk
+  //===------------------------------------------------------------===//
+
+  void walkTrace() {
+    std::vector<const ReadNode *> OpenReads;
+    std::unordered_set<const void *> Blocks;
+    const OmNode *Last = RT.Om.base();
+    for (const OmNode *N = RT.Om.base()->Next; N; N = N->Next) {
+      Last = N;
+      void *Item = N->Item;
+      if (!Item) {
+        fail("trace: non-base timestamp with no payload");
+        continue;
+      }
+      if (isEndItem(Item)) {
+        const ReadNode *R = untagEndItem(Item);
+        if (R->End != N)
+          fail("trace: end marker not pointed back at by its read");
+        if (OpenReads.empty())
+          fail("trace: interval end with no open read");
+        else if (OpenReads.back() != R)
+          fail("trace: read intervals not properly nested");
+        else
+          OpenReads.pop_back();
+        continue;
+      }
+      const auto *T = static_cast<const TraceNode *>(Item);
+      if (T->Start != N)
+        fail("trace: node's Start does not point back at its timestamp");
+      if (!LiveNodes.insert(T).second) {
+        fail("trace: node stamped at two timestamps");
+        continue;
+      }
+      switch (T->Kind) {
+      case TraceKind::Read: {
+        const auto *R = static_cast<const ReadNode *>(T);
+        Reads.push_back(R);
+        UsesByRef[R->Ref].push_back(R);
+        if (!R->Ref)
+          fail("read: null modifiable");
+        if (!R->End)
+          fail("read: interval never closed");
+        else
+          OpenReads.push_back(R);
+        if (!R->Clo)
+          fail("read: null closure");
+        else {
+          if (!R->Clo->OwnedByTrace)
+            fail("read: closure not marked trace-owned");
+          if (R->Clo->NumArgs < 1)
+            fail("read: closure lacks a value slot");
+        }
+        break;
+      }
+      case TraceKind::Write: {
+        const auto *W = static_cast<const WriteNode *>(T);
+        Writes.push_back(W);
+        UsesByRef[W->Ref].push_back(W);
+        if (!W->Ref)
+          fail("write: null modifiable");
+        break;
+      }
+      case TraceKind::Alloc: {
+        const auto *A = static_cast<const AllocNode *>(T);
+        Allocs.push_back(A);
+        if (!A->Block)
+          fail("alloc: null block");
+        else if (!Blocks.insert(A->Block).second)
+          fail("alloc: two live allocations share one block (double "
+               "steal?)");
+        if (!A->Init)
+          fail("alloc: null initializer closure");
+        else if (!A->Init->OwnedByTrace)
+          fail("alloc: initializer not marked trace-owned");
+        break;
+      }
+      }
+    }
+    if (!OpenReads.empty())
+      fail("trace: %zu read interval(s) missing their end markers",
+           OpenReads.size());
+    if (RT.TraceEnd != Last)
+      fail("trace: TraceEnd is not the maximum timestamp");
+    if (!RT.PendingReads.empty())
+      fail("trace: pending-read stack not empty at meta time");
+    if (!RT.DeferredFrees.empty())
+      fail("trace: deferred frees not flushed at meta time");
+    Rep.Reads = Reads.size();
+    Rep.Writes = Writes.size();
+    Rep.Allocs = Allocs.size();
+    Rep.Timestamps = RT.Om.size();
+  }
+
+  //===------------------------------------------------------------===//
+  // Pass 3: use-lists and the propagation queue
+  //===------------------------------------------------------------===//
+
+  void checkUseLists() {
+    for (const auto &[M, TraceUses] : UsesByRef) {
+      std::unordered_set<const Use *> InList;
+      const Use *Prev = nullptr;
+      // Value governing the current position: the latest preceding write,
+      // else the modifiable's initial value — accumulated as we walk so a
+      // corrupted PrevUse chain cannot send the audit in circles.
+      Word Governing = M->Initial;
+      for (const Use *U = M->Head; U; U = U->NextUse) {
+        if (!InList.insert(U).second) {
+          fail("uselist: cycle in a modifiable's use list");
+          break;
+        }
+        if (U->Ref != M)
+          fail("uselist: member belongs to a different modifiable");
+        if (!LiveNodes.count(U))
+          fail("uselist: member is not a live trace node (dangling use)");
+        if (U->PrevUse != Prev)
+          fail("uselist: PrevUse back-link broken");
+        if (Prev && !OrderList::precedes(Prev->Start, U->Start))
+          fail("uselist: uses not sorted by timestamp");
+        if (U->Kind == TraceKind::Read) {
+          const auto *R = static_cast<const ReadNode *>(U);
+          if (!R->isDirty() && R->SeenValue != Governing)
+            fail("uselist: clean read's SeenValue differs from the value "
+                 "its position governs (equality cut unsound)");
+        } else if (U->Kind == TraceKind::Write) {
+          Governing = static_cast<const WriteNode *>(U)->Value;
+        }
+        Prev = U;
+      }
+      if (M->Tail != Prev)
+        fail("uselist: Tail does not point at the last member");
+      if (InList.size() != TraceUses.size())
+        fail("uselist: list has %zu members but the trace has %zu uses "
+             "of this modifiable",
+             InList.size(), TraceUses.size());
+      for (const Use *U : TraceUses)
+        if (!InList.count(U))
+          fail("uselist: traced use missing from its modifiable's list");
+    }
+  }
+
+  void checkHeap() {
+    const auto &Heap = RT.Heap;
+    for (size_t I = 0; I < Heap.size(); ++I) {
+      const ReadNode *R = Heap[I];
+      if (!LiveNodes.count(R)) {
+        fail("heap: entry %zu is not a live trace node", I);
+        continue;
+      }
+      if (R->HeapIndex != static_cast<int32_t>(I))
+        fail("heap: entry %zu carries HeapIndex %d", I, R->HeapIndex);
+      if (!R->isDirty())
+        fail("heap: entry %zu is not dirty", I);
+      if (I > 0) {
+        const ReadNode *Parent = Heap[(I - 1) / 2];
+        if (OrderList::precedes(R->Start, Parent->Start))
+          fail("heap: min-heap property violated at entry %zu", I);
+      }
+    }
+    size_t DirtyReads = 0;
+    for (const ReadNode *R : Reads) {
+      if (R->isDirty() != (R->HeapIndex >= 0))
+        fail("read: dirty flag and queue membership disagree "
+             "(dirty=%d, HeapIndex=%d)",
+             int(R->isDirty()), R->HeapIndex);
+      if (R->isDirty())
+        ++DirtyReads;
+    }
+    if (DirtyReads != Heap.size())
+      fail("heap: %zu dirty reads in the trace but %zu queued entries",
+           DirtyReads, Heap.size());
+  }
+
+  //===------------------------------------------------------------===//
+  // Pass 4: memo indexes
+  //===------------------------------------------------------------===//
+
+  template <typename NodeT, typename HashFn>
+  void checkMemoTable(const MemoTable<NodeT> &Table, const char *Name,
+                      const std::vector<const NodeT *> &Expected,
+                      HashFn RecomputeHash) {
+    std::unordered_set<const NodeT *> InTable;
+    for (size_t B = 0; B < Table.bucketCount(); ++B) {
+      const NodeT *Prev = nullptr;
+      for (const NodeT *N = Table.bucketHead(B); N; N = N->MemoNext) {
+        if (!InTable.insert(N).second) {
+          fail("%s memo: chain cycle in bucket %zu", Name, B);
+          break;
+        }
+        if (N->MemoPrev != Prev)
+          fail("%s memo: MemoPrev back-link broken", Name);
+        if (Table.bucketFor(N->MemoHash) != B)
+          fail("%s memo: entry hashed to bucket %zu but chained in %zu",
+               Name, Table.bucketFor(N->MemoHash), B);
+        if (!LiveNodes.count(N))
+          fail("%s memo: entry is not a live trace node", Name);
+        else if (RecomputeHash(N) != N->MemoHash)
+          fail("%s memo: stored hash does not match its key", Name);
+        Prev = N;
+      }
+    }
+    if (InTable.size() != Table.size())
+      fail("%s memo: table Count %zu but %zu chained entries", Name,
+           Table.size(), InTable.size());
+    for (const NodeT *N : Expected)
+      if (!InTable.count(N))
+        fail("%s memo: live trace node missing from the index", Name);
+    if (Expected.size() != InTable.size())
+      fail("%s memo: %zu live nodes but %zu indexed entries", Name,
+           Expected.size(), InTable.size());
+  }
+
+  void checkMemos() {
+    checkMemoTable(RT.ReadMemo, "read", Reads, [&](const ReadNode *R) {
+      return RT.readMemoHash(R->Ref, R->Clo);
+    });
+    checkMemoTable(RT.AllocMemo, "alloc", Allocs, [&](const AllocNode *A) {
+      return RT.allocMemoHash(A->Init, A->Size);
+    });
+  }
+
+  //===------------------------------------------------------------===//
+  // Pass 5: arena reconciliation
+  //===------------------------------------------------------------===//
+
+  void checkArena() {
+    size_t Box = RT.Cfg.BoxBytesPerNode;
+    size_t Bytes = 0;
+    for (const ReadNode *R : Reads) {
+      Bytes += Arena::accountedSize(sizeof(ReadNode) + Box);
+      if (R->Clo)
+        Bytes += Arena::accountedSize(R->Clo->byteSize());
+    }
+    for (const WriteNode *W : Writes) {
+      (void)W;
+      Bytes += Arena::accountedSize(sizeof(WriteNode) + Box);
+    }
+    for (const AllocNode *A : Allocs) {
+      Bytes += Arena::accountedSize(sizeof(AllocNode) + Box);
+      if (A->Init)
+        Bytes += Arena::accountedSize(A->Init->byteSize());
+      if (A->Size)
+        Bytes += Arena::accountedSize(A->Size);
+    }
+    Rep.TraceBytes = Bytes;
+    size_t Expected = Bytes + RT.MetaBytes;
+    size_t Live = RT.Mem.liveBytes();
+    if (Expected != Live) {
+      if (Expected < Live)
+        fail("arena: %zu live bytes but only %zu reachable from the trace "
+             "or tracked meta blocks (leak of %zu bytes; untracked "
+             "arena().allocate()?)",
+             Live, Expected, Live - Expected);
+      else
+        fail("arena: %zu reachable bytes exceed %zu live bytes "
+             "(double free of %zu bytes)",
+             Expected, Live, Expected - Live);
+    }
+  }
+};
+
+TraceAudit::Report TraceAudit::inspect(const Runtime &RT) {
+  Report Rep;
+  Impl(RT, Rep).run();
+  return Rep;
+}
+
+void TraceAudit::enforce(const Runtime &RT, const char *Where) {
+  Report Rep = inspect(RT);
+  if (Rep.ok())
+    return;
+  std::fprintf(stderr,
+               "\n==== TraceAudit: %zu invariant violation(s) %s ====\n",
+               Rep.Violations.size(), Where);
+  for (const std::string &V : Rep.Violations)
+    std::fprintf(stderr, "  %s\n", V.c_str());
+  std::fprintf(stderr,
+               "  (trace: %zu reads, %zu writes, %zu allocs, %zu "
+               "timestamps)\n",
+               Rep.Reads, Rep.Writes, Rep.Allocs, Rep.Timestamps);
+  std::abort();
+}

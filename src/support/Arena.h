@@ -58,6 +58,13 @@ public:
   /// Bytes currently handed out to clients.
   size_t liveBytes() const { return LiveBytes; }
 
+  /// How many liveBytes a block of \p Size accounts for: small sizes
+  /// round up to their 16-byte class, large ones are exact. Auditors use
+  /// this to reconcile external bookkeeping with liveBytes().
+  static size_t accountedSize(size_t Size) {
+    return Size > MaxSmallSize ? Size : classSize(classIndex(Size));
+  }
+
   /// High-water mark of liveBytes() since construction (or resetStats()).
   size_t maxLiveBytes() const { return MaxLiveBytes; }
 

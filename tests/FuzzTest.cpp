@@ -22,6 +22,7 @@
 #include "interp/Vm.h"
 #include "normalize/Normalize.h"
 #include "support/Random.h"
+#include "tests/support/Generators.h"
 
 #include <gtest/gtest.h>
 
@@ -35,37 +36,24 @@ using namespace ceal::normalize;
 //===----------------------------------------------------------------------===//
 
 TEST(ParserFuzz, CharacterMutationsNeverCrash) {
-  Rng R(1234);
+  const uint64_t BaseSeed = 1234;
   std::string Base = samples::ListPrims;
-  const char Alphabet[] = "abcxyz019(){}[];:=*,_ \n\tfunc goto tail read";
   int Accepted = 0, Rejected = 0;
-  for (int Trial = 0; Trial < 400; ++Trial) {
-    std::string Mutated = Base;
-    int Edits = 1 + static_cast<int>(R.below(8));
-    for (int E = 0; E < Edits; ++E) {
-      size_t Pos = R.below(Mutated.size());
-      switch (R.below(3)) {
-      case 0:
-        Mutated[Pos] = Alphabet[R.below(sizeof(Alphabet) - 1)];
-        break;
-      case 1:
-        Mutated.erase(Pos, 1 + R.below(4));
-        break;
-      default:
-        Mutated.insert(Pos, 1, Alphabet[R.below(sizeof(Alphabet) - 1)]);
-        break;
-      }
-    }
+  for (uint64_t Trial = 0; Trial < 400; ++Trial) {
+    // Per-trial stream: any failing trial replays alone from its seed.
+    uint64_t Seed = gen::mixSeed(BaseSeed, Trial);
+    Rng R(Seed);
+    std::string Mutated = gen::mutateSource(R, Base);
     auto Result = parseProgram(Mutated);
     if (Result) {
       ++Accepted;
       // Whatever parses must be printable and verifiable without crashes.
       std::string Printed = printProgram(*Result.Prog);
-      EXPECT_FALSE(Printed.empty());
+      EXPECT_FALSE(Printed.empty()) << gen::seedTag(Seed);
       (void)verifyProgram(*Result.Prog);
     } else {
       ++Rejected;
-      EXPECT_FALSE(Result.Error.empty());
+      EXPECT_FALSE(Result.Error.empty()) << gen::seedTag(Seed);
     }
   }
   // Most mutations must be caught; a few survive harmlessly (e.g. edits
@@ -75,22 +63,14 @@ TEST(ParserFuzz, CharacterMutationsNeverCrash) {
 }
 
 TEST(ParserFuzz, RandomTokenSoupNeverCrashes) {
-  Rng R(99);
-  const char *Tokens[] = {"func",  "goto", "tail", "read", "write", "alloc",
-                          "modref", "call", "done", "if",   "then",  "else",
-                          "var",   "int",  "x",    "y",    "f",     "(",
-                          ")",     "{",    "}",    "[",    "]",     ";",
-                          ":",     ":=",   "*",    ",",    "42",    "-3"};
-  for (int Trial = 0; Trial < 300; ++Trial) {
-    std::string Soup;
-    size_t Len = 5 + R.below(120);
-    for (size_t I = 0; I < Len; ++I) {
-      Soup += Tokens[R.below(std::size(Tokens))];
-      Soup += ' ';
-    }
+  const uint64_t BaseSeed = 99;
+  for (uint64_t Trial = 0; Trial < 300; ++Trial) {
+    uint64_t Seed = gen::mixSeed(BaseSeed, Trial);
+    Rng R(Seed);
+    std::string Soup = gen::tokenSoup(R);
     auto Result = parseProgram(Soup);
     if (!Result) {
-      EXPECT_FALSE(Result.Error.empty());
+      EXPECT_FALSE(Result.Error.empty()) << gen::seedTag(Seed);
     }
   }
 }

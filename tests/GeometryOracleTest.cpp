@@ -10,10 +10,12 @@
 
 #include "apps/Geometry.h"
 #include "support/Random.h"
+#include "tests/support/OracleModels.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 using namespace ceal;
@@ -114,26 +116,68 @@ TEST(GeometryOracle, SelfAdjustingHullIsValidAndMatchesGiftWrap) {
   }
 }
 
-TEST(GeometryOracle, HullStaysValidUnderEdits) {
-  Rng R(9);
-  Runtime RT;
-  std::vector<Point *> Pts = randomPoints(RT, R, 120);
-  ListHandle L = buildPointList(RT, Pts);
-  Modref *Dst = RT.modref();
-  RT.runCore<&quickhullCore>(L.Head, Dst);
-  for (int Edit = 0; Edit < 25; ++Edit) {
-    size_t I = R.below(L.Cells.size());
-    detachCell(RT, L, I);
-    RT.propagate();
-    std::vector<Point *> Active;
-    for (auto *C = RT.derefT<Cell *>(L.Head); C;
-         C = RT.derefT<Cell *>(C->Tail))
-      Active.push_back(fromWord<Point *>(C->Head));
-    expectValidHull(hullFromRuntime(RT, Dst), Active);
-    reattachCell(RT, L, I);
-    RT.propagate();
-    expectValidHull(hullFromRuntime(RT, Dst), Pts);
+namespace {
+
+/// The edit sweep ported onto the oracle harness, against the
+/// *independent* oracle: expected() is the gift-wrap hull of the active
+/// points, and output() additionally asserts convexity/containment.
+/// Both hulls are clockwise cycles; rotating each to its smallest vertex
+/// pointer makes the word-for-word comparison rotation-invariant.
+class ValidHullModel : public harness::AppModel {
+public:
+  void setup(Runtime &RT, Rng &R) override {
+    std::vector<Point *> Pts = randomPoints(RT, R, 30 + R.below(91));
+    Edit.init(buildPointList(RT, Pts));
+    Edit.MinLive = 3;
+    Dst = RT.modref();
+    RT.runCore<&quickhullCore>(Edit.L.Head, Dst);
   }
+
+  void applyChange(Runtime &RT, Rng &R) override { Edit.randomEdit(RT, R); }
+
+  std::vector<Word> output(Runtime &RT) override {
+    std::vector<const Point *> Hull = hullFromRuntime(RT, Dst);
+    expectValidHull(Hull, activePts(RT));
+    return normalized(Hull);
+  }
+
+  std::vector<Word> expected(Runtime &RT) override {
+    std::vector<Point *> Active = activePts(RT);
+    return normalized(giftWrap({Active.begin(), Active.end()}));
+  }
+
+private:
+  std::vector<Point *> activePts(Runtime &RT) {
+    std::vector<Point *> Active;
+    for (Word W : readList(RT, Edit.L.Head))
+      Active.push_back(fromWord<Point *>(W));
+    return Active;
+  }
+
+  static std::vector<Word> normalized(std::vector<const Point *> Hull) {
+    if (!Hull.empty())
+      std::rotate(Hull.begin(),
+                  std::min_element(Hull.begin(), Hull.end()), Hull.end());
+    std::vector<Word> Out;
+    for (const Point *P : Hull)
+      Out.push_back(toWord(P));
+    return Out;
+  }
+
+  harness::ListEditor Edit;
+  Modref *Dst = nullptr;
+};
+
+} // namespace
+
+TEST(GeometryOracle, HullStaysValidUnderEdits) {
+  harness::HarnessOptions Opt;
+  Opt.Sequences = 5;
+  Opt.Changes = 10;
+  Opt.BaseSeed = 9;
+  EXPECT_EQ(harness::runOracleHarness(
+                [] { return std::make_unique<ValidHullModel>(); }, Opt),
+            "");
 }
 
 TEST(GeometryOracle, DiameterMatchesBruteForceOverAllPairs) {

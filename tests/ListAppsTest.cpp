@@ -13,11 +13,13 @@
 #include "apps/ListApps.h"
 #include "apps/ListConv.h"
 #include "support/Random.h"
+#include "tests/support/OracleModels.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 
 using namespace ceal;
 using namespace ceal::apps;
@@ -46,14 +48,6 @@ std::vector<Word> oracleSorted(std::vector<Word> V) {
   std::sort(V.begin(), V.end());
   return V;
 }
-
-struct EditSweepParam {
-  uint64_t Seed;
-  size_t N;
-  int Edits;
-};
-
-class ListEditSweep : public ::testing::TestWithParam<EditSweepParam> {};
 
 } // namespace
 
@@ -193,68 +187,34 @@ TEST(ListApps, QuicksortSortsStrings) {
 }
 
 //===----------------------------------------------------------------------===//
-// Edit sweeps: delete + propagate + reinsert + propagate on every
-// primitive, checked against conventional recomputation.
+// Edit sweeps, ported onto the shared oracle harness: each sequence runs
+// all seven primitives under random LIFO detach/reattach edits with the
+// trace sanitizer at every-propagation level, comparing word-for-word
+// against the conventional oracles. A failure prints the sequence seed
+// and a shrunk change list for replay.
 //===----------------------------------------------------------------------===//
 
-TEST_P(ListEditSweep, AllPrimitivesStayConsistent) {
-  const EditSweepParam P = GetParam();
-  Rng R(P.Seed);
-  std::vector<Word> In = randomWords(R, P.N);
-
-  Runtime RT;
-  ListHandle L = buildList(RT, In);
-  Modref *DMap = RT.modref(), *DFil = RT.modref(), *DRev = RT.modref(),
-         *DMin = RT.modref(), *DSum = RT.modref(), *DQs = RT.modref(),
-         *DMs = RT.modref();
-  RT.runCore<&mapCore>(L.Head, DMap, &mapPaper, Word(0));
-  RT.runCore<&filterCore>(L.Head, DFil, &filterPaper, Word(0));
-  RT.runCore<&reverseCore>(L.Head, DRev);
-  RT.runCore<&reduceCore>(L.Head, DMin, &combineMin, Word(0),
-                          Word(UINT64_MAX));
-  RT.runCore<&reduceCore>(L.Head, DSum, &combineSum, Word(0), Word(0));
-  RT.runCore<&quicksortCore>(L.Head, DQs, &cmpWord);
-  RT.runCore<&mergesortCore>(L.Head, DMs, &cmpWord);
-
-  auto CheckAll = [&](const char *When) {
-    std::vector<Word> Cur = readList(RT, L.Head);
-    Arena A;
-    conv::PCell *CIn = conv::buildList(A, Cur);
-    ASSERT_EQ(readList(RT, DMap),
-              conv::toVector(conv::mapList(A, CIn, &mapPaper, 0)))
-        << When;
-    ASSERT_EQ(readList(RT, DFil),
-              conv::toVector(conv::filterList(A, CIn, &filterPaper, 0)))
-        << When;
-    std::vector<Word> Rev(Cur.rbegin(), Cur.rend());
-    ASSERT_EQ(readList(RT, DRev), Rev) << When;
-    ASSERT_EQ(RT.deref(DMin),
-              conv::reduceList(CIn, &combineMin, 0, UINT64_MAX))
-        << When;
-    ASSERT_EQ(RT.deref(DSum), conv::reduceList(CIn, &combineSum, 0, 0))
-        << When;
-    ASSERT_EQ(readList(RT, DQs), oracleSorted(Cur)) << When;
-    ASSERT_EQ(readList(RT, DMs), oracleSorted(Cur)) << When;
-  };
-
-  CheckAll("initial");
-  for (int Edit = 0; Edit < P.Edits; ++Edit) {
-    size_t Index = R.below(L.Cells.size());
-    detachCell(RT, L, Index);
-    RT.propagate();
-    CheckAll("after delete");
-    reattachCell(RT, L, Index);
-    RT.propagate();
-    CheckAll("after reinsert");
-  }
+TEST(ListEditSweep, SmallListsStayConsistent) {
+  harness::HarnessOptions Opt;
+  Opt.Sequences = 6;
+  Opt.Changes = 12;
+  Opt.BaseSeed = 101;
+  EXPECT_EQ(harness::runOracleHarness(
+                [] { return std::make_unique<harness::ListModel>(0, 64); },
+                Opt),
+            "");
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Sweeps, ListEditSweep,
-    ::testing::Values(EditSweepParam{101, 64, 8}, EditSweepParam{202, 128, 6},
-                      EditSweepParam{303, 200, 5},
-                      EditSweepParam{404, 33, 12},
-                      EditSweepParam{505, 7, 10}));
+TEST(ListEditSweep, MediumListsStayConsistent) {
+  harness::HarnessOptions Opt;
+  Opt.Sequences = 3;
+  Opt.Changes = 10;
+  Opt.BaseSeed = 303;
+  EXPECT_EQ(harness::runOracleHarness(
+                [] { return std::make_unique<harness::ListModel>(100, 200); },
+                Opt),
+            "");
+}
 
 //===----------------------------------------------------------------------===//
 // Incrementality: single-element edits must not re-run the whole core.

@@ -1,0 +1,111 @@
+//===- tests/OracleHarnessTest.cpp - Full-app propagation oracle ----------===//
+//
+// The acceptance suite for change propagation: every benchmark app runs
+// through 50 random change sequences with the trace sanitizer at
+// every-propagation level, and after each propagation the self-adjusting
+// output must match a from-scratch conventional recomputation word for
+// word. Failures report the sequence seed and a shrunk step list.
+//
+// The pressure suites re-run the list apps under the SaSML-style bounded
+// heap: propagation must still match the oracle when simulated
+// collections fire mid-propagation, and the out-of-memory path must leave
+// the trace structurally sound.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/SaSmlSim.h"
+#include "tests/support/OracleModels.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace ceal;
+using namespace ceal::harness;
+
+namespace {
+
+template <typename ModelT, typename... Args>
+ModelFactory factory(Args... As) {
+  return [=] { return std::make_unique<ModelT>(As...); };
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// All apps, audited at every propagation
+//===----------------------------------------------------------------------===//
+
+TEST(OracleHarness, ListPrimitives) {
+  EXPECT_EQ(runOracleHarness(factory<ListModel>()), "");
+}
+
+TEST(OracleHarness, ExpTrees) {
+  EXPECT_EQ(runOracleHarness(factory<ExpTreeModel>()), "");
+}
+
+TEST(OracleHarness, TreeContraction) {
+  EXPECT_EQ(runOracleHarness(factory<TreeContractionModel>()), "");
+}
+
+TEST(OracleHarness, Quickhull) {
+  EXPECT_EQ(runOracleHarness(factory<QuickhullModel>()), "");
+}
+
+TEST(OracleHarness, Diameter) {
+  EXPECT_EQ(runOracleHarness(factory<DiameterModel>()), "");
+}
+
+TEST(OracleHarness, Distance) {
+  EXPECT_EQ(runOracleHarness(factory<DistanceModel>()), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Propagation under simulated-GC heap pressure (SaSML-style config)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The SaSML cost shape minus the per-node spin (which only slows the
+/// test): closure traffic, fat nodes, and a bounded collected heap.
+Runtime::Config pressureConfig(size_t HeapLimitBytes) {
+  Runtime::Config C =
+      baseline::sasmlConfig(HeapLimitBytes, AuditLevel::EveryPropagation);
+  C.SimSpinPerNode = 0;
+  return C;
+}
+
+} // namespace
+
+TEST(OracleHarnessPressure, MatchesBaselineWhenGcRunsMidPropagation) {
+  HarnessOptions Opt;
+  Opt.Sequences = 10;
+  // Big lists + fat nodes so allocation outruns the headroom and the
+  // simulated collector scans during setup and propagation.
+  Opt.Config = pressureConfig(6u << 20);
+  Opt.SequenceCheck = [](Runtime &RT) -> std::string {
+    if (RT.stats().GcScans == 0)
+      return "expected the simulated GC to run (raise list size or lower "
+             "HeapLimitBytes)";
+    if (RT.outOfMemory())
+      return "heap limit too tight: hit out-of-memory in the GC suite";
+    return "";
+  };
+  EXPECT_EQ(runOracleHarness(factory<ListModel>(56, 64), Opt), "");
+}
+
+TEST(OracleHarnessPressure, OutOfMemoryKeepsTraceSoundAndOutputsRight) {
+  HarnessOptions Opt;
+  Opt.Sequences = 10;
+  // A limit below the live trace: the runtime must report out-of-memory,
+  // and the audit run after every propagation shows the overflow did not
+  // corrupt the trace (outputs stay correct because the simulation keeps
+  // serving allocations past the limit).
+  Opt.Config = pressureConfig(256u << 10);
+  Opt.SequenceCheck = [](Runtime &RT) -> std::string {
+    if (!RT.outOfMemory())
+      return "expected the bounded heap to overflow";
+    return "";
+  };
+  EXPECT_EQ(runOracleHarness(factory<ListModel>(56, 64), Opt), "");
+}

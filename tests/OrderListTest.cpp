@@ -81,6 +81,100 @@ TEST(OrderList, PathologicalFrontInsertion) {
   L.verifyInvariants();
 }
 
+TEST(OrderList, FrontInsertionTriggersRangeRelabel) {
+  // Inserting at one spot exhausts the local label gaps, forcing first
+  // group splits and eventually the expensive range redistribution; the
+  // structure must come out of the cascade still totally ordered.
+  OrderList L;
+  std::vector<OmNode *> Nodes;
+  int Inserted = 0;
+  while (L.rangeRelabelCount() == 0 && Inserted < 2000000) {
+    Nodes.push_back(L.insertAfter(L.base()));
+    ++Inserted;
+  }
+  ASSERT_GT(L.rangeRelabelCount(), 0u)
+      << "front insertion never saturated the group-label space";
+  L.verifyInvariants();
+  // Later-created nodes precede earlier ones (all inserted after base).
+  for (size_t I = 1; I < Nodes.size(); I += 251)
+    EXPECT_TRUE(OrderList::precedes(Nodes[I], Nodes[I - 1]));
+  // The structure still absorbs fresh inserts after the cascade.
+  OmNode *A = L.insertAfter(L.base());
+  OmNode *B = L.insertAfter(A);
+  EXPECT_TRUE(OrderList::precedes(A, B));
+  EXPECT_TRUE(OrderList::precedes(B, Nodes.back()));
+  L.verifyInvariants();
+}
+
+TEST(OrderList, RemoveFirstAndLastNodeOfAGroup) {
+  // Build enough nodes for many level-two groups, then delete group
+  // boundary members: the group's First pointer and the predecessor
+  // chain must be repaired in both cases.
+  OrderList L;
+  std::vector<OmNode *> Nodes;
+  OmNode *Cur = L.base();
+  for (int I = 0; I < 4096; ++I) {
+    Cur = L.insertAfter(Cur);
+    Nodes.push_back(Cur);
+  }
+
+  // A node that *leads* a group (and is not base).
+  auto IsGroupFirst = [](OmNode *N) { return N->Group->First == N; };
+  // A node that *ends* a group: successor absent or in another group.
+  auto IsGroupLast = [](OmNode *N) {
+    return !N->Next || N->Next->Group != N->Group;
+  };
+
+  size_t Removed = 0;
+  for (size_t I = 0; I < Nodes.size() && Removed < 64; ++I) {
+    OmNode *N = Nodes[I];
+    if (!N)
+      continue;
+    if (IsGroupFirst(N) || IsGroupLast(N)) {
+      OmNode *Before = N->Prev;
+      OmNode *After = N->Next;
+      L.remove(N);
+      Nodes[I] = nullptr;
+      ++Removed;
+      if (Before && After)
+        EXPECT_TRUE(OrderList::precedes(Before, After));
+      L.verifyInvariants();
+    }
+  }
+  EXPECT_GE(Removed, 2u) << "no group boundaries found to delete";
+
+  // Residual order is intact.
+  OmNode *Prev = nullptr;
+  for (OmNode *N : Nodes) {
+    if (!N)
+      continue;
+    if (Prev)
+      EXPECT_TRUE(OrderList::precedes(Prev, N));
+    Prev = N;
+  }
+}
+
+TEST(OrderList, InterleavedInsertDeleteStressChecksEveryOp) {
+  // Tight interleaving with invariants verified after *every* operation:
+  // catches transient corruption that end-of-run checks miss.
+  Rng R(4242);
+  OrderList L;
+  std::vector<OmNode *> Live{L.base()};
+  for (int Op = 0; Op < 3000; ++Op) {
+    bool DoRemove = Live.size() > 1 && R.below(100) < 40;
+    if (DoRemove) {
+      size_t Idx = 1 + R.below(Live.size() - 1);
+      L.remove(Live[Idx]);
+      Live[Idx] = Live.back();
+      Live.pop_back();
+    } else {
+      Live.push_back(L.insertAfter(Live[R.below(Live.size())]));
+    }
+    L.verifyInvariants();
+  }
+  EXPECT_EQ(L.size(), Live.size());
+}
+
 namespace {
 
 /// Oracle for randomized testing: a std::list of node ids whose sequence

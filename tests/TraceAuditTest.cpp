@@ -1,0 +1,198 @@
+//===- tests/TraceAuditTest.cpp - Trace sanitizer unit tests --------------===//
+//
+// Two directions: traces the runtime builds must audit clean (at every
+// level, across runs and propagations), and deliberately corrupted state
+// must be *detected* — each corruption test breaks one structure through
+// public types (Modref, ReadNode are plain structs) and asserts inspect()
+// reports it rather than crashing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/ListApps.h"
+#include "runtime/TraceAudit.h"
+#include "support/Random.h"
+#include "tests/support/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace ceal;
+using namespace ceal::apps;
+
+namespace {
+
+Word mapId(Word X, Word) { return X * 2 + 1; }
+
+/// A small runtime with a mapped list: enough structure to exercise every
+/// audit pass (reads, writes, allocs, memo entries, use lists).
+struct Fixture {
+  Runtime RT;
+  ListHandle L;
+  Modref *Dst;
+
+  explicit Fixture(Runtime::Config C = {}, size_t N = 24) : RT(C) {
+    Rng R(42);
+    L = buildList(RT, gen::randomWords(R, N));
+    Dst = RT.modref();
+    RT.runCore<&mapCore>(L.Head, Dst, &mapId, Word(0));
+  }
+
+  /// The first traced read in some cell's use list.
+  ReadNode *someRead() {
+    for (Cell *C : L.Cells)
+      for (Use *U = C->Tail->Head; U; U = U->NextUse)
+        if (U->Kind == TraceKind::Read)
+          return static_cast<ReadNode *>(U);
+    return nullptr;
+  }
+};
+
+/// True if some violation message contains \p Needle.
+bool reports(const TraceAudit::Report &Rep, const char *Needle) {
+  for (const std::string &V : Rep.Violations)
+    if (V.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Clean traces audit clean
+//===----------------------------------------------------------------------===//
+
+TEST(TraceAudit, FreshRunAuditsClean) {
+  Fixture F;
+  TraceAudit::Report Rep = TraceAudit::inspect(F.RT);
+  EXPECT_TRUE(Rep.ok()) << Rep.summary();
+  EXPECT_GT(Rep.Reads, 0u);
+  EXPECT_GT(Rep.Writes, 0u);
+  EXPECT_GT(Rep.Timestamps, Rep.Reads);
+  EXPECT_GT(Rep.TraceBytes, 0u);
+}
+
+TEST(TraceAudit, CleanAcrossEditsAndPropagations) {
+  Fixture F;
+  Rng R(7);
+  for (int Edit = 0; Edit < 12; ++Edit) {
+    size_t I = R.below(F.L.Cells.size());
+    detachCell(F.RT, F.L, I);
+    F.RT.propagate();
+    TraceAudit::Report Rep = TraceAudit::inspect(F.RT);
+    ASSERT_TRUE(Rep.ok()) << "after delete: " << Rep.summary();
+    reattachCell(F.RT, F.L, I);
+    F.RT.propagate();
+    Rep = TraceAudit::inspect(F.RT);
+    ASSERT_TRUE(Rep.ok()) << "after reinsert: " << Rep.summary();
+  }
+}
+
+TEST(TraceAudit, EveryPropagationHooksRunOnCleanTraces) {
+  Runtime::Config C;
+  C.Audit = AuditLevel::EveryPropagation;
+  // Constructing, running, editing, propagating with the hooks live must
+  // not abort.
+  Fixture F(C);
+  detachCell(F.RT, F.L, 3);
+  F.RT.propagate();
+  reattachCell(F.RT, F.L, 3);
+  F.RT.propagate();
+  EXPECT_EQ(F.RT.derefT<Cell *>(F.L.Head), F.L.Cells[0]);
+}
+
+TEST(TraceAudit, CheckpointLevelAuditsOnlyOnRequest) {
+  Runtime::Config C;
+  C.Audit = AuditLevel::Checkpoints;
+  Fixture F(C);
+  F.RT.auditNow("explicit checkpoint"); // Clean: must not abort.
+  SUCCEED();
+}
+
+TEST(TraceAudit, OffLevelIgnoresEvenCorruptedState) {
+  Fixture F; // Audit defaults to Off.
+  ReadNode *R = F.someRead();
+  ASSERT_NE(R, nullptr);
+  Word Saved = R->SeenValue;
+  R->SeenValue ^= 1;
+  F.RT.auditNow("should be a no-op");
+  R->SeenValue = Saved;
+  SUCCEED();
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption detection
+//===----------------------------------------------------------------------===//
+
+TEST(TraceAudit, DetectsEqualityCutViolation) {
+  Fixture F;
+  ReadNode *R = F.someRead();
+  ASSERT_NE(R, nullptr);
+  ASSERT_FALSE(R->isDirty());
+  R->SeenValue ^= 1; // Clean read no longer agrees with its governing write.
+  EXPECT_TRUE(reports(TraceAudit::inspect(F.RT), "equality cut"));
+  R->SeenValue ^= 1;
+}
+
+TEST(TraceAudit, DetectsUseListLinkCorruption) {
+  Fixture F;
+  ReadNode *R = F.someRead();
+  ASSERT_NE(R, nullptr);
+  Use *Saved = R->PrevUse;
+  R->PrevUse = R; // Break the back-link.
+  EXPECT_TRUE(reports(TraceAudit::inspect(F.RT), "uselist"));
+  R->PrevUse = Saved;
+}
+
+TEST(TraceAudit, DetectsDirtyFlagWithoutQueueEntry) {
+  Fixture F;
+  ReadNode *R = F.someRead();
+  ASSERT_NE(R, nullptr);
+  R->setDirty(true); // Dirty but never pushed on the propagation queue.
+  TraceAudit::Report Rep = TraceAudit::inspect(F.RT);
+  EXPECT_TRUE(reports(Rep, "dirty flag and queue membership disagree") ||
+              reports(Rep, "dirty reads"))
+      << Rep.summary();
+  R->setDirty(false);
+}
+
+TEST(TraceAudit, DetectsMemoHashCorruption) {
+  Fixture F;
+  ReadNode *R = F.someRead();
+  ASSERT_NE(R, nullptr);
+  uint64_t Saved = R->MemoHash;
+  R->MemoHash ^= 0x8000; // Now chained in a bucket its hash denies, and
+                         // the stored hash no longer matches its key.
+  EXPECT_TRUE(reports(TraceAudit::inspect(F.RT), "memo"));
+  R->MemoHash = Saved;
+}
+
+TEST(TraceAudit, DetectsUntrackedArenaAllocationAsLeak) {
+  Fixture F;
+  void *Block = F.RT.arena().allocate(64); // Bypasses metaAlloc tracking.
+  EXPECT_TRUE(reports(TraceAudit::inspect(F.RT), "leak"));
+  F.RT.arena().deallocate(Block, 64);
+  EXPECT_TRUE(TraceAudit::inspect(F.RT).ok());
+}
+
+TEST(TraceAudit, DetectsDoubleFreeAsNegativeDelta) {
+  Fixture F;
+  // Tracked allocation released behind the tracker's back: live bytes
+  // drop below what the trace plus meta accounting can explain.
+  void *Block = F.RT.metaAlloc(64);
+  F.RT.arena().deallocate(Block, 64);
+  EXPECT_TRUE(reports(TraceAudit::inspect(F.RT), "double free"));
+  // Restore the books for teardown.
+  void *Again = F.RT.arena().allocate(64);
+  EXPECT_TRUE(TraceAudit::inspect(F.RT).ok());
+  F.RT.metaRelease(Again, 64);
+}
+
+TEST(TraceAuditDeathTest, EnforceAbortsWithBanner) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Fixture F;
+  ReadNode *R = F.someRead();
+  ASSERT_NE(R, nullptr);
+  R->SeenValue ^= 1;
+  EXPECT_DEATH(TraceAudit::enforce(F.RT, "in the death test"),
+               "TraceAudit.*violation.*in the death test");
+  R->SeenValue ^= 1;
+}

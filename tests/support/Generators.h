@@ -1,0 +1,119 @@
+//===- tests/support/Generators.h - Shared randomized-test inputs -*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One Rng-driven generator vocabulary for every randomized suite (parser
+/// fuzzing, the oracle harness, workload builders), so seeds mean the same
+/// thing everywhere and a failure message always carries enough to replay:
+/// construct `Rng(<printed seed>)` and call the same generator.
+///
+/// Derived seeds come from mixSeed(Base, Step): each step of a change
+/// sequence gets an independent stream, so any *subset* of steps replays
+/// identically — the property the harness's shrinker relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_TESTS_SUPPORT_GENERATORS_H
+#define CEAL_TESTS_SUPPORT_GENERATORS_H
+
+#include "runtime/Word.h"
+#include "support/Random.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ceal {
+namespace gen {
+
+/// Derives an independent seed for sub-stream \p Step of \p Base. Streams
+/// for different steps share no state, so replaying steps {3, 7} of a
+/// sequence produces exactly the draws those steps made in the full run.
+inline uint64_t mixSeed(uint64_t Base, uint64_t Step) {
+  uint64_t State = Base * 0x9e3779b97f4a7c15ULL + (Step + 1);
+  return splitMix64(State);
+}
+
+/// "seed=0x1234" — the replay handle printed with every failure.
+inline std::string seedTag(uint64_t Seed) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "seed=0x%llx", (unsigned long long)Seed);
+  return Buf;
+}
+
+/// Uniform random words below \p Bound.
+inline std::vector<Word> randomWords(Rng &R, size_t N, Word Bound = 1000000) {
+  std::vector<Word> V(N);
+  for (Word &W : V)
+    W = R.below(Bound);
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Source fuzzing (parser/verifier robustness)
+//===----------------------------------------------------------------------===//
+
+/// Character alphabet for source mutation: CL punctuation, identifier
+/// characters, and keyword fragments, weighted to keep some mutants
+/// parseable.
+inline const char *sourceAlphabet() {
+  return "abcxyz019(){}[];:=*,_ \n\tfunc goto tail read";
+}
+
+/// Mutates \p Base with 1..\p MaxEdits random character edits (replace,
+/// delete a short span, insert) drawn from sourceAlphabet().
+inline std::string mutateSource(Rng &R, const std::string &Base,
+                                int MaxEdits = 8) {
+  std::string Mutated = Base;
+  const char *Alphabet = sourceAlphabet();
+  size_t AlphabetLen = std::char_traits<char>::length(Alphabet);
+  int Edits = 1 + static_cast<int>(R.below(static_cast<uint64_t>(MaxEdits)));
+  for (int E = 0; E < Edits && !Mutated.empty(); ++E) {
+    size_t Pos = R.below(Mutated.size());
+    switch (R.below(3)) {
+    case 0:
+      Mutated[Pos] = Alphabet[R.below(AlphabetLen)];
+      break;
+    case 1:
+      Mutated.erase(Pos, 1 + R.below(4));
+      break;
+    default:
+      Mutated.insert(Pos, 1, Alphabet[R.below(AlphabetLen)]);
+      break;
+    }
+  }
+  return Mutated;
+}
+
+/// The CL token vocabulary used for random token-soup inputs.
+inline const std::vector<const char *> &clTokens() {
+  static const std::vector<const char *> Tokens = {
+      "func",   "goto", "tail", "read", "write", "alloc",
+      "modref", "call", "done", "if",   "then",  "else",
+      "var",    "int",  "x",    "y",    "f",     "(",
+      ")",      "{",    "}",    "[",    "]",     ";",
+      ":",      ":=",   "*",    ",",    "42",    "-3"};
+  return Tokens;
+}
+
+/// A random whitespace-joined token soup of \p MinLen..\p MaxLen tokens.
+inline std::string tokenSoup(Rng &R, size_t MinLen = 5, size_t MaxLen = 125) {
+  const auto &Tokens = clTokens();
+  std::string Soup;
+  size_t Len = MinLen + R.below(MaxLen - MinLen);
+  for (size_t I = 0; I < Len; ++I) {
+    Soup += Tokens[R.below(Tokens.size())];
+    Soup += ' ';
+  }
+  return Soup;
+}
+
+} // namespace gen
+} // namespace ceal
+
+#endif // CEAL_TESTS_SUPPORT_GENERATORS_H

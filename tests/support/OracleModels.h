@@ -1,0 +1,352 @@
+//===- tests/support/OracleModels.h - AppModels for the oracle ---*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AppModel implementations for every benchmark application: the list
+/// primitives (map, filter, reverse, the reductions, both sorts), the
+/// expression trees, tree contraction, and the geometry cores (quickhull,
+/// diameter, distance). Each pairs a self-adjusting core with its
+/// conventional oracle from src/apps or src/baseline.
+///
+/// List edits follow a LIFO detach/reattach discipline: reattaching always
+/// undoes the most recent detach, so a reattached cell's stored tail still
+/// points at its then-successor and the spine returns to a consistent
+/// state (the same discipline the per-app sweeps used, generalized to
+/// nesting).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_TESTS_SUPPORT_ORACLEMODELS_H
+#define CEAL_TESTS_SUPPORT_ORACLEMODELS_H
+
+#include "apps/ExpTrees.h"
+#include "apps/Geometry.h"
+#include "apps/ListApps.h"
+#include "apps/ListConv.h"
+#include "apps/TreeContraction.h"
+#include "tests/support/OracleHarness.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ceal {
+namespace harness {
+
+//===----------------------------------------------------------------------===//
+// List edit plan: random detach/reattach with LIFO reattachment
+//===----------------------------------------------------------------------===//
+
+/// Mutator-side edit driver for one modifiable list. Detaching requires
+/// the cell's construction predecessor to be attached (so the written
+/// tail modifiable is on the live spine); reattachment is LIFO.
+struct ListEditor {
+  apps::ListHandle L;
+  std::vector<bool> Attached;
+  std::vector<size_t> DetachStack;
+  /// Never detach below this many live cells (geometry cores want
+  /// non-degenerate point sets).
+  size_t MinLive = 0;
+
+  void init(apps::ListHandle Handle) {
+    L = std::move(Handle);
+    Attached.assign(L.Cells.size(), true);
+    DetachStack.clear();
+  }
+
+  size_t liveCount() const {
+    return L.Cells.size() - DetachStack.size();
+  }
+
+  void randomEdit(Runtime &RT, Rng &R) {
+    bool CanReattach = !DetachStack.empty();
+    bool WantDetach = !CanReattach || R.flip();
+    if (WantDetach && liveCount() > MinLive) {
+      std::vector<size_t> Eligible;
+      for (size_t I = 0; I < L.Cells.size(); ++I)
+        if (Attached[I] && (I == 0 || Attached[I - 1]))
+          Eligible.push_back(I);
+      if (!Eligible.empty()) {
+        size_t Index = Eligible[R.below(Eligible.size())];
+        apps::detachCell(RT, L, Index);
+        Attached[Index] = false;
+        DetachStack.push_back(Index);
+        return;
+      }
+    }
+    if (CanReattach) {
+      size_t Index = DetachStack.back();
+      DetachStack.pop_back();
+      apps::reattachCell(RT, L, Index);
+      Attached[Index] = true;
+    }
+    // Neither edit possible (empty list): a no-op change is still a valid
+    // propagation to check.
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// List primitives
+//===----------------------------------------------------------------------===//
+
+/// All seven list primitives over one shared input list; the output is
+/// every result list/value concatenated with length prefixes, so a
+/// mismatch pinpoints the primitive by offset.
+class ListModel : public AppModel {
+public:
+  /// Input sizes are drawn uniformly from [MinN, MaxN]; the heap-pressure
+  /// suites pin the range so the trace reliably exceeds the heap limit.
+  explicit ListModel(size_t MinN = 0, size_t MaxN = 64)
+      : MinN(MinN), MaxN(MaxN) {}
+
+  static Word mapPaper(Word X, Word) { return X / 3 + X / 7 + X / 9; }
+  static bool filterPaper(Word X, Word) { return (mapPaper(X, 0) & 1) == 0; }
+  static Word combineMin(Word A, Word B, Word) { return A < B ? A : B; }
+  static Word combineSum(Word A, Word B, Word) { return A + B; }
+  static int cmpWord(Word A, Word B) { return A < B ? -1 : (A > B ? 1 : 0); }
+
+  void setup(Runtime &RT, Rng &R) override {
+    std::vector<Word> In =
+        gen::randomWords(R, MinN + R.below(MaxN - MinN + 1));
+    Edit.init(apps::buildList(RT, In));
+    for (Modref *&D : Dst)
+      D = RT.modref();
+    RT.runCore<&apps::mapCore>(Edit.L.Head, Dst[0], &mapPaper, Word(0));
+    RT.runCore<&apps::filterCore>(Edit.L.Head, Dst[1], &filterPaper, Word(0));
+    RT.runCore<&apps::reverseCore>(Edit.L.Head, Dst[2]);
+    RT.runCore<&apps::reduceCore>(Edit.L.Head, Dst[3], &combineMin, Word(0),
+                                  Word(UINT64_MAX));
+    RT.runCore<&apps::reduceCore>(Edit.L.Head, Dst[4], &combineSum, Word(0),
+                                  Word(0));
+    RT.runCore<&apps::quicksortCore>(Edit.L.Head, Dst[5], &cmpWord);
+    RT.runCore<&apps::mergesortCore>(Edit.L.Head, Dst[6], &cmpWord);
+  }
+
+  void applyChange(Runtime &RT, Rng &R) override { Edit.randomEdit(RT, R); }
+
+  std::vector<Word> output(Runtime &RT) override {
+    std::vector<Word> Out;
+    for (int I : {0, 1, 2, 5, 6})
+      appendList(Out, apps::readList(RT, Dst[static_cast<size_t>(I)]));
+    Out.push_back(RT.deref(Dst[3]));
+    Out.push_back(RT.deref(Dst[4]));
+    return Out;
+  }
+
+  std::vector<Word> expected(Runtime &RT) override {
+    std::vector<Word> Cur = apps::readList(RT, Edit.L.Head);
+    Arena A;
+    apps::conv::PCell *In = apps::conv::buildList(A, Cur);
+    std::vector<Word> Out;
+    appendList(Out, apps::conv::toVector(
+                        apps::conv::mapList(A, In, &mapPaper, 0)));
+    appendList(Out, apps::conv::toVector(
+                        apps::conv::filterList(A, In, &filterPaper, 0)));
+    std::vector<Word> Rev(Cur.rbegin(), Cur.rend());
+    appendList(Out, Rev);
+    std::vector<Word> Sorted = Cur;
+    std::sort(Sorted.begin(), Sorted.end());
+    appendList(Out, Sorted);
+    appendList(Out, Sorted);
+    Out.push_back(apps::conv::reduceList(In, &combineMin, 0, UINT64_MAX));
+    Out.push_back(apps::conv::reduceList(In, &combineSum, 0, 0));
+    return Out;
+  }
+
+private:
+  static void appendList(std::vector<Word> &Out, const std::vector<Word> &L) {
+    Out.push_back(L.size());
+    Out.insert(Out.end(), L.begin(), L.end());
+  }
+
+  size_t MinN, MaxN;
+  ListEditor Edit;
+  Modref *Dst[7] = {};
+};
+
+//===----------------------------------------------------------------------===//
+// Expression trees
+//===----------------------------------------------------------------------===//
+
+class ExpTreeModel : public AppModel {
+public:
+  void setup(Runtime &RT, Rng &R) override {
+    Tree = apps::buildExpTree(RT, R, 1 + R.below(64));
+    Res = RT.modref();
+    RT.runCore<&apps::evalExpCore>(Tree.Root, Res);
+  }
+
+  void applyChange(Runtime &RT, Rng &R) override {
+    size_t Index = R.below(Tree.Leaves.size());
+    apps::replaceLeaf(RT, Tree, Index, R.unit() * 10.0 - 5.0);
+  }
+
+  std::vector<Word> output(Runtime &RT) override { return {RT.deref(Res)}; }
+
+  std::vector<Word> expected(Runtime &RT) override {
+    // The core evaluates the same operation tree in the same association
+    // order, so the doubles are bitwise identical.
+    return {toWord(apps::evalExpConventional(RT, Tree.Root))};
+  }
+
+private:
+  apps::ExpTree Tree;
+  Modref *Res = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Tree contraction
+//===----------------------------------------------------------------------===//
+
+class TreeContractionModel : public AppModel {
+public:
+  void setup(Runtime &RT, Rng &R) override {
+    Forest = apps::buildRandomTree(RT, R, 1 + R.below(64));
+    Dst = RT.modref();
+    RT.runCore<&apps::treeContractCore>(Forest.Live.Head, Forest.Table0,
+                                        Word(Forest.N), Dst);
+  }
+
+  void applyChange(Runtime &RT, Rng &R) override {
+    // Deleted edges can be reinserted in any order: each deletion freed
+    // its parent slot and made its child a root, and no other edit can
+    // claim either (inserts come only from this pool).
+    bool WantInsert = !Deleted.empty() && R.flip();
+    if (!WantInsert) {
+      auto Edges = Forest.edges();
+      if (!Edges.empty()) {
+        auto [P, C] = Edges[R.below(Edges.size())];
+        apps::tcDeleteEdge(RT, Forest, P, C);
+        Deleted.push_back({P, C});
+        return;
+      }
+    }
+    if (!Deleted.empty()) {
+      size_t Pick = R.below(Deleted.size());
+      auto [P, C] = Deleted[Pick];
+      Deleted[Pick] = Deleted.back();
+      Deleted.pop_back();
+      apps::tcInsertEdge(RT, Forest, P, C);
+    }
+  }
+
+  std::vector<Word> output(Runtime &RT) override { return {RT.deref(Dst)}; }
+
+  std::vector<Word> expected(Runtime &) override {
+    return {apps::tcContractConventional(Forest.Adj)};
+  }
+
+private:
+  apps::TcForest Forest;
+  Modref *Dst = nullptr;
+  std::vector<std::pair<Word, Word>> Deleted;
+};
+
+//===----------------------------------------------------------------------===//
+// Geometry
+//===----------------------------------------------------------------------===//
+
+/// Shared base: a point list under LIFO edits, plus helpers to read the
+/// active points back for the conventional oracles.
+class GeometryModelBase : public AppModel {
+protected:
+  std::vector<const apps::Point *> activePoints(Runtime &RT,
+                                                const ListEditor &E) {
+    std::vector<const apps::Point *> Pts;
+    for (Word W : apps::readList(RT, E.L.Head))
+      Pts.push_back(fromWord<const apps::Point *>(W));
+    return Pts;
+  }
+
+  ListEditor makePointList(Runtime &RT, Rng &R, size_t MinN, size_t MaxN,
+                           double ShiftX) {
+    size_t N = MinN + R.below(MaxN - MinN + 1);
+    std::vector<apps::Point *> Pts = apps::randomPoints(RT, R, N, ShiftX);
+    ListEditor E;
+    E.init(apps::buildPointList(RT, Pts));
+    E.MinLive = 3; // Keep the hulls non-degenerate.
+    return E;
+  }
+};
+
+class QuickhullModel : public GeometryModelBase {
+public:
+  void setup(Runtime &RT, Rng &R) override {
+    Edit = makePointList(RT, R, 8, 56, 0.0);
+    Dst = RT.modref();
+    RT.runCore<&apps::quickhullCore>(Edit.L.Head, Dst);
+  }
+
+  void applyChange(Runtime &RT, Rng &R) override { Edit.randomEdit(RT, R); }
+
+  std::vector<Word> output(Runtime &RT) override {
+    return apps::readList(RT, Dst);
+  }
+
+  std::vector<Word> expected(Runtime &RT) override {
+    // conv::quickhull uses the same deterministic tie-breaks, so hull
+    // vertex sequences compare pointer-for-pointer.
+    std::vector<Word> Out;
+    for (const apps::Point *P : apps::conv::quickhull(activePoints(RT, Edit)))
+      Out.push_back(toWord(P));
+    return Out;
+  }
+
+private:
+  ListEditor Edit;
+  Modref *Dst = nullptr;
+};
+
+class DiameterModel : public GeometryModelBase {
+public:
+  void setup(Runtime &RT, Rng &R) override {
+    Edit = makePointList(RT, R, 12, 56, 0.0);
+    Dst = RT.modref();
+    RT.runCore<&apps::diameterCore>(Edit.L.Head, Dst);
+  }
+
+  void applyChange(Runtime &RT, Rng &R) override { Edit.randomEdit(RT, R); }
+
+  std::vector<Word> output(Runtime &RT) override { return {RT.deref(Dst)}; }
+
+  std::vector<Word> expected(Runtime &RT) override {
+    return {toWord(apps::conv::diameter2(activePoints(RT, Edit)))};
+  }
+
+private:
+  ListEditor Edit;
+  Modref *Dst = nullptr;
+};
+
+class DistanceModel : public GeometryModelBase {
+public:
+  void setup(Runtime &RT, Rng &R) override {
+    // Two well-separated squares, as in the paper's distance inputs.
+    EditA = makePointList(RT, R, 12, 40, 0.0);
+    EditB = makePointList(RT, R, 12, 40, 3.0);
+    Dst = RT.modref();
+    RT.runCore<&apps::distanceCore>(EditA.L.Head, EditB.L.Head, Dst);
+  }
+
+  void applyChange(Runtime &RT, Rng &R) override {
+    (R.flip() ? EditA : EditB).randomEdit(RT, R);
+  }
+
+  std::vector<Word> output(Runtime &RT) override { return {RT.deref(Dst)}; }
+
+  std::vector<Word> expected(Runtime &RT) override {
+    return {toWord(apps::conv::distance2(activePoints(RT, EditA),
+                                         activePoints(RT, EditB)))};
+  }
+
+private:
+  ListEditor EditA, EditB;
+  Modref *Dst = nullptr;
+};
+
+} // namespace harness
+} // namespace ceal
+
+#endif // CEAL_TESTS_SUPPORT_ORACLEMODELS_H
