@@ -5,14 +5,27 @@
 // insertion, closure creation, traced reads/writes, memo lookups, and
 // small change-propagation cycles.
 //
+// Before the timing loops run, main() computes a deterministic
+// closure-environment census over the CL samples — the VM's per-closure
+// word counts with and without the analysis-driven pass pipeline — and
+// writes it to BENCH_rt.json, so CI can track the trace-size win of
+// closure slimming without timing noise.
+//
 //===----------------------------------------------------------------------===//
 
 #include "apps/ListApps.h"
+#include "cl/Parser.h"
+#include "cl/Samples.h"
+#include "interp/Vm.h"
+#include "normalize/Normalize.h"
+#include "normalize/Optimize.h"
 #include "om/OrderList.h"
 #include "runtime/Runtime.h"
 #include "support/Random.h"
 
 #include <benchmark/benchmark.h>
+
+#include <fstream>
 
 using namespace ceal;
 using namespace ceal::apps;
@@ -155,6 +168,93 @@ void BM_MetaModifyDeref(benchmark::State &State) {
 }
 BENCHMARK(BM_MetaModifyDeref);
 
+//===----------------------------------------------------------------------===//
+// Closure-environment census (BENCH_rt.json)
+//===----------------------------------------------------------------------===//
+
+struct ClosureCensusRow {
+  const char *Program;
+  const char *Entry;
+  size_t N;
+  uint64_t ClosuresBase = 0, EnvWordsBase = 0;
+  uint64_t ClosuresOpt = 0, EnvWordsOpt = 0;
+  size_t StaticEnvBase = 0, StaticEnvOpt = 0;
+};
+
+/// Runs \p Entry over a deterministic modifiable list of \p N elements
+/// and returns the VM's closure accounting.
+void censusListRun(const cl::Program &Prog, const char *Entry, size_t N,
+                   uint64_t &Closures, uint64_t &EnvWords) {
+  Runtime RT;
+  interp::Vm M(RT, Prog);
+  Modref *Head = M.metaModref();
+  Modref *Cur = Head;
+  for (size_t I = 0; I < N; ++I) {
+    auto *Blk = static_cast<Word *>(M.metaAlloc(16));
+    Modref *Tail = M.metaModref();
+    Blk[0] = toWord(int64_t((I * 7919) % 1000));
+    Blk[1] = toWord(Tail);
+    M.metaWrite(Cur, toWord(Blk));
+    Cur = Tail;
+  }
+  Modref *Out = M.metaModref();
+  M.runCore(Entry, {toWord(Head), toWord(Out)});
+  Closures = M.closuresMade();
+  EnvWords = M.closureEnvWords();
+}
+
+ClosureCensusRow censusRow(const char *Program, const char *Source,
+                           const char *Entry, size_t N) {
+  ClosureCensusRow Row{Program, Entry, N};
+  auto Parsed = cl::parseProgram(Source);
+  cl::Program Base = normalize::normalizeProgram(*Parsed.Prog).Prog;
+  optimize::PipelineResult PR = optimize::runPassPipeline(*Parsed.Prog);
+  Row.StaticEnvBase = optimize::readTailEnvWords(Base);
+  Row.StaticEnvOpt = PR.Post.ReadEnvWordsAfter;
+  censusListRun(Base, Entry, N, Row.ClosuresBase, Row.EnvWordsBase);
+  censusListRun(PR.Prog, Entry, N, Row.ClosuresOpt, Row.EnvWordsOpt);
+  return Row;
+}
+
+void writeClosureCensus(const char *Path) {
+  constexpr size_t N = 256;
+  std::vector<ClosureCensusRow> Rows = {
+      censusRow("listprims", cl::samples::ListPrims, "map", N),
+      censusRow("listreduce", cl::samples::ListReduce, "lrsum", N),
+      censusRow("mergesort", cl::samples::Mergesort, "msort", N),
+  };
+  std::ofstream Out(Path);
+  Out << "{\n  \"closure_env\": [\n";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const ClosureCensusRow &R = Rows[I];
+    double PerBase =
+        R.ClosuresBase ? double(R.EnvWordsBase) / double(R.ClosuresBase) : 0;
+    double PerOpt =
+        R.ClosuresOpt ? double(R.EnvWordsOpt) / double(R.ClosuresOpt) : 0;
+    Out << "    {\"program\": \"" << R.Program << "\", \"entry\": \""
+        << R.Entry << "\", \"n\": " << R.N
+        << ",\n     \"closures_base\": " << R.ClosuresBase
+        << ", \"env_words_base\": " << R.EnvWordsBase
+        << ", \"env_words_per_closure_base\": " << PerBase
+        << ",\n     \"closures_opt\": " << R.ClosuresOpt
+        << ", \"env_words_opt\": " << R.EnvWordsOpt
+        << ", \"env_words_per_closure_opt\": " << PerOpt
+        << ",\n     \"static_read_env_words_base\": " << R.StaticEnvBase
+        << ", \"static_read_env_words_opt\": " << R.StaticEnvOpt << "}"
+        << (I + 1 < Rows.size() ? ",\n" : "\n");
+  }
+  Out << "  ]\n}\n";
+  std::printf("wrote closure-environment census to %s\n", Path);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  writeClosureCensus("BENCH_rt.json");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "AppBench.h"
 
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 using namespace ceal;
@@ -65,5 +66,26 @@ int main(int argc, char **argv) {
   }
   std::printf("\naverage overhead: %.1f   average speedup: %.2e\n",
               OhSum / double(Rows.size()), SpSum / double(Rows.size()));
+
+  // Machine-readable mirror of the table for CI tracking.
+  {
+    std::ofstream Json("BENCH_table1.json");
+    Json << "{\n  \"rows\": [\n";
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Measurement &M = Rows[I];
+      Json << "    {\"name\": \"" << M.Name << "\", \"n\": " << M.N
+           << ", \"conv_seconds\": " << M.ConvSeconds
+           << ", \"self_seconds\": " << M.SelfSeconds
+           << ", \"overhead\": " << M.overhead()
+           << ", \"avg_update_seconds\": " << M.AvgUpdateSeconds
+           << ", \"speedup\": " << M.speedup()
+           << ", \"max_live_bytes\": " << M.MaxLiveBytes << "}"
+           << (I + 1 < Rows.size() ? ",\n" : "\n");
+    }
+    Json << "  ],\n  \"average_overhead\": " << OhSum / double(Rows.size())
+         << ",\n  \"average_speedup\": " << SpSum / double(Rows.size())
+         << "\n}\n";
+    std::printf("wrote BENCH_table1.json\n");
+  }
   return 0;
 }

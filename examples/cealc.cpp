@@ -5,6 +5,8 @@
 //
 //   cealc [options] [file.cl]         reads stdin if no file is given
 //     --emit=c|c-basic|cl|cl-normal   output kind (default: c, refined)
+//     -O, --optimize                  run the analysis-driven pass
+//                                     pipeline around NORMALIZE
 //     --stats                         print pipeline statistics to stderr
 //     --sample=NAME                   use a built-in sample program
 //                                     (exptrees, listprims, quicksort,
@@ -17,6 +19,7 @@
 #include "cl/Samples.h"
 #include "cl/Verifier.h"
 #include "normalize/Normalize.h"
+#include "normalize/Optimize.h"
 #include "support/Timer.h"
 #include "translate/EmitC.h"
 
@@ -31,6 +34,7 @@ using namespace ceal;
 int main(int argc, char **argv) {
   std::string Emit = "c";
   bool Stats = false;
+  bool Optimize = false;
   std::string Sample;
   std::string Path;
 
@@ -40,12 +44,14 @@ int main(int argc, char **argv) {
       Emit = A.substr(7);
     else if (A == "--stats")
       Stats = true;
+    else if (A == "-O" || A == "--optimize")
+      Optimize = true;
     else if (A.rfind("--sample=", 0) == 0)
       Sample = A.substr(9);
     else if (A == "--help" || A == "-h") {
       std::fprintf(stderr,
-                   "usage: cealc [--emit=c|c-basic|cl|cl-normal] [--stats] "
-                   "[--sample=NAME | file.cl]\n");
+                   "usage: cealc [--emit=c|c-basic|cl|cl-normal] [-O] "
+                   "[--stats] [--sample=NAME | file.cl]\n");
       return 0;
     } else
       Path = A;
@@ -92,7 +98,17 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  auto Norm = normalize::normalizeProgram(*Parsed.Prog);
+  normalize::NormalizeResult Norm;
+  optimize::OptStats Pre, Post;
+  if (Optimize) {
+    optimize::PipelineResult R = optimize::runPassPipeline(*Parsed.Prog);
+    Norm.Prog = std::move(R.Prog);
+    Norm.Stats = R.NStats;
+    Pre = R.Pre;
+    Post = R.Post;
+  } else {
+    Norm = normalize::normalizeProgram(*Parsed.Prog);
+  }
   if (Emit == "cl-normal") {
     std::fputs(cl::printProgram(Norm.Prog).c_str(), stdout);
   } else if (Emit == "c" || Emit == "c-basic") {
@@ -108,12 +124,26 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "cealc: unknown --emit kind '%s'\n", Emit.c_str());
     return 1;
   }
-  if (Stats)
+  if (Stats) {
+    if (Optimize)
+      std::fprintf(
+          stderr,
+          "cealc: opt: %zu redundant reads, %zu dead writes, %zu dead "
+          "ops, %zu const args rematerialized, %zu params pruned; "
+          "read-tail env words %zu -> %zu\n",
+          Pre.RedundantReadsElim + Post.RedundantReadsElim,
+          Pre.DeadWritesElim + Post.DeadWritesElim,
+          Pre.DeadReadsElim + Pre.DeadAssignsElim + Pre.DeadAllocsElim +
+              Post.DeadReadsElim + Post.DeadAssignsElim +
+              Post.DeadAllocsElim,
+          Post.ConstArgsRemat, Post.ParamsPruned, Post.ReadEnvWordsBefore,
+          Post.ReadEnvWordsAfter);
     std::fprintf(
         stderr,
         "cealc: %zu blocks in, %zu blocks out, %zu fresh functions, "
         "max live %zu, %.2f ms\n",
         Norm.Stats.InputBlocks, Norm.Stats.OutputBlocks,
         Norm.Stats.FreshFunctions, Norm.Stats.MaxLive, Total.milliseconds());
+  }
   return 0;
 }

@@ -105,61 +105,28 @@ std::vector<VarId> analysis::blockDefs(const Function &F, BlockId B) {
 LivenessInfo analysis::computeLiveness(const Function &F) {
   size_t NumBlocks = F.Blocks.size();
   size_t NumVars = F.Vars.size();
-  LivenessInfo Info;
-  Info.LiveIn.assign(NumBlocks, std::vector<bool>(NumVars, false));
 
-  // Successor lists (gotos only; tails leave the function).
-  std::vector<std::vector<BlockId>> Succs(NumBlocks);
+  // Backward union problem over the intra-function CFG. A block is a
+  // single command: uses happen before the (single) def, and the def of
+  // `x := e` does not kill a use of x in e — uses are read first, so
+  // LiveIn = Use ∪ (LiveOut \ Def) is exact at block granularity.
+  DataflowProblem P;
+  P.Dir = Direction::Backward;
+  P.M = Meet::Union;
+  P.DomainSize = NumVars;
+  P.Transfer.resize(NumBlocks);
   for (BlockId B = 0; B < NumBlocks; ++B) {
-    const BasicBlock &BB = F.Blocks[B];
-    auto Add = [&](const Jump &J) {
-      if (J.K == Jump::Goto)
-        Succs[B].push_back(J.Target);
-    };
-    if (BB.K == BasicBlock::Cond) {
-      Add(BB.J1);
-      Add(BB.J2);
-    } else if (BB.K == BasicBlock::Cmd) {
-      Add(BB.J);
-    }
-  }
-
-  // Precompute use/def bit rows.
-  std::vector<std::vector<bool>> Use(NumBlocks,
-                                     std::vector<bool>(NumVars, false));
-  std::vector<std::vector<bool>> Def(NumBlocks,
-                                     std::vector<bool>(NumVars, false));
-  for (BlockId B = 0; B < NumBlocks; ++B) {
-    // A block is a single command: uses happen before the (single) def,
-    // except that the def of `x := e` does not kill a use of x in e —
-    // uses are read first, so LiveIn = Use ∪ (LiveOut \ Def) is exact at
-    // block granularity.
-    for (VarId V : blockUses(F, B))
-      Use[B][V] = true;
+    GenKill &T = P.Transfer[B];
+    T.Gen = BitVec(NumVars);
+    T.Kill = BitVec(NumVars);
     for (VarId V : blockDefs(F, B))
-      Def[B][V] = true;
+      T.Kill.set(V);
+    for (VarId V : blockUses(F, B))
+      T.Gen.set(V);
   }
 
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (size_t I = NumBlocks; I > 0; --I) {
-      BlockId B = static_cast<BlockId>(I - 1);
-      std::vector<bool> New(NumVars, false);
-      // LiveOut = union of successors' LiveIn.
-      for (BlockId S : Succs[B])
-        for (VarId V = 0; V < NumVars; ++V)
-          if (Info.LiveIn[S][V])
-            New[V] = true;
-      // LiveIn = Use ∪ (LiveOut \ Def).
-      for (VarId V = 0; V < NumVars; ++V) {
-        New[V] = Use[B][V] || (New[V] && !Def[B][V]);
-        if (New[V] && !Info.LiveIn[B][V]) {
-          Info.LiveIn[B][V] = true;
-          Changed = true;
-        }
-      }
-    }
-  }
+  LivenessInfo Info;
+  Info.LiveIn =
+      std::move(solveDataflow(BlockCfg::build(F), P).In);
   return Info;
 }

@@ -19,39 +19,42 @@
 #ifndef CEAL_ANALYSIS_LIVENESS_H
 #define CEAL_ANALYSIS_LIVENESS_H
 
+#include "analysis/Dataflow.h"
 #include "cl/Ir.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace ceal {
 namespace analysis {
 
-/// Live-variable sets for one function, as bit vectors over VarId.
+/// Live-variable sets for one function, as dense bit vectors over VarId
+/// (popcount-friendly; see Dataflow.h).
 struct LivenessInfo {
-  /// LiveIn[b][v]: variable v is live at the start of block b.
-  std::vector<std::vector<bool>> LiveIn;
+  /// LiveIn[b]: the variables live at the start of block b.
+  std::vector<BitVec> LiveIn;
+
+  /// True iff \p V is live at the start of \p B.
+  bool liveInAt(cl::BlockId B, cl::VarId V) const {
+    return LiveIn[B].test(V);
+  }
 
   /// The variables live at the start of \p B, in ascending VarId order
   /// (the deterministic parameter order used by NORMALIZE).
   std::vector<cl::VarId> liveAt(cl::BlockId B) const {
-    std::vector<cl::VarId> Result;
-    for (cl::VarId V = 0; V < LiveIn[B].size(); ++V)
-      if (LiveIn[B][V])
-        Result.push_back(V);
-    return Result;
+    return LiveIn[B].bits();
   }
+
+  /// The number of variables live at the start of \p B (one popcount
+  /// sweep, no row scan).
+  size_t liveCountAt(cl::BlockId B) const { return LiveIn[B].count(); }
 
   /// The maximum number of live variables over all blocks — the ML(P)
   /// of Theorems 3-5.
   size_t maxLive() const {
     size_t Max = 0;
-    for (const auto &Row : LiveIn) {
-      size_t Count = 0;
-      for (bool Bit : Row)
-        Count += Bit;
-      if (Count > Max)
-        Max = Count;
-    }
+    for (const BitVec &Row : LiveIn)
+      Max = std::max(Max, Row.count());
     return Max;
   }
 };

@@ -1,0 +1,187 @@
+//===- analysis/ModrefEffects.cpp - Modref effect summaries ----------------===//
+
+#include "analysis/ModrefEffects.h"
+
+using namespace ceal;
+using namespace ceal::analysis;
+using namespace ceal::cl;
+
+namespace {
+
+/// Per-variable origin sets within one function: bits [0, NumParams) are
+/// parameter origins; bit NumParams is "other" (memory load, read
+/// result, arithmetic); bit NumParams+1 is "locally allocated".
+struct Origins {
+  size_t NumParams = 0;
+  std::vector<BitVec> Of; // One per variable.
+
+  size_t otherBit() const { return NumParams; }
+  size_t freshBit() const { return NumParams + 1; }
+};
+
+Origins computeOrigins(const Function &F) {
+  Origins O;
+  O.NumParams = F.NumParams;
+  O.Of.assign(F.Vars.size(), BitVec(F.NumParams + 2));
+  for (VarId P = 0; P < F.NumParams; ++P)
+    O.Of[P].set(P);
+
+  // Flow-insensitive: iterate copies until stable. Any non-copy
+  // definition contributes "other" or "fresh".
+  bool Changed = true;
+  auto Mark = [&](VarId V, size_t Bit) {
+    if (!O.Of[V].test(Bit)) {
+      O.Of[V].set(Bit);
+      Changed = true;
+    }
+  };
+  while (Changed) {
+    Changed = false;
+    for (const BasicBlock &B : F.Blocks) {
+      if (B.K != BasicBlock::Cmd)
+        continue;
+      const Command &C = B.C;
+      switch (C.K) {
+      case Command::Assign:
+        if (C.E.K == Expr::Var)
+          Changed |= O.Of[C.Dst].unionWith(O.Of[C.E.V]);
+        else
+          Mark(C.Dst, O.otherBit());
+        break;
+      case Command::Read:
+        Mark(C.Dst, O.otherBit());
+        break;
+      case Command::ModrefAlloc:
+      case Command::Alloc:
+        Mark(C.Dst, O.freshBit());
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return O;
+}
+
+/// Folds callee param effects into the caller summary, mapping callee
+/// parameter \p J onto the caller-side origins of argument \p Arg.
+void mapParamEffect(FuncEffects &E, const Origins &O, VarId Arg, bool Write) {
+  BitVec &Params = Write ? E.WritesParams : E.ReadsParams;
+  bool &Other = Write ? E.WritesOther : E.ReadsOther;
+  O.Of[Arg].forEach([&](size_t Bit) {
+    if (Bit < O.NumParams)
+      Params.set(Bit);
+    else
+      Other = true; // "other" and "fresh" both escape the summary.
+  });
+}
+
+} // namespace
+
+std::vector<FuncEffects> analysis::computeModrefEffects(const Program &P) {
+  size_t N = P.Funcs.size();
+  std::vector<FuncEffects> FX(N);
+  std::vector<Origins> Org(N);
+  for (FuncId F = 0; F < N; ++F) {
+    FX[F].ReadsParams = BitVec(P.Funcs[F].NumParams);
+    FX[F].WritesParams = BitVec(P.Funcs[F].NumParams);
+    Org[F] = computeOrigins(P.Funcs[F]);
+  }
+
+  auto Merge = [&](FuncEffects &E, const Origins &O, FuncId Callee,
+                   const std::vector<VarId> &Args, size_t ArgOffset) {
+    if (Callee >= N)
+      return false; // Invalid reference; the verifier reports it.
+    FuncEffects Before = E;
+    const FuncEffects &CE = FX[Callee];
+    E.ReadsOther |= CE.ReadsOther;
+    E.WritesOther |= CE.WritesOther;
+    E.Allocates |= CE.Allocates;
+    for (size_t J = 0; J < P.Funcs[Callee].NumParams; ++J) {
+      if (J < ArgOffset) {
+        // Implicit leading parameter (the alloc'd block): fresh memory.
+        if (CE.ReadsParams.test(J))
+          E.ReadsOther = true;
+        if (CE.WritesParams.test(J))
+          E.WritesOther = true;
+        continue;
+      }
+      size_t AI = J - ArgOffset;
+      if (AI >= Args.size() || Args[AI] >= O.Of.size())
+        continue; // Arity mismatch / bad ref; the verifier reports it.
+      if (CE.ReadsParams.test(J))
+        mapParamEffect(E, O, Args[AI], /*Write=*/false);
+      if (CE.WritesParams.test(J))
+        mapParamEffect(E, O, Args[AI], /*Write=*/true);
+    }
+    return E.ReadsOther != Before.ReadsOther ||
+           E.WritesOther != Before.WritesOther ||
+           E.Allocates != Before.Allocates ||
+           E.ReadsParams != Before.ReadsParams ||
+           E.WritesParams != Before.WritesParams;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (FuncId FI = 0; FI < N; ++FI) {
+      const Function &F = P.Funcs[FI];
+      FuncEffects &E = FX[FI];
+      const Origins &O = Org[FI];
+      auto MergeJump = [&](const Jump &J) {
+        if (J.K == Jump::Tail)
+          Changed |= Merge(E, O, J.Fn, J.Args, 0);
+      };
+      for (const BasicBlock &B : F.Blocks) {
+        if (B.K == BasicBlock::Cond) {
+          MergeJump(B.J1);
+          MergeJump(B.J2);
+          continue;
+        }
+        if (B.K != BasicBlock::Cmd)
+          continue;
+        const Command &C = B.C;
+        switch (C.K) {
+        case Command::Read:
+          if (C.Src < F.Vars.size())
+            Changed |= [&] {
+              FuncEffects Before = E;
+              mapParamEffect(E, O, C.Src, /*Write=*/false);
+              return E.ReadsOther != Before.ReadsOther ||
+                     E.ReadsParams != Before.ReadsParams;
+            }();
+          break;
+        case Command::Write:
+          if (C.Ref < F.Vars.size())
+            Changed |= [&] {
+              FuncEffects Before = E;
+              mapParamEffect(E, O, C.Ref, /*Write=*/true);
+              return E.WritesOther != Before.WritesOther ||
+                     E.WritesParams != Before.WritesParams;
+            }();
+          break;
+        case Command::ModrefAlloc:
+          if (!E.Allocates) {
+            E.Allocates = true;
+            Changed = true;
+          }
+          break;
+        case Command::Alloc:
+          if (!E.Allocates) {
+            E.Allocates = true;
+            Changed = true;
+          }
+          Changed |= Merge(E, O, C.Fn, C.Args, /*ArgOffset=*/1);
+          break;
+        case Command::Call:
+          Changed |= Merge(E, O, C.Fn, C.Args, 0);
+          break;
+        default:
+          break;
+        }
+        MergeJump(B.J);
+      }
+    }
+  }
+  return FX;
+}

@@ -1,0 +1,59 @@
+//===- analysis/ModrefEffects.h - Modref effect summaries ------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interprocedural may-effect summaries: which modrefs a function (and
+/// everything it transitively tails into, calls, or allocates with) may
+/// read, write, or allocate. Modrefs are tracked by *origin*: a modref
+/// value in a variable either came in through a parameter, was allocated
+/// locally, or was loaded from memory / a read result ("other").
+///
+/// The summaries are deliberately conservative about aliasing:
+///  * Writes/reads of locally allocated modrefs count as "other" because
+///    a keyed modref() allocation may memo-match a cell the caller also
+///    holds during change propagation.
+///  * Store commands are assumed never to overwrite a modref's value
+///    cell — CL code only mutates modref contents through write (this is
+///    how the runtime and both interpreters behave).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_ANALYSIS_MODREFEFFECTS_H
+#define CEAL_ANALYSIS_MODREFEFFECTS_H
+
+#include "analysis/Dataflow.h"
+#include "cl/Ir.h"
+
+#include <vector>
+
+namespace ceal {
+namespace analysis {
+
+/// The may-effects of one function, including everything reachable from
+/// it through tails, calls, and alloc initializers.
+struct FuncEffects {
+  /// Bit p set: the modref passed as parameter p may be read / written.
+  BitVec ReadsParams;
+  BitVec WritesParams;
+  /// May read / write a modref that did not arrive as a parameter
+  /// (loaded from memory, a read result, or locally allocated).
+  bool ReadsOther = false;
+  bool WritesOther = false;
+  /// May allocate (modref() or alloc()).
+  bool Allocates = false;
+
+  bool readsNothing() const { return !ReadsOther && ReadsParams.none(); }
+  bool writesNothing() const { return !WritesOther && WritesParams.none(); }
+};
+
+/// Computes effect summaries for every function of \p P, iterating the
+/// call graph (tails, calls, alloc initializers) to a fixed point.
+std::vector<FuncEffects> computeModrefEffects(const cl::Program &P);
+
+} // namespace analysis
+} // namespace ceal
+
+#endif // CEAL_ANALYSIS_MODREFEFFECTS_H

@@ -1,0 +1,96 @@
+//===- analysis/ReachingDefs.cpp - Reaching definitions --------------------===//
+
+#include "analysis/ReachingDefs.h"
+
+#include "analysis/Liveness.h"
+
+using namespace ceal;
+using namespace ceal::analysis;
+using namespace ceal::cl;
+
+ReachingDefs analysis::computeReachingDefs(const Function &F) {
+  size_t NumBlocks = F.Blocks.size();
+  size_t NumVars = F.Vars.size();
+  size_t Domain = NumBlocks + NumVars;
+
+  // Def sites per variable (a CL block defines at most one variable).
+  std::vector<std::vector<BlockId>> SitesOf(NumVars);
+  for (BlockId B = 0; B < NumBlocks; ++B)
+    for (VarId V : blockDefs(F, B))
+      SitesOf[V].push_back(B);
+
+  DataflowProblem P;
+  P.Dir = Direction::Forward;
+  P.M = Meet::Union;
+  P.DomainSize = Domain;
+  P.Transfer.resize(NumBlocks);
+  for (BlockId B = 0; B < NumBlocks; ++B) {
+    GenKill &T = P.Transfer[B];
+    T.Gen = BitVec(Domain);
+    T.Kill = BitVec(Domain);
+    for (VarId V : blockDefs(F, B)) {
+      T.Gen.set(B);
+      for (BlockId S : SitesOf[V])
+        T.Kill.set(S);
+      T.Kill.set(NumBlocks + V); // The entry value no longer flows.
+    }
+  }
+  // At function entry every variable holds its entry value.
+  P.Boundary = BitVec(Domain);
+  for (VarId V = 0; V < NumVars; ++V)
+    P.Boundary.set(NumBlocks + V);
+
+  ReachingDefs RD;
+  RD.NumBlocks = NumBlocks;
+  RD.NumVars = NumVars;
+  RD.Cfg = BlockCfg::build(F);
+  DataflowResult R = solveDataflow(RD.Cfg, P);
+  RD.In = std::move(R.In);
+  RD.Out = std::move(R.Out);
+  return RD;
+}
+
+std::optional<int64_t> analysis::constantAtExit(const Function &F,
+                                                const ReachingDefs &RD,
+                                                BlockId B, VarId V) {
+  if (!RD.Cfg.Reachable[B])
+    return std::nullopt;
+  std::optional<int64_t> Value;
+  bool Unknown = false;
+  auto Join = [&](int64_t C) {
+    if (Value && *Value != C)
+      Unknown = true;
+    Value = C;
+  };
+  RD.Out[B].forEach([&](size_t Slot) {
+    if (Unknown)
+      return;
+    if (Slot >= RD.NumBlocks) {
+      VarId W = static_cast<VarId>(Slot - RD.NumBlocks);
+      if (W != V)
+        return;
+      if (W < F.NumParams)
+        Unknown = true; // The incoming argument value may flow here.
+      else
+        Join(0); // Locals are zero-initialized in every semantics.
+      return;
+    }
+    const BasicBlock &Site = F.Blocks[Slot];
+    if (Site.K != BasicBlock::Cmd)
+      return;
+    const Command &C = Site.C;
+    if (C.K == Command::Assign && C.Dst == V) {
+      if (C.E.K == Expr::Const)
+        Join(C.E.IntVal);
+      else
+        Unknown = true;
+    } else if ((C.K == Command::ModrefAlloc || C.K == Command::Read ||
+                C.K == Command::Alloc) &&
+               C.Dst == V) {
+      Unknown = true;
+    }
+  });
+  if (Unknown || !Value)
+    return std::nullopt;
+  return Value;
+}

@@ -1,0 +1,68 @@
+//===- analysis/ReachingDefs.h - Reaching definitions ----------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reaching-definitions analysis over a CL function. CL blocks carry at
+/// most one command, so a definition site is identified by its block id.
+/// The domain also tracks, per variable, a "zero-initial" pseudo-def:
+/// locals start at 0 in every semantics (ConvInterp, the VM, and emitted
+/// C all zero-initialize), so a use reached by the pseudo-def is not
+/// undefined behaviour — but it is worth a lint (use-before-def), and it
+/// participates in constant propagation as the constant 0.
+///
+/// Domain layout: slot b (b < NumBlocks) is "block b's definition
+/// reaches here"; slot NumBlocks + v is "variable v may still hold its
+/// entry value here" (the incoming argument for parameters, the zero
+/// initial value for locals).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_ANALYSIS_REACHINGDEFS_H
+#define CEAL_ANALYSIS_REACHINGDEFS_H
+
+#include "analysis/Dataflow.h"
+#include "cl/Ir.h"
+
+#include <optional>
+#include <vector>
+
+namespace ceal {
+namespace analysis {
+
+struct ReachingDefs {
+  size_t NumBlocks = 0;
+  size_t NumVars = 0;
+  /// In[b] / Out[b] over the layout described above.
+  std::vector<BitVec> In;
+  std::vector<BitVec> Out;
+  /// The CFG the analysis ran on (for Reachable filtering).
+  BlockCfg Cfg;
+
+  bool defReachesEntry(cl::BlockId Site, cl::BlockId B) const {
+    return In[B].test(Site);
+  }
+  /// May \p V still hold its entry value (argument / zero) at the entry
+  /// of \p B?
+  bool maybeEntryValueAt(cl::BlockId B, cl::VarId V) const {
+    return In[B].test(NumBlocks + V);
+  }
+};
+
+/// Runs reaching definitions on \p F.
+ReachingDefs computeReachingDefs(const cl::Function &F);
+
+/// If every definition of \p V reaching the *exit* of \p B assigns the
+/// same integer constant (the zero-initial pseudo-def counts as 0),
+/// returns that constant; otherwise nullopt. Parameters never qualify
+/// at blocks where the entry value may still flow.
+std::optional<int64_t> constantAtExit(const cl::Function &F,
+                                      const ReachingDefs &RD, cl::BlockId B,
+                                      cl::VarId V);
+
+} // namespace analysis
+} // namespace ceal
+
+#endif // CEAL_ANALYSIS_REACHINGDEFS_H

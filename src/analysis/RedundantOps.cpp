@@ -1,0 +1,251 @@
+//===- analysis/RedundantOps.cpp - Redundant reads & dead writes -----------===//
+
+#include "analysis/RedundantOps.h"
+
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+
+using namespace ceal;
+using namespace ceal::analysis;
+using namespace ceal::cl;
+
+namespace {
+
+bool calleeMayWrite(const std::vector<FuncEffects> &FX, FuncId F) {
+  return F >= FX.size() || !FX[F].writesNothing();
+}
+bool calleeMayRead(const std::vector<FuncEffects> &FX, FuncId F) {
+  return F >= FX.size() || !FX[F].readsNothing();
+}
+
+/// Forward must-availability of read results. Domain: block ids of read
+/// commands ("that read has executed, its Src still names the same
+/// modref, the modref is unwritten since, and its Dst still holds the
+/// value").
+void findRedundantReads(const Function &F, const std::vector<FuncEffects> &FX,
+                        FuncRedundancy &Out) {
+  size_t N = F.Blocks.size();
+  DataflowProblem P;
+  P.Dir = Direction::Forward;
+  P.M = Meet::Intersect;
+  P.DomainSize = N;
+  P.Transfer.resize(N);
+
+  // Sites keyed by the variables they depend on.
+  std::vector<std::vector<BlockId>> SitesUsing(F.Vars.size());
+  std::vector<BlockId> ReadSites;
+  for (BlockId B = 0; B < N; ++B) {
+    const BasicBlock &BB = F.Blocks[B];
+    if (BB.K == BasicBlock::Cmd && BB.C.K == Command::Read &&
+        BB.C.Src < F.Vars.size() && BB.C.Dst < F.Vars.size()) {
+      ReadSites.push_back(B);
+      SitesUsing[BB.C.Src].push_back(B);
+      if (BB.C.Dst != BB.C.Src)
+        SitesUsing[BB.C.Dst].push_back(B);
+    }
+  }
+
+  for (BlockId B = 0; B < N; ++B) {
+    GenKill &T = P.Transfer[B];
+    T.Gen = BitVec(N);
+    T.Kill = BitVec(N);
+    const BasicBlock &BB = F.Blocks[B];
+    if (BB.K != BasicBlock::Cmd)
+      continue;
+    const Command &C = BB.C;
+    auto KillDef = [&](VarId V) {
+      if (V < F.Vars.size())
+        for (BlockId S : SitesUsing[V])
+          T.Kill.set(S);
+    };
+    switch (C.K) {
+    case Command::Nop:
+    case Command::Store: // Stores never hit modref value cells.
+      break;
+    case Command::Assign:
+      KillDef(C.Dst);
+      break;
+    case Command::Write:
+      // May write any modref the available reads saw (var aliasing).
+      T.Kill.setAll();
+      break;
+    case Command::ModrefAlloc:
+      // Allocation (even a memo match) does not write a cell.
+      KillDef(C.Dst);
+      break;
+    case Command::Read:
+      KillDef(C.Dst);
+      if (C.Src < F.Vars.size() && C.Dst < F.Vars.size())
+        T.Gen.set(B);
+      break;
+    case Command::Alloc:
+      if (calleeMayWrite(FX, C.Fn))
+        T.Kill.setAll();
+      else
+        KillDef(C.Dst);
+      break;
+    case Command::Call:
+      if (calleeMayWrite(FX, C.Fn))
+        T.Kill.setAll();
+      break;
+    }
+  }
+
+  BlockCfg G = BlockCfg::build(F);
+  DataflowResult R = solveDataflow(G, P);
+  for (BlockId B : ReadSites) {
+    if (!G.Reachable[B])
+      continue;
+    const Command &C = F.Blocks[B].C;
+    // The lowest-numbered available read of the same modref variable.
+    BlockId Provider = InvalidId;
+    R.In[B].forEach([&](size_t S) {
+      if (Provider != InvalidId || S == B)
+        return;
+      const BasicBlock &SB = F.Blocks[S];
+      if (SB.K == BasicBlock::Cmd && SB.C.K == Command::Read &&
+          SB.C.Src == C.Src)
+        Provider = static_cast<BlockId>(S);
+    });
+    if (Provider != InvalidId)
+      Out.RedundantReads.emplace_back(B, Provider);
+  }
+}
+
+/// Backward must-analysis: "the modref currently held by variable v is
+/// surely written again through v before anything could observe its
+/// value". Domain: VarId.
+void findDeadWrites(const Function &F, const std::vector<FuncEffects> &FX,
+                    FuncRedundancy &Out) {
+  size_t N = F.Blocks.size();
+  size_t NumVars = F.Vars.size();
+  DataflowProblem P;
+  P.Dir = Direction::Backward;
+  P.M = Meet::Intersect;
+  P.DomainSize = NumVars;
+  P.Transfer.resize(N);
+  // At exits (tail/done) every value may still be observed: Out = ∅.
+
+  for (BlockId B = 0; B < N; ++B) {
+    GenKill &T = P.Transfer[B];
+    T.Gen = BitVec(NumVars);
+    T.Kill = BitVec(NumVars);
+    const BasicBlock &BB = F.Blocks[B];
+    if (BB.K != BasicBlock::Cmd)
+      continue;
+    const Command &C = BB.C;
+    auto KillDef = [&](VarId V) {
+      // v now holds a different modref; later writes through v no
+      // longer overwrite the old cell.
+      if (V < NumVars)
+        T.Kill.set(V);
+    };
+    switch (C.K) {
+    case Command::Nop:
+    case Command::Store:
+      break;
+    case Command::Assign:
+      KillDef(C.Dst);
+      break;
+    case Command::Write:
+      // Overwrites exactly the cell v holds; other variables may or may
+      // not alias it, so this neither helps nor hurts them.
+      if (C.Ref < NumVars)
+        T.Gen.set(C.Ref);
+      break;
+    case Command::ModrefAlloc:
+      KillDef(C.Dst);
+      break;
+    case Command::Read:
+      // Observes a cell that may alias anything.
+      T.Kill.setAll();
+      KillDef(C.Dst);
+      break;
+    case Command::Alloc:
+      if (calleeMayRead(FX, C.Fn))
+        T.Kill.setAll();
+      KillDef(C.Dst);
+      break;
+    case Command::Call:
+      if (calleeMayRead(FX, C.Fn))
+        T.Kill.setAll();
+      break;
+    }
+  }
+
+  BlockCfg G = BlockCfg::build(F);
+  DataflowResult R = solveDataflow(G, P);
+  for (BlockId B = 0; B < N; ++B) {
+    if (!G.Reachable[B])
+      continue;
+    const BasicBlock &BB = F.Blocks[B];
+    if (BB.K == BasicBlock::Cmd && BB.C.K == Command::Write &&
+        BB.C.Ref < NumVars && R.Out[B].test(BB.C.Ref))
+      Out.DeadWrites.push_back(B);
+  }
+}
+
+void findLivenessDead(const Function &F, const std::vector<FuncEffects> &FX,
+                      FuncRedundancy &Out) {
+  LivenessInfo Live = computeLiveness(F);
+  BlockCfg G = BlockCfg::build(F);
+  for (BlockId B = 0; B < F.Blocks.size(); ++B) {
+    if (!G.Reachable[B])
+      continue;
+    const BasicBlock &BB = F.Blocks[B];
+    if (BB.K != BasicBlock::Cmd)
+      continue;
+    const Command &C = BB.C;
+    if (C.K != Command::Assign && C.K != Command::Read &&
+        C.K != Command::ModrefAlloc && C.K != Command::Alloc)
+      continue;
+    if (C.Dst >= F.Vars.size())
+      continue;
+    bool DstLiveOut = false;
+    for (BlockId S : G.Succs[B])
+      DstLiveOut |= Live.liveInAt(S, C.Dst);
+    if (BB.J.K == Jump::Tail)
+      for (VarId A : BB.J.Args)
+        DstLiveOut |= A == C.Dst;
+    if (DstLiveOut)
+      continue;
+    switch (C.K) {
+    case Command::Assign:
+      Out.DeadAssigns.push_back(B);
+      break;
+    case Command::Read:
+      Out.DeadReads.push_back(B);
+      break;
+    case Command::ModrefAlloc:
+      Out.DeadAllocs.push_back(B);
+      break;
+    case Command::Alloc:
+      // The initializer runs; dropping it is unobservable only if it
+      // cannot write a modref (its reads create trace dependencies,
+      // which never change outputs).
+      if (!calleeMayWrite(FX, C.Fn))
+        Out.DeadAllocs.push_back(B);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+} // namespace
+
+RedundancyInfo analysis::computeRedundantOps(const Program &P,
+                                             const std::vector<FuncEffects> &FX) {
+  RedundancyInfo Info;
+  Info.Funcs.resize(P.Funcs.size());
+  for (FuncId FI = 0; FI < P.Funcs.size(); ++FI) {
+    const Function &F = P.Funcs[FI];
+    FuncRedundancy &FR = Info.Funcs[FI];
+    findRedundantReads(F, FX, FR);
+    findDeadWrites(F, FX, FR);
+    findLivenessDead(F, FX, FR);
+    std::sort(FR.RedundantReads.begin(), FR.RedundantReads.end());
+  }
+  return Info;
+}

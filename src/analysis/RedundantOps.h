@@ -1,0 +1,81 @@
+//===- analysis/RedundantOps.h - Redundant reads & dead writes -*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Detects CL operations whose removal is unobservable in both the
+/// conventional and the self-adjusting semantics:
+///
+///  * Redundant reads — `x := read m` where, on every path from entry,
+///    an earlier `y := read m` of the same variable m already executed
+///    with no intervening write to any modref, no redefinition of m or
+///    y, and no call/alloc that may write (forward must-availability).
+///    Such a read can become `x := y`.
+///  * Dead writes — `write(m, v)` where on every path to a function
+///    exit the modref held by m is written again through m before any
+///    read or escape could observe it (backward must-analysis).
+///  * Liveness-dead operations — assigns/reads/allocations whose
+///    destination is dead (never observed afterwards).
+///
+/// Soundness under change propagation: availability is computed on the
+/// plain CFG (read continuations are *not* extra entries). A
+/// re-execution that restarts at a read between the providing and the
+/// redundant read resumes from a closure whose environment captured y —
+/// the value the providing read last produced — so `x := y` still sees a
+/// value consistent with m: if m changed, the providing read's own trace
+/// node re-executes first and rebuilds those closures. Memo matches
+/// cannot smuggle in a stale y because y is part of every intervening
+/// closure's arguments (y is live) and therefore of its memo key.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_ANALYSIS_REDUNDANTOPS_H
+#define CEAL_ANALYSIS_REDUNDANTOPS_H
+
+#include "analysis/ModrefEffects.h"
+#include "cl/Ir.h"
+
+#include <utility>
+#include <vector>
+
+namespace ceal {
+namespace analysis {
+
+struct FuncRedundancy {
+  /// (redundant read block, providing read block): the later read may be
+  /// replaced by an assignment from the provider's destination.
+  std::vector<std::pair<cl::BlockId, cl::BlockId>> RedundantReads;
+  /// write(m, v) blocks whose value is surely overwritten before any
+  /// possible observation.
+  std::vector<cl::BlockId> DeadWrites;
+  /// ModrefAlloc blocks (and Alloc blocks with an effect-free
+  /// initializer) whose destination is dead.
+  std::vector<cl::BlockId> DeadAllocs;
+  /// Read blocks whose destination is dead.
+  std::vector<cl::BlockId> DeadReads;
+  /// Assign blocks whose destination is dead.
+  std::vector<cl::BlockId> DeadAssigns;
+
+  bool empty() const {
+    return RedundantReads.empty() && DeadWrites.empty() &&
+           DeadAllocs.empty() && DeadReads.empty() && DeadAssigns.empty();
+  }
+};
+
+struct RedundancyInfo {
+  std::vector<FuncRedundancy> Funcs; // One per program function.
+};
+
+/// Runs all three detections over \p P using the effect summaries \p FX
+/// (from computeModrefEffects) to decide whether calls/allocs may write
+/// or read modrefs. All reported blocks are reachable from their
+/// function's entry; results are in ascending block order.
+RedundancyInfo computeRedundantOps(const cl::Program &P,
+                                   const std::vector<FuncEffects> &FX);
+
+} // namespace analysis
+} // namespace ceal
+
+#endif // CEAL_ANALYSIS_REDUNDANTOPS_H

@@ -1,0 +1,68 @@
+//===- cl/Diagnostic.h - Located CL diagnostics ----------------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A located diagnostic for CL programs, shared by the verifier, the
+/// dataflow analyses, and cl-lint. Locations are IR coordinates
+/// (function, block, index-within-block); Printer.h renders them against
+/// the program source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_CL_DIAGNOSTIC_H
+#define CEAL_CL_DIAGNOSTIC_H
+
+#include "cl/Ir.h"
+
+#include <string>
+#include <vector>
+
+namespace ceal {
+namespace cl {
+
+enum class Severity { Error, Warning, Note };
+
+inline const char *severityName(Severity S) {
+  switch (S) {
+  case Severity::Error:
+    return "error";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Note:
+    return "note";
+  }
+  return "?";
+}
+
+/// A diagnostic anchored to a position in the CL IR.
+///
+/// \c Block may be InvalidId for function-level diagnostics (e.g. "has no
+/// blocks"). \c Index locates the element within the block: 0 is the
+/// command (or the cond variable / done marker), 1 the first jump (J, or
+/// J1 of a cond), 2 the second jump (J2 of a cond).
+struct Diagnostic {
+  FuncId Function = InvalidId;
+  BlockId Block = InvalidId;
+  uint32_t Index = 0;
+  Severity Sev = Severity::Error;
+  /// Stable machine-readable check name (e.g. "verify", "redundant-read").
+  std::string Check;
+  std::string Message;
+
+  bool isError() const { return Sev == Severity::Error; }
+};
+
+inline size_t countErrors(const std::vector<Diagnostic> &Ds) {
+  size_t N = 0;
+  for (const Diagnostic &D : Ds)
+    N += D.isError();
+  return N;
+}
+
+} // namespace cl
+} // namespace ceal
+
+#endif // CEAL_CL_DIAGNOSTIC_H

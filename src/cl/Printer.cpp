@@ -13,6 +13,21 @@ class Printer {
 public:
   explicit Printer(const Program &P) : Prog(P) {}
 
+  /// The single-line text of one block (without the trailing newline),
+  /// for source-anchored diagnostics.
+  std::string blockText(FuncId F, BlockId B) {
+    CurFunc = &Prog.Funcs[F];
+    block(CurFunc->Blocks[B]);
+    std::string S = Out.str();
+    Out.str("");
+    // Strip the leading indent and trailing newline added by block().
+    if (S.size() >= 2 && S[0] == ' ' && S[1] == ' ')
+      S.erase(0, 2);
+    while (!S.empty() && S.back() == '\n')
+      S.pop_back();
+    return S;
+  }
+
   void function(FuncId Id) {
     const Function &F = Prog.Funcs[Id];
     Out << "func " << F.Name << "(";
@@ -155,4 +170,43 @@ std::string cl::printProgram(const Program &P) {
   for (FuncId I = 0; I < P.Funcs.size(); ++I)
     Pr.function(I);
   return Pr.str();
+}
+
+std::string cl::renderDiagnostic(const Program &P, const Diagnostic &D) {
+  std::ostringstream Out;
+  Out << severityName(D.Sev);
+  if (!D.Check.empty())
+    Out << "[" << D.Check << "]";
+  Out << ": ";
+  bool HaveFunc = D.Function < P.Funcs.size();
+  if (HaveFunc) {
+    const Function &F = P.Funcs[D.Function];
+    Out << "function '" << F.Name << "'";
+    if (D.Block < F.Blocks.size())
+      Out << ", block '" << F.Blocks[D.Block].Label << "' (#" << D.Block
+          << ")";
+    Out << ": ";
+  }
+  Out << D.Message << "\n";
+  if (HaveFunc && D.Block < P.Funcs[D.Function].Blocks.size()) {
+    Printer Pr(P);
+    Out << "  --> " << Pr.blockText(D.Function, D.Block);
+    const BasicBlock &B = P.Funcs[D.Function].Blocks[D.Block];
+    if (B.K == BasicBlock::Cond)
+      Out << (D.Index == 0 ? "    [at the condition]"
+              : D.Index == 1 ? "    [at the then-jump]"
+                             : "    [at the else-jump]");
+    else if (B.K == BasicBlock::Cmd)
+      Out << (D.Index == 0 ? "    [at the command]" : "    [at the jump]");
+    Out << "\n";
+  }
+  return Out.str();
+}
+
+std::string cl::renderDiagnostics(const Program &P,
+                                  const std::vector<Diagnostic> &Ds) {
+  std::string Out;
+  for (const Diagnostic &D : Ds)
+    Out += renderDiagnostic(P, D);
+  return Out;
 }

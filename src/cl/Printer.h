@@ -13,15 +13,30 @@
 #ifndef CEAL_CL_PRINTER_H
 #define CEAL_CL_PRINTER_H
 
+#include "cl/Diagnostic.h"
 #include "cl/Ir.h"
 
 #include <string>
+#include <vector>
 
 namespace ceal {
 namespace cl {
 
 std::string printProgram(const Program &P);
 std::string printFunction(const Program &P, FuncId F);
+
+/// Renders one located diagnostic against its program source, e.g.
+///
+///   warning[redundant-read]: function 'kk', block 'n7': modref 'mb'
+///       was already read on every path
+///     --> n7: y := read mb; tail k(y)    [at the command]
+///
+/// Out-of-range locations degrade gracefully (no block line).
+std::string renderDiagnostic(const Program &P, const Diagnostic &D);
+
+/// Renders a batch, one diagnostic per renderDiagnostic block.
+std::string renderDiagnostics(const Program &P,
+                              const std::vector<Diagnostic> &Ds);
 
 } // namespace cl
 } // namespace ceal

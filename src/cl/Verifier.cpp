@@ -11,7 +11,7 @@ class Verifier {
 public:
   explicit Verifier(const Program &P) : Prog(P) {}
 
-  std::vector<std::string> run() {
+  std::vector<Diagnostic> run() {
     for (FuncId I = 0; I < Prog.Funcs.size(); ++I)
       function(I);
     return std::move(Diags);
@@ -19,7 +19,14 @@ public:
 
 private:
   void diag(const std::string &Msg) {
-    Diags.push_back("function '" + CurFunc->Name + "': " + Msg);
+    Diagnostic D;
+    D.Function = CurFuncId;
+    D.Block = CurBlock;
+    D.Index = CurIndex;
+    D.Sev = Severity::Error;
+    D.Check = "verify";
+    D.Message = Msg;
+    Diags.push_back(std::move(D));
   }
 
   void checkVar(VarId V, const char *What) {
@@ -121,39 +128,61 @@ private:
   }
 
   void function(FuncId Id) {
+    CurFuncId = Id;
     CurFunc = &Prog.Funcs[Id];
+    CurBlock = InvalidId;
+    CurIndex = 0;
     if (CurFunc->Blocks.empty()) {
       diag("has no blocks");
       return;
     }
     if (CurFunc->NumParams > CurFunc->Vars.size())
       diag("parameter count exceeds variable count");
-    for (const BasicBlock &B : CurFunc->Blocks) {
-      switch (B.K) {
+    for (BlockId B = 0; B < CurFunc->Blocks.size(); ++B) {
+      const BasicBlock &BB = CurFunc->Blocks[B];
+      CurBlock = B;
+      CurIndex = 0;
+      switch (BB.K) {
       case BasicBlock::Done:
         break;
       case BasicBlock::Cond:
-        checkVar(B.CondVar, "cond");
-        checkJump(B.J1, "cond then");
-        checkJump(B.J2, "cond else");
+        checkVar(BB.CondVar, "cond");
+        CurIndex = 1;
+        checkJump(BB.J1, "cond then");
+        CurIndex = 2;
+        checkJump(BB.J2, "cond else");
         break;
       case BasicBlock::Cmd:
-        checkCommand(B.C);
-        checkJump(B.J, "block jump");
+        checkCommand(BB.C);
+        CurIndex = 1;
+        checkJump(BB.J, "block jump");
         break;
       }
     }
   }
 
   const Program &Prog;
+  FuncId CurFuncId = InvalidId;
   const Function *CurFunc = nullptr;
-  std::vector<std::string> Diags;
+  BlockId CurBlock = InvalidId;
+  uint32_t CurIndex = 0;
+  std::vector<Diagnostic> Diags;
 };
 
 } // namespace
 
-std::vector<std::string> cl::verifyProgram(const Program &P) {
+std::vector<Diagnostic> cl::verifyProgramDiags(const Program &P) {
   return Verifier(P).run();
+}
+
+std::vector<std::string> cl::verifyProgram(const Program &P) {
+  std::vector<std::string> Out;
+  for (const Diagnostic &D : verifyProgramDiags(P)) {
+    const std::string &FName =
+        D.Function < P.Funcs.size() ? P.Funcs[D.Function].Name : "?";
+    Out.push_back("function '" + FName + "': " + D.Message);
+  }
+  return Out;
 }
 
 bool cl::isNormalForm(const Program &P) {

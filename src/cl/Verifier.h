@@ -15,6 +15,7 @@
 #ifndef CEAL_CL_VERIFIER_H
 #define CEAL_CL_VERIFIER_H
 
+#include "cl/Diagnostic.h"
 #include "cl/Ir.h"
 
 #include <string>
@@ -23,7 +24,13 @@
 namespace ceal {
 namespace cl {
 
-/// Checks structural well-formedness; returns diagnostics (empty if OK).
+/// Checks structural well-formedness; returns located diagnostics
+/// (empty if OK). Every diagnostic has Check == "verify" and Severity
+/// Error, anchored at the offending block/index.
+std::vector<Diagnostic> verifyProgramDiags(const Program &P);
+
+/// String-compat shim over verifyProgramDiags: one "function 'f': ..."
+/// line per diagnostic, as the original interface produced.
 std::vector<std::string> verifyProgram(const Program &P);
 
 /// True iff every read command is immediately followed by a tail jump

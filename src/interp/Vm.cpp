@@ -78,6 +78,8 @@ Vm::Vm(Runtime &RT, const Program &P) : RT(RT), Prog(P) {
 /// memo keys — which cover args [1..] — are stable across re-executions.
 Closure *Vm::makeVmClosure(FuncId F, Word SubstPos,
                            const std::vector<Word> &Args) {
+  ++ClosuresMade;
+  ClosureEnvWords += Args.size();
   std::vector<Word> Frame(4 + Args.size());
   Frame[0] = 0;
   Frame[1] = toWord(this);

@@ -63,6 +63,13 @@ public:
   void runCore(const std::string &Name, const std::vector<Word> &Args);
   void propagate() { RT.propagate(); }
 
+  /// Closure-environment accounting: every closure this VM built (reads,
+  /// tail calls, allocation initializers) and the total CL-argument words
+  /// those closures carried. The ratio approximates the per-trace-node
+  /// environment cost ML(P) that closure slimming shrinks.
+  uint64_t closuresMade() const { return ClosuresMade; }
+  uint64_t closureEnvWords() const { return ClosureEnvWords; }
+
 private:
   friend struct VmEntryHook;
   static Closure *vmEntry(Runtime &RT, Closure *C);
@@ -72,6 +79,8 @@ private:
 
   Runtime &RT;
   const cl::Program &Prog;
+  uint64_t ClosuresMade = 0;
+  uint64_t ClosureEnvWords = 0;
 };
 
 /// The conventional interpreter (plain memory, direct execution).

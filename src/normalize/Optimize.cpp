@@ -1,0 +1,394 @@
+//===- normalize/Optimize.cpp - Analysis-driven CL optimization ------------===//
+
+#include "normalize/Optimize.h"
+
+#include "analysis/Liveness.h"
+#include "analysis/ModrefEffects.h"
+#include "analysis/ReachingDefs.h"
+#include "analysis/RedundantOps.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace ceal;
+using namespace ceal::cl;
+using namespace ceal::optimize;
+using namespace ceal::analysis;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shared rewriting helpers
+//===----------------------------------------------------------------------===//
+
+void remapJumpVars(Jump &J, const std::vector<VarId> &Map) {
+  if (J.K == Jump::Tail)
+    for (VarId &A : J.Args)
+      A = Map[A];
+}
+
+void remapBlockVars(BasicBlock &B, const std::vector<VarId> &Map) {
+  switch (B.K) {
+  case BasicBlock::Done:
+    break;
+  case BasicBlock::Cond:
+    B.CondVar = Map[B.CondVar];
+    remapJumpVars(B.J1, Map);
+    remapJumpVars(B.J2, Map);
+    break;
+  case BasicBlock::Cmd: {
+    Command &C = B.C;
+    auto M = [&](VarId &V) {
+      if (V != InvalidId)
+        V = Map[V];
+    };
+    M(C.Dst);
+    M(C.Base);
+    M(C.Idx);
+    M(C.Src);
+    M(C.Ref);
+    M(C.Val);
+    M(C.SizeVar);
+    for (VarId &A : C.Args)
+      A = Map[A];
+    switch (C.E.K) {
+    case Expr::Const:
+      break;
+    case Expr::Var:
+      C.E.V = Map[C.E.V];
+      break;
+    case Expr::Prim:
+      for (VarId &A : C.E.Args)
+        A = Map[A];
+      break;
+    case Expr::Index:
+      C.E.V = Map[C.E.V];
+      C.E.Idx = Map[C.E.Idx];
+      break;
+    }
+    remapJumpVars(B.J, Map);
+    break;
+  }
+  }
+}
+
+void shiftGotoTargets(BasicBlock &B, BlockId Delta) {
+  auto Shift = [&](Jump &J) {
+    if (J.K == Jump::Goto)
+      J.Target += Delta;
+  };
+  if (B.K == BasicBlock::Cond) {
+    Shift(B.J1);
+    Shift(B.J2);
+  } else if (B.K == BasicBlock::Cmd) {
+    Shift(B.J);
+  }
+}
+
+/// Applies one round of redundancy removal (redundant reads, dead
+/// writes, dead code) to \p P in place; returns the number of rewrites.
+size_t applyRedundancy(Program &P, OptStats &Stats) {
+  std::vector<FuncEffects> FX = computeModrefEffects(P);
+  RedundancyInfo Info = computeRedundantOps(P, FX);
+  size_t Applied = 0;
+  for (FuncId FI = 0; FI < P.Funcs.size(); ++FI) {
+    Function &F = P.Funcs[FI];
+    const FuncRedundancy &FR = Info.Funcs[FI];
+    for (auto [B, Provider] : FR.RedundantReads) {
+      Command &C = F.Blocks[B].C;
+      VarId Dst = C.Dst;
+      VarId From = F.Blocks[Provider].C.Dst;
+      C = Command();
+      if (Dst == From) {
+        C.K = Command::Nop;
+      } else {
+        C.K = Command::Assign;
+        C.Dst = Dst;
+        C.E = Expr::makeVar(From);
+      }
+      ++Stats.RedundantReadsElim;
+      ++Applied;
+    }
+    auto Nop = [&](BlockId B, size_t &Counter) {
+      F.Blocks[B].C = Command();
+      ++Counter;
+      ++Applied;
+    };
+    for (BlockId B : FR.DeadWrites)
+      Nop(B, Stats.DeadWritesElim);
+    for (BlockId B : FR.DeadReads)
+      Nop(B, Stats.DeadReadsElim);
+    for (BlockId B : FR.DeadAssigns)
+      Nop(B, Stats.DeadAssignsElim);
+    for (BlockId B : FR.DeadAllocs)
+      Nop(B, Stats.DeadAllocsElim);
+  }
+  return Applied;
+}
+
+//===----------------------------------------------------------------------===//
+// Closure slimming (post-NORMALIZE)
+//===----------------------------------------------------------------------===//
+
+/// One tail-jump site: the jump lives in block \p Block of \p Caller;
+/// \p Which selects the jump (0 = Cmd jump, 1 = J1, 2 = J2).
+struct TailSite {
+  FuncId Caller;
+  BlockId Block;
+  uint8_t Which;
+};
+
+Jump &siteJump(Program &P, const TailSite &S) {
+  BasicBlock &B = P.Funcs[S.Caller].Blocks[S.Block];
+  return S.Which == 0 ? B.J : S.Which == 1 ? B.J1 : B.J2;
+}
+
+/// Collects every tail site per callee; marks functions that are also
+/// referenced by call/alloc commands (their signatures stay fixed).
+void collectSites(const Program &P, std::vector<std::vector<TailSite>> &Sites,
+                  std::vector<bool> &HasNonTailRef) {
+  Sites.assign(P.Funcs.size(), {});
+  HasNonTailRef.assign(P.Funcs.size(), false);
+  for (FuncId FI = 0; FI < P.Funcs.size(); ++FI) {
+    const Function &F = P.Funcs[FI];
+    for (BlockId B = 0; B < F.Blocks.size(); ++B) {
+      const BasicBlock &BB = F.Blocks[B];
+      auto AddTail = [&](const Jump &J, uint8_t Which) {
+        if (J.K == Jump::Tail && J.Fn < P.Funcs.size())
+          Sites[J.Fn].push_back({FI, B, Which});
+      };
+      if (BB.K == BasicBlock::Cond) {
+        AddTail(BB.J1, 1);
+        AddTail(BB.J2, 2);
+      } else if (BB.K == BasicBlock::Cmd) {
+        AddTail(BB.J, 0);
+        if ((BB.C.K == Command::Call || BB.C.K == Command::Alloc) &&
+            BB.C.Fn < P.Funcs.size())
+          HasNonTailRef[BB.C.Fn] = true;
+      }
+    }
+  }
+}
+
+/// Parameter indices of \p Callee that may not be dropped because some
+/// read-tail site substitutes its read destination there (the VM and the
+/// translation need the placeholder slot to receive the read value).
+std::vector<bool> substProtected(const Program &P, FuncId Callee,
+                                 const std::vector<TailSite> &Sites) {
+  std::vector<bool> Protected(P.Funcs[Callee].NumParams, false);
+  for (const TailSite &S : Sites) {
+    const BasicBlock &B = P.Funcs[S.Caller].Blocks[S.Block];
+    if (S.Which != 0 || B.K != BasicBlock::Cmd || B.C.K != Command::Read)
+      continue;
+    const Jump &J = B.J;
+    for (size_t I = 0; I < J.Args.size() && I < Protected.size(); ++I)
+      if (J.Args[I] == B.C.Dst)
+        Protected[I] = true;
+  }
+  return Protected;
+}
+
+/// Drops the parameters listed in \p Drop (ascending) from \p Callee,
+/// demoting them to locals, and erases the matching argument at every
+/// tail site. If \p RematConsts is non-null, prepends one entry block
+/// per dropped parameter assigning its rematerialized constant.
+void dropParams(Program &P, FuncId Callee, const std::vector<TailSite> &Sites,
+                const std::vector<uint32_t> &Drop,
+                const std::map<uint32_t, int64_t> *RematConsts) {
+  Function &F = P.Funcs[Callee];
+  std::vector<bool> Dropped(F.NumParams, false);
+  for (uint32_t I : Drop)
+    Dropped[I] = true;
+
+  // New variable order: kept parameters first (original relative
+  // order), then everything else (dropped parameters become locals).
+  std::vector<VarId> Map(F.Vars.size());
+  std::vector<Variable> NewVars;
+  NewVars.reserve(F.Vars.size());
+  for (VarId V = 0; V < F.NumParams; ++V)
+    if (!Dropped[V]) {
+      Map[V] = static_cast<VarId>(NewVars.size());
+      NewVars.push_back(F.Vars[V]);
+    }
+  uint32_t NewNumParams = static_cast<uint32_t>(NewVars.size());
+  for (VarId V = 0; V < F.Vars.size(); ++V)
+    if (V >= F.NumParams || Dropped[V]) {
+      Map[V] = static_cast<VarId>(NewVars.size());
+      NewVars.push_back(F.Vars[V]);
+    }
+
+  for (BasicBlock &B : F.Blocks)
+    remapBlockVars(B, Map);
+
+  // Rematerialize constants in fresh entry blocks (chained assigns; the
+  // last one falls through to the old entry).
+  if (RematConsts && !RematConsts->empty()) {
+    BlockId Delta = static_cast<BlockId>(RematConsts->size());
+    for (BasicBlock &B : F.Blocks)
+      shiftGotoTargets(B, Delta);
+    std::vector<BasicBlock> Entry;
+    BlockId Next = 1;
+    for (const auto &[OldParam, Value] : *RematConsts) {
+      BasicBlock B;
+      B.K = BasicBlock::Cmd;
+      B.Label = "cp" + std::to_string(OldParam) + "_" +
+                F.Vars[OldParam].Name;
+      B.C.K = Command::Assign;
+      B.C.Dst = Map[OldParam];
+      B.C.E = Expr::makeConst(Value);
+      B.J = Jump::gotoBlock(Next++);
+      Entry.push_back(std::move(B));
+    }
+    F.Blocks.insert(F.Blocks.begin(), Entry.begin(), Entry.end());
+  }
+
+  F.Vars = std::move(NewVars);
+  F.NumParams = NewNumParams;
+
+  // Erase the dropped arguments at every tail site (descending index so
+  // earlier erasures do not shift later ones).
+  for (const TailSite &S : Sites) {
+    Jump &J = siteJump(P, S);
+    for (auto It = Drop.rbegin(); It != Drop.rend(); ++It)
+      if (*It < J.Args.size())
+        J.Args.erase(J.Args.begin() + *It);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
+
+size_t optimize::readTailEnvWords(const Program &P) {
+  size_t Words = 0;
+  for (const Function &F : P.Funcs)
+    for (const BasicBlock &B : F.Blocks)
+      if (B.K == BasicBlock::Cmd && B.C.K == Command::Read &&
+          B.J.K == Jump::Tail)
+        Words += B.J.Args.size();
+  return Words;
+}
+
+OptStats optimize::optimizeProgram(Program &P) {
+  OptStats Stats;
+  for (int Round = 0; Round < 8; ++Round)
+    if (applyRedundancy(P, Stats) == 0)
+      break;
+  return Stats;
+}
+
+OptStats optimize::slimClosures(Program &P, FuncId FirstInternal) {
+  OptStats Stats;
+  Stats.ReadEnvWordsBefore = readTailEnvWords(P);
+
+  // Each structural rewrite consumes one round (sites go stale); the
+  // cap bounds pathological inputs, not realistic ones.
+  for (int Round = 0; Round < 256; ++Round) {
+    bool Changed = false;
+
+    std::vector<std::vector<TailSite>> Sites;
+    std::vector<bool> HasNonTailRef;
+    collectSites(P, Sites, HasNonTailRef);
+
+    // Reaching definitions per caller, computed on demand.
+    std::map<FuncId, ReachingDefs> RDCache;
+    auto CallerRD = [&](FuncId F) -> const ReachingDefs & {
+      auto It = RDCache.find(F);
+      if (It == RDCache.end())
+        It = RDCache.emplace(F, computeReachingDefs(P.Funcs[F])).first;
+      return It->second;
+    };
+
+    for (FuncId Callee = FirstInternal; Callee < P.Funcs.size(); ++Callee) {
+      Function &F = P.Funcs[Callee];
+      if (F.NumParams == 0 || Sites[Callee].empty() ||
+          HasNonTailRef[Callee])
+        continue;
+      std::vector<bool> Protected =
+          substProtected(P, Callee, Sites[Callee]);
+
+      // Used variables of the callee body.
+      BitVec Used(F.Vars.size());
+      for (BlockId B = 0; B < F.Blocks.size(); ++B)
+        for (VarId V : blockUses(F, B))
+          Used.set(V);
+
+      // Constant-argument rematerialization: every site passes the same
+      // integer constant.
+      std::map<uint32_t, int64_t> Remat;
+      std::vector<uint32_t> DropDead;
+      for (uint32_t I = 0; I < F.NumParams; ++I) {
+        if (Protected[I])
+          continue;
+        if (!Used.test(I)) {
+          DropDead.push_back(I);
+          continue;
+        }
+        if (F.Vars[I].Ty.Indirection != 0 ||
+            F.Vars[I].Ty.Base != Type::Int)
+          continue;
+        std::optional<int64_t> Common;
+        bool Ok = true;
+        for (const TailSite &S : Sites[Callee]) {
+          const Jump &J = siteJump(P, S);
+          if (I >= J.Args.size()) {
+            Ok = false;
+            break;
+          }
+          std::optional<int64_t> C = constantAtExit(
+              P.Funcs[S.Caller], CallerRD(S.Caller), S.Block, J.Args[I]);
+          if (!C || (Common && *Common != *C)) {
+            Ok = false;
+            break;
+          }
+          Common = C;
+        }
+        if (Ok && Common)
+          Remat[I] = *Common;
+      }
+
+      if (Remat.empty() && DropDead.empty())
+        continue;
+
+      std::vector<uint32_t> Drop = DropDead;
+      for (const auto &[I, V] : Remat) {
+        (void)V;
+        Drop.push_back(I);
+      }
+      std::sort(Drop.begin(), Drop.end());
+      dropParams(P, Callee, Sites[Callee], Drop,
+                 Remat.empty() ? nullptr : &Remat);
+      Stats.ConstArgsRemat += Remat.size();
+      Stats.ParamsPruned += DropDead.size();
+      Changed = true;
+      // Sites and caches are stale after a rewrite; restart the scan.
+      break;
+    }
+
+    // Cleanup between structural rounds: rematerialized arguments often
+    // leave dead assigns in callers, which in turn expose dead params.
+    if (!Changed) {
+      if (applyRedundancy(P, Stats) == 0)
+        break;
+      Changed = true;
+    }
+  }
+
+  Stats.ReadEnvWordsAfter = readTailEnvWords(P);
+  return Stats;
+}
+
+PipelineResult optimize::runPassPipeline(const Program &In) {
+  PipelineResult R;
+  Program P = In;
+  R.Pre = optimizeProgram(P);
+  FuncId FirstInternal = static_cast<FuncId>(P.Funcs.size());
+  normalize::NormalizeResult NR = normalize::normalizeProgram(P);
+  R.NStats = NR.Stats;
+  R.Prog = std::move(NR.Prog);
+  R.Post = slimClosures(R.Prog, FirstInternal);
+  return R;
+}

@@ -76,130 +76,14 @@ TEST(ParserFuzz, RandomTokenSoupNeverCrashes) {
 }
 
 //===----------------------------------------------------------------------===//
-// Random heap programs
+// Random heap programs (generator shared via tests/support/Generators.h)
 //===----------------------------------------------------------------------===//
-
-namespace {
-
-/// Generates a program that allocates a 4-word block (initialized from
-/// the int parameters by a random initializer body), loads random slots,
-/// mixes them with arithmetic and reads, writes results into output
-/// modifiables, and chains to further functions — all forward-only, so
-/// it terminates.
-Program randomHeapProgram(Rng &R) {
-  ProgramBuilder PB;
-  unsigned NumFuncs = 2 + static_cast<unsigned>(R.below(2));
-  std::vector<FuncBuilder> Fbs;
-  // Function 0..NumFuncs-1: computation; function NumFuncs: initializer.
-  for (unsigned I = 0; I < NumFuncs; ++I)
-    Fbs.push_back(PB.beginFunc("f" + std::to_string(I)));
-  FuncBuilder Init = PB.beginFunc("blkinit");
-
-  // The initializer: blkinit(blk, a, b) { blk[0..3] := derived values }.
-  {
-    VarId Blk = Init.param("blk", Type::ptrTo(Type::intTy()));
-    VarId A = Init.param("a", Type::intTy());
-    VarId B = Init.param("b", Type::intTy());
-    VarId Idx = Init.local("i", Type::intTy());
-    VarId Tmp = Init.local("t", Type::intTy());
-    std::vector<BlockId> Blocks;
-    for (int I = 0; I < 9; ++I)
-      Blocks.push_back(Init.block());
-    for (int Slot = 0; Slot < 4; ++Slot) {
-      Init.setCmd(Blocks[2 * Slot],
-                  FuncBuilder::assign(Idx, Expr::makeConst(Slot)),
-                  Jump::gotoBlock(Blocks[2 * Slot + 1]));
-      Expr Val = Slot % 2 ? Expr::makePrim(OpKind::Add, {A, B})
-                          : Expr::makePrim(OpKind::Mul, {A, B});
-      (void)Tmp;
-      Init.setCmd(Blocks[2 * Slot + 1], FuncBuilder::store(Blk, Idx, Val),
-                  Jump::gotoBlock(Blocks[2 * Slot + 2]));
-    }
-    Init.setDone(Blocks[8]);
-  }
-
-  for (unsigned FI = 0; FI < NumFuncs; ++FI) {
-    FuncBuilder &FB = Fbs[FI];
-    std::vector<VarId> Ints, Mods;
-    Ints.push_back(FB.param("a", Type::intTy()));
-    Ints.push_back(FB.param("b", Type::intTy()));
-    for (int I = 0; I < 3; ++I)
-      Mods.push_back(FB.param("m" + std::to_string(I),
-                              Type::ptrTo(Type::modrefTy())));
-    VarId Blk = FB.local("blk", Type::ptrTo(Type::intTy()));
-    VarId Sz = FB.local("sz", Type::intTy());
-    VarId Idx = FB.local("ix", Type::intTy());
-    for (int I = 0; I < 2; ++I)
-      Ints.push_back(FB.local("t" + std::to_string(I), Type::intTy()));
-
-    unsigned NumBlocks = 6 + static_cast<unsigned>(R.below(6));
-    std::vector<BlockId> Blocks;
-    for (unsigned B = 0; B < NumBlocks; ++B)
-      Blocks.push_back(FB.block());
-
-    auto RandInt = [&] { return Ints[R.below(Ints.size())]; };
-    auto RandMod = [&] { return Mods[R.below(Mods.size())]; };
-    auto NextJump = [&](unsigned B) {
-      if (B + 1 < NumBlocks)
-        return Jump::gotoBlock(
-            Blocks[B + 1 + R.below(NumBlocks - B - 1)]);
-      return Jump::gotoBlock(Blocks[B]); // Unused (last block is done).
-    };
-
-    // Fixed prologue: sz := 32; blk := alloc(sz, blkinit, a, b);
-    FB.setCmd(Blocks[0], FuncBuilder::assign(Sz, Expr::makeConst(32)),
-              Jump::gotoBlock(Blocks[1]));
-    FB.setCmd(Blocks[1],
-              FuncBuilder::alloc(Blk, Sz, Init.id(), {Ints[0], Ints[1]}),
-              Jump::gotoBlock(Blocks[2]));
-
-    for (unsigned B = 2; B + 1 < NumBlocks; ++B) {
-      Command C;
-      switch (R.below(6)) {
-      case 0:
-        C = FuncBuilder::assign(Idx,
-                                Expr::makeConst(int64_t(R.below(4))));
-        break;
-      case 1:
-        C = FuncBuilder::assign(RandInt(), Expr::makeIndex(Blk, Idx));
-        break;
-      case 2:
-        C = FuncBuilder::write(RandMod(), RandInt());
-        break;
-      case 3:
-        C = FuncBuilder::read(RandInt(), RandMod());
-        break;
-      case 4:
-        C = FuncBuilder::assign(
-            RandInt(), Expr::makePrim(OpKind::Add, {RandInt(), RandInt()}));
-        break;
-      default:
-        C = FuncBuilder::nop();
-        break;
-      }
-      FB.setCmd(Blocks[B], std::move(C), NextJump(B));
-    }
-    // Epilogue: either done or a tail to a later function.
-    if (FI + 1 < NumFuncs && R.flip()) {
-      FuncId Target =
-          FI + 1 + static_cast<FuncId>(R.below(NumFuncs - FI - 1));
-      FB.setCmd(Blocks[NumBlocks - 1], FuncBuilder::nop(),
-                Jump::tailCall(Target, {Ints[0], Ints[1], Mods[0], Mods[1],
-                                        Mods[2]}));
-    } else {
-      FB.setDone(Blocks[NumBlocks - 1]);
-    }
-  }
-  return PB.take();
-}
-
-} // namespace
 
 TEST(HeapProgramFuzz, NormalizationAndVmAgreeWithOracle) {
   int Ran = 0;
   for (uint64_t Seed = 1; Seed <= 80; ++Seed) {
     Rng R(Seed * 104729);
-    Program P = randomHeapProgram(R);
+    Program P = gen::randomHeapProgram(R);
     ASSERT_TRUE(verifyProgram(P).empty()) << "seed " << Seed;
     Program Norm = normalizeProgram(P).Prog;
 
