@@ -25,6 +25,7 @@
 #include "cl/Ir.h"
 
 #include <bit>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -81,6 +82,7 @@ public:
 
   /// this |= O; returns true iff any bit changed.
   bool unionWith(const BitVec &O) {
+    assert(NumBits == O.NumBits && "bit vector sizes must match");
     bool Changed = false;
     for (size_t I = 0; I < Words.size(); ++I) {
       uint64_t New = Words[I] | O.Words[I];
@@ -92,6 +94,7 @@ public:
 
   /// this &= O; returns true iff any bit changed.
   bool intersectWith(const BitVec &O) {
+    assert(NumBits == O.NumBits && "bit vector sizes must match");
     bool Changed = false;
     for (size_t I = 0; I < Words.size(); ++I) {
       uint64_t New = Words[I] & O.Words[I];
@@ -103,6 +106,7 @@ public:
 
   /// this &= ~O.
   void subtract(const BitVec &O) {
+    assert(NumBits == O.NumBits && "bit vector sizes must match");
     for (size_t I = 0; I < Words.size(); ++I)
       Words[I] &= ~O.Words[I];
   }

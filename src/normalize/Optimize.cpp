@@ -95,10 +95,26 @@ size_t applyRedundancy(Program &P, OptStats &Stats) {
   for (FuncId FI = 0; FI < P.Funcs.size(); ++FI) {
     Function &F = P.Funcs[FI];
     const FuncRedundancy &FR = Info.Funcs[FI];
+    // The analyses were computed on the pre-rewrite program. Rewriting a
+    // redundant read to `x := y` makes its provider's destination y live
+    // even where the old program left it dead, and a provider that is
+    // itself redundant loses its destination when its block is rewritten.
+    // So snapshot every provider's destination up front and keep provider
+    // blocks out of this round's dead-op removal; the next round re-runs
+    // the analyses and reaps whatever is still dead.
+    std::vector<bool> IsProvider(F.Blocks.size(), false);
+    std::vector<VarId> ProviderDst;
+    ProviderDst.reserve(FR.RedundantReads.size());
     for (auto [B, Provider] : FR.RedundantReads) {
+      (void)B;
+      IsProvider[Provider] = true;
+      ProviderDst.push_back(F.Blocks[Provider].C.Dst);
+    }
+    for (size_t I = 0; I < FR.RedundantReads.size(); ++I) {
+      BlockId B = FR.RedundantReads[I].first;
       Command &C = F.Blocks[B].C;
       VarId Dst = C.Dst;
-      VarId From = F.Blocks[Provider].C.Dst;
+      VarId From = ProviderDst[I];
       C = Command();
       if (Dst == From) {
         C.K = Command::Nop;
@@ -111,6 +127,8 @@ size_t applyRedundancy(Program &P, OptStats &Stats) {
       ++Applied;
     }
     auto Nop = [&](BlockId B, size_t &Counter) {
+      if (IsProvider[B])
+        return;
       F.Blocks[B].C = Command();
       ++Counter;
       ++Applied;
@@ -223,8 +241,10 @@ void dropParams(Program &P, FuncId Callee, const std::vector<TailSite> &Sites,
 
   // Rematerialize constants in fresh entry blocks (chained assigns; the
   // last one falls through to the old entry).
-  if (RematConsts && !RematConsts->empty()) {
-    BlockId Delta = static_cast<BlockId>(RematConsts->size());
+  BlockId Delta = RematConsts && !RematConsts->empty()
+                      ? static_cast<BlockId>(RematConsts->size())
+                      : 0;
+  if (Delta != 0) {
     for (BasicBlock &B : F.Blocks)
       shiftGotoTargets(B, Delta);
     std::vector<BasicBlock> Entry;
@@ -247,9 +267,14 @@ void dropParams(Program &P, FuncId Callee, const std::vector<TailSite> &Sites,
   F.NumParams = NewNumParams;
 
   // Erase the dropped arguments at every tail site (descending index so
-  // earlier erasures do not shift later ones).
+  // earlier erasures do not shift later ones). Sites were collected
+  // before the remat entry blocks were inserted, so a self-recursive
+  // site (Caller == Callee) now lives Delta blocks later.
   for (const TailSite &S : Sites) {
-    Jump &J = siteJump(P, S);
+    TailSite Adj = S;
+    if (Adj.Caller == Callee)
+      Adj.Block += Delta;
+    Jump &J = siteJump(P, Adj);
     for (auto It = Drop.rbegin(); It != Drop.rend(); ++It)
       if (*It < J.Args.size())
         J.Args.erase(J.Args.begin() + *It);

@@ -106,6 +106,19 @@ TEST(BitVec, MeetOperationsReportChange) {
   EXPECT_EQ(S, bv(100, {50, 99}));
 }
 
+#ifndef NDEBUG
+TEST(BitVecDeathTest, MismatchedSizesAssert) {
+  // The binary set operations index the operand's words by this->size();
+  // a smaller operand would be an out-of-bounds read, so mismatched
+  // sizes must be rejected up front.
+  BitVec A = bv(100, {1});
+  BitVec B = bv(64, {1});
+  EXPECT_DEATH(A.unionWith(B), "sizes must match");
+  EXPECT_DEATH(A.intersectWith(B), "sizes must match");
+  EXPECT_DEATH(A.subtract(B), "sizes must match");
+}
+#endif
+
 TEST(BitVec, IterationAscending) {
   BitVec V = bv(200, {199, 0, 64, 63, 65, 3});
   std::vector<uint32_t> Got = V.bits();

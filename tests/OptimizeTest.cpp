@@ -28,6 +28,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <utility>
 
 using namespace ceal;
 using namespace ceal::cl;
@@ -369,6 +370,110 @@ TEST(Optimize, ExpTreesPropagatesOnOptimizedProgram) {
   M.metaWrite(fromWord<Modref *>(I[3]), toWord(Sub));
   M.propagate();
   EXPECT_EQ(fromWord<int64_t>(M.metaRead(Res)), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Regressions: same-round interactions between the applied rewrites
+//===----------------------------------------------------------------------===//
+
+TEST(Optimize, RedundantReadKeepsDeadProviderAlive) {
+  // The provider's destination y is dead in the *pre-rewrite* program,
+  // so the provider read lands in DeadReads; rewriting the redundant
+  // read to `x := y` makes y live, and deleting the provider in the same
+  // round would leave x reading a never-assigned (zero) variable.
+  Program P = parseOrDie(R"(
+func f(modref* m, modref* out) {
+  var int x; var int y;
+  b0: y := read m; goto b1;
+  b1: x := read m; goto b2;
+  b2: write(out, x); goto b3;
+  b3: done;
+}
+)");
+  Program Orig = P;
+  OptStats S = optimizeProgram(P);
+  EXPECT_TRUE(verifyProgram(P).empty());
+  EXPECT_EQ(S.RedundantReadsElim, 1u);
+
+  auto Run = [](const Program &Prog) {
+    ConvInterp CI(Prog);
+    Word *M = CI.newCell(toWord(int64_t(42)));
+    Word *Out = CI.newCell(0);
+    CI.run("f", {toWord(M), toWord(Out)});
+    return fromWord<int64_t>(*Out);
+  };
+  EXPECT_EQ(Run(Orig), 42);
+  EXPECT_EQ(Run(P), 42);
+}
+
+TEST(Optimize, ChainedRedundantReadsUseSnapshotProviders) {
+  // c1 is redundant with c0 (same destination, so it becomes a nop,
+  // losing its Dst) *and* is the provider for c2. The rewrite of c2 must
+  // use c1's destination as it was before c1 was rewritten.
+  Program P = parseOrDie(R"(
+func g(modref* m, modref* o1, modref* o2) {
+  var int x; var int y;
+  c0: x := read m; goto c1;
+  c1: x := read m; goto c2;
+  c2: y := read m; goto c3;
+  c3: write(o1, x); goto c4;
+  c4: write(o2, y); goto c5;
+  c5: done;
+}
+)");
+  Program Orig = P;
+  optimizeProgram(P);
+  EXPECT_TRUE(verifyProgram(P).empty());
+
+  auto Run = [](const Program &Prog) {
+    ConvInterp CI(Prog);
+    Word *M = CI.newCell(toWord(int64_t(99)));
+    Word *O1 = CI.newCell(0);
+    Word *O2 = CI.newCell(0);
+    CI.run("g", {toWord(M), toWord(O1), toWord(O2)});
+    return std::pair(fromWord<int64_t>(*O1), fromWord<int64_t>(*O2));
+  };
+  EXPECT_EQ(Run(Orig), std::pair(int64_t(99), int64_t(99)));
+  EXPECT_EQ(Run(P), std::pair(int64_t(99), int64_t(99)));
+}
+
+TEST(Optimize, SelfRecursiveTailSiteSurvivesRemat) {
+  // Both tail sites of sr pass the constant 7 for parameter c, so c is
+  // rematerialized in a fresh entry block. The self-recursive site's
+  // recorded block index predates that insertion; erasing its argument
+  // must account for the shift or the recursive tail keeps a stale,
+  // arity-mismatched argument list.
+  Program P = parseOrDie(R"(
+func sg(modref* m, modref* out) {
+  var int seven;
+  g0: seven := 7; tail sr(seven, m, out);
+}
+func sr(int c, modref* m, modref* out) {
+  var int x; var int k; var int y; var int one;
+  r0: x := read m; goto r1;
+  r1: if x then goto rec else goto fin;
+  rec: k := 7; goto r2;
+  r2: one := 1; goto r3;
+  r3: y := sub(x, one); goto r4;
+  r4: write(m, y); tail sr(k, m, out);
+  fin: write(out, c); goto r5;
+  r5: done;
+}
+)");
+  Program Orig = P;
+  OptStats S = slimClosures(P, 0);
+  EXPECT_TRUE(verifyProgram(P).empty());
+  EXPECT_EQ(S.ConstArgsRemat, 1u);
+
+  auto Run = [](const Program &Prog) {
+    ConvInterp CI(Prog);
+    Word *M = CI.newCell(toWord(int64_t(3)));
+    Word *Out = CI.newCell(0);
+    CI.run("sg", {toWord(M), toWord(Out)});
+    return std::pair(fromWord<int64_t>(*M), fromWord<int64_t>(*Out));
+  };
+  EXPECT_EQ(Run(Orig), std::pair(int64_t(0), int64_t(7)));
+  EXPECT_EQ(Run(P), std::pair(int64_t(0), int64_t(7)));
 }
 
 TEST(Optimize, RandomProgramsAgreeWithOracle) {
