@@ -46,6 +46,10 @@ struct Measurement {
   double SelfSeconds = 0;
   double AvgUpdateSeconds = 0;
   size_t MaxLiveBytes = 0;
+  /// Propagation-phase profile of the update loop (phase timers and work
+  /// histograms); captured when Config::EnableProfile is set.
+  bool HasProfile = false;
+  PropagationProfile Prof;
 
   double overhead() const { return SelfSeconds / ConvSeconds; }
   double speedup() const { return ConvSeconds / AvgUpdateSeconds; }
@@ -179,6 +183,8 @@ inline Measurement benchList(ListKind K, size_t N, size_t UpdateSamples,
   }
 
   size_t Samples = std::min(UpdateSamples, N);
+  if (Cfg.EnableProfile)
+    RT.resetProfile(); // Scope the profile to the update loop.
   Timer T;
   for (size_t S = 0; S < Samples; ++S) {
     size_t Index = R.below(N);
@@ -189,6 +195,10 @@ inline Measurement benchList(ListKind K, size_t N, size_t UpdateSamples,
   }
   M.AvgUpdateSeconds = T.seconds() / double(2 * Samples);
   M.MaxLiveBytes = RT.maxLiveBytes();
+  if (Cfg.EnableProfile) {
+    M.HasProfile = true;
+    M.Prof = RT.profile();
+  }
   return M;
 }
 
@@ -261,6 +271,8 @@ inline Measurement benchGeometry(GeoKind K, size_t N, size_t UpdateSamples,
   }
 
   size_t Samples = std::min(UpdateSamples, LA.Cells.size());
+  if (Cfg.EnableProfile)
+    RT.resetProfile();
   Timer T;
   for (size_t S = 0; S < Samples; ++S) {
     size_t Index = R.below(LA.Cells.size());
@@ -271,6 +283,10 @@ inline Measurement benchGeometry(GeoKind K, size_t N, size_t UpdateSamples,
   }
   M.AvgUpdateSeconds = T.seconds() / double(2 * Samples);
   M.MaxLiveBytes = RT.maxLiveBytes();
+  if (Cfg.EnableProfile) {
+    M.HasProfile = true;
+    M.Prof = RT.profile();
+  }
   return M;
 }
 
@@ -279,6 +295,7 @@ inline Measurement benchGeometry(GeoKind K, size_t N, size_t UpdateSamples,
 //===----------------------------------------------------------------------===//
 
 inline Measurement benchExpTrees(size_t NumLeaves, size_t UpdateSamples,
+                                 const Runtime::Config &Cfg = Runtime::Config(),
                                  uint64_t Seed = 44) {
   using namespace apps;
   Measurement M;
@@ -286,7 +303,7 @@ inline Measurement benchExpTrees(size_t NumLeaves, size_t UpdateSamples,
   M.N = NumLeaves;
   Rng R(Seed);
 
-  Runtime RT;
+  Runtime RT(Cfg);
   ExpTree T = buildExpTree(RT, R, NumLeaves);
   {
     double Best = 1e99;
@@ -304,6 +321,8 @@ inline Measurement benchExpTrees(size_t NumLeaves, size_t UpdateSamples,
     M.SelfSeconds = Tm.seconds();
   }
   size_t Samples = std::min(UpdateSamples, T.Leaves.size());
+  if (Cfg.EnableProfile)
+    RT.resetProfile();
   Timer Tm;
   for (size_t S = 0; S < Samples; ++S) {
     size_t Index = R.below(T.Leaves.size());
@@ -317,6 +336,10 @@ inline Measurement benchExpTrees(size_t NumLeaves, size_t UpdateSamples,
   }
   M.AvgUpdateSeconds = Tm.seconds() / double(2 * Samples);
   M.MaxLiveBytes = RT.maxLiveBytes();
+  if (Cfg.EnableProfile) {
+    M.HasProfile = true;
+    M.Prof = RT.profile();
+  }
   return M;
 }
 
@@ -325,6 +348,8 @@ inline Measurement benchExpTrees(size_t NumLeaves, size_t UpdateSamples,
 //===----------------------------------------------------------------------===//
 
 inline Measurement benchTreeContraction(size_t N, size_t UpdateSamples,
+                                        const Runtime::Config &Cfg =
+                                            Runtime::Config(),
                                         uint64_t Seed = 45) {
   using namespace apps;
   Measurement M;
@@ -332,7 +357,7 @@ inline Measurement benchTreeContraction(size_t N, size_t UpdateSamples,
   M.N = N;
   Rng R(Seed);
 
-  Runtime RT;
+  Runtime RT(Cfg);
   TcForest F = buildRandomTree(RT, R, N);
   {
     double Best = 1e99;
@@ -351,6 +376,8 @@ inline Measurement benchTreeContraction(size_t N, size_t UpdateSamples,
   }
   auto Edges = F.edges();
   size_t Samples = std::min(UpdateSamples, Edges.size());
+  if (Cfg.EnableProfile)
+    RT.resetProfile();
   Timer T;
   for (size_t S = 0; S < Samples; ++S) {
     auto [P, C] = Edges[R.below(Edges.size())];
@@ -361,6 +388,10 @@ inline Measurement benchTreeContraction(size_t N, size_t UpdateSamples,
   }
   M.AvgUpdateSeconds = T.seconds() / double(2 * Samples);
   M.MaxLiveBytes = RT.maxLiveBytes();
+  if (Cfg.EnableProfile) {
+    M.HasProfile = true;
+    M.Prof = RT.profile();
+  }
   return M;
 }
 
@@ -390,10 +421,13 @@ inline std::string fmtBytes(size_t B) {
   return Buf;
 }
 
-/// Parses `--scale=F` (multiplies default sizes) and `--samples=K`.
+/// Parses `--scale=F` (multiplies default sizes), `--samples=K`, and
+/// `--profile` (run with the propagation profiler enabled and emit its
+/// phase breakdown alongside the timings).
 struct BenchArgs {
   double Scale = 1.0;
   size_t Samples = 200;
+  bool Profile = false;
 
   BenchArgs(int Argc, char **Argv) {
     for (int I = 1; I < Argc; ++I) {
@@ -402,6 +436,8 @@ struct BenchArgs {
         Scale = std::stod(A.substr(8));
       else if (A.rfind("--samples=", 0) == 0)
         Samples = std::stoul(A.substr(10));
+      else if (A == "--profile")
+        Profile = true;
       else
         std::fprintf(stderr, "unknown argument: %s\n", A.c_str());
     }

@@ -5,14 +5,23 @@
 // insertion, closure creation, traced reads/writes, memo lookups, and
 // small change-propagation cycles.
 //
-// Before the timing loops run, main() computes a deterministic
-// closure-environment census over the CL samples — the VM's per-closure
-// word counts with and without the analysis-driven pass pipeline — and
-// writes it to BENCH_rt.json, so CI can track the trace-size win of
-// closure slimming without timing noise.
+// Before the timing loops run, main() writes BENCH_rt.json with three
+// sections CI tracks PR over PR:
+//
+//  * "closure_env" — a deterministic closure-environment census over the
+//    CL samples (the VM's per-closure word counts with and without the
+//    analysis-driven pass pipeline), the trace-size win of closure
+//    slimming without timing noise;
+//  * "update_bench" — average update times for the headline applications
+//    through the shared AppBench harness (--app-scale=F / --app-samples=K
+//    shrink it for smoke runs);
+//  * "propagation_profile" — the propagation profiler's phase breakdown
+//    (re-execute / revoke / memo-lookup / queue time, interval-size and
+//    use-scan histograms) for a profiled map run.
 //
 //===----------------------------------------------------------------------===//
 
+#include "AppBench.h"
 #include "apps/ListApps.h"
 #include "cl/Parser.h"
 #include "cl/Samples.h"
@@ -216,15 +225,14 @@ ClosureCensusRow censusRow(const char *Program, const char *Source,
   return Row;
 }
 
-void writeClosureCensus(const char *Path) {
+void writeClosureCensus(std::ostream &Out) {
   constexpr size_t N = 256;
   std::vector<ClosureCensusRow> Rows = {
       censusRow("listprims", cl::samples::ListPrims, "map", N),
       censusRow("listreduce", cl::samples::ListReduce, "lrsum", N),
       censusRow("mergesort", cl::samples::Mergesort, "msort", N),
   };
-  std::ofstream Out(Path);
-  Out << "{\n  \"closure_env\": [\n";
+  Out << "  \"closure_env\": [\n";
   for (size_t I = 0; I < Rows.size(); ++I) {
     const ClosureCensusRow &R = Rows[I];
     double PerBase =
@@ -243,14 +251,80 @@ void writeClosureCensus(const char *Path) {
         << ", \"static_read_env_words_opt\": " << R.StaticEnvOpt << "}"
         << (I + 1 < Rows.size() ? ",\n" : "\n");
   }
-  Out << "  ]\n}\n";
-  std::printf("wrote closure-environment census to %s\n", Path);
+  Out << "  ]";
+}
+
+//===----------------------------------------------------------------------===//
+// Application update times and propagation profile (BENCH_rt.json)
+//===----------------------------------------------------------------------===//
+
+void writeUpdateBench(std::ostream &Out, double Scale, size_t Samples) {
+  using namespace bench;
+  auto Scaled = [&](size_t Base) {
+    return std::max<size_t>(16, size_t(double(Base) * Scale));
+  };
+  std::vector<Measurement> Rows;
+  Rows.push_back(benchList(ListKind::Filter, Scaled(100000), Samples));
+  Rows.push_back(benchList(ListKind::Map, Scaled(100000), Samples));
+  Rows.push_back(benchList(ListKind::Minimum, Scaled(100000), Samples));
+  Rows.push_back(benchList(ListKind::Quicksort, Scaled(10000), Samples));
+  Rows.push_back(benchExpTrees(Scaled(100000), Samples));
+
+  Out << "  \"update_bench\": [\n";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Measurement &M = Rows[I];
+    Out << "    {\"name\": \"" << M.Name << "\", \"n\": " << M.N
+        << ", \"conv_seconds\": " << M.ConvSeconds
+        << ", \"self_seconds\": " << M.SelfSeconds
+        << ", \"avg_update_seconds\": " << M.AvgUpdateSeconds
+        << ", \"speedup\": " << M.speedup()
+        << ", \"max_live_bytes\": " << M.MaxLiveBytes << "}"
+        << (I + 1 < Rows.size() ? ",\n" : "\n");
+  }
+  Out << "  ],\n";
+
+  // One profiled run for the phase breakdown. Kept out of the rows above
+  // so their timings stay comparable against unprofiled baselines.
+  Runtime::Config PCfg;
+  PCfg.EnableProfile = true;
+  Measurement P = benchList(ListKind::Map, Scaled(100000), Samples, PCfg);
+  Out << "  \"propagation_profile\": {\"name\": \"" << P.Name
+      << "\", \"n\": " << P.N << ", \"profile\": ";
+  P.Prof.writeJson(Out);
+  Out << "}";
+}
+
+void writeBenchJson(const char *Path, double Scale, size_t Samples) {
+  std::ofstream Out(Path);
+  Out << "{\n";
+  writeClosureCensus(Out);
+  Out << ",\n";
+  writeUpdateBench(Out, Scale, Samples);
+  Out << "\n}\n";
+  std::printf("wrote closure census, update bench, and propagation profile "
+              "to %s\n",
+              Path);
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  writeClosureCensus("BENCH_rt.json");
+  // Harness-specific arguments must be stripped before google-benchmark
+  // sees argv (it rejects flags it does not know).
+  double AppScale = 1.0;
+  size_t AppSamples = 200;
+  int Kept = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A.rfind("--app-scale=", 0) == 0)
+      AppScale = std::stod(A.substr(12));
+    else if (A.rfind("--app-samples=", 0) == 0)
+      AppSamples = std::stoul(A.substr(14));
+    else
+      argv[Kept++] = argv[I];
+  }
+  argc = Kept;
+  writeBenchJson("BENCH_rt.json", AppScale, AppSamples);
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;

@@ -36,18 +36,25 @@ int main(int argc, char **argv) {
               "updates sampled at %zu positions)\n\n",
               Args.Samples);
 
-  Rows.push_back(benchList(ListKind::Filter, NBig, Args.Samples));
-  Rows.push_back(benchList(ListKind::Map, NBig, Args.Samples));
-  Rows.push_back(benchList(ListKind::Reverse, NBig, Args.Samples));
-  Rows.push_back(benchList(ListKind::Minimum, NBig, Args.Samples));
-  Rows.push_back(benchList(ListKind::Sum, NBig, Args.Samples));
-  Rows.push_back(benchList(ListKind::Quicksort, NSmall, Args.Samples));
-  Rows.push_back(benchGeometry(GeoKind::Quickhull, NSmall, Args.Samples));
-  Rows.push_back(benchGeometry(GeoKind::Diameter, NSmall, Args.Samples));
-  Rows.push_back(benchExpTrees(NBig, Args.Samples));
-  Rows.push_back(benchList(ListKind::Mergesort, NSmall, Args.Samples));
-  Rows.push_back(benchGeometry(GeoKind::Distance, NSmall, Args.Samples));
-  Rows.push_back(benchTreeContraction(NSmall, Args.Samples));
+  // With --profile the propagation profiler runs during the update loops
+  // and each JSON row carries its phase breakdown (expect a few percent
+  // of timer overhead on the update column; leave it off for numbers
+  // meant to be compared against unprofiled runs).
+  Runtime::Config Cfg;
+  Cfg.EnableProfile = Args.Profile;
+
+  Rows.push_back(benchList(ListKind::Filter, NBig, Args.Samples, Cfg));
+  Rows.push_back(benchList(ListKind::Map, NBig, Args.Samples, Cfg));
+  Rows.push_back(benchList(ListKind::Reverse, NBig, Args.Samples, Cfg));
+  Rows.push_back(benchList(ListKind::Minimum, NBig, Args.Samples, Cfg));
+  Rows.push_back(benchList(ListKind::Sum, NBig, Args.Samples, Cfg));
+  Rows.push_back(benchList(ListKind::Quicksort, NSmall, Args.Samples, Cfg));
+  Rows.push_back(benchGeometry(GeoKind::Quickhull, NSmall, Args.Samples, Cfg));
+  Rows.push_back(benchGeometry(GeoKind::Diameter, NSmall, Args.Samples, Cfg));
+  Rows.push_back(benchExpTrees(NBig, Args.Samples, Cfg));
+  Rows.push_back(benchList(ListKind::Mergesort, NSmall, Args.Samples, Cfg));
+  Rows.push_back(benchGeometry(GeoKind::Distance, NSmall, Args.Samples, Cfg));
+  Rows.push_back(benchTreeContraction(NSmall, Args.Samples, Cfg));
 
   std::printf("%-12s %8s | %9s %9s %6s | %11s %9s | %9s\n", "Application",
               "n", "Cnv.(s)", "Self.(s)", "O.H.", "Ave.Update", "Speedup",
@@ -79,8 +86,12 @@ int main(int argc, char **argv) {
            << ", \"overhead\": " << M.overhead()
            << ", \"avg_update_seconds\": " << M.AvgUpdateSeconds
            << ", \"speedup\": " << M.speedup()
-           << ", \"max_live_bytes\": " << M.MaxLiveBytes << "}"
-           << (I + 1 < Rows.size() ? ",\n" : "\n");
+           << ", \"max_live_bytes\": " << M.MaxLiveBytes;
+      if (M.HasProfile) {
+        Json << ",\n     \"profile\": ";
+        M.Prof.writeJson(Json);
+      }
+      Json << "}" << (I + 1 < Rows.size() ? ",\n" : "\n");
     }
     Json << "  ],\n  \"average_overhead\": " << OhSum / double(Rows.size())
          << ",\n  \"average_speedup\": " << SpSum / double(Rows.size())

@@ -3,6 +3,7 @@
 #include "interp/Vm.h"
 
 #include "cl/Verifier.h"
+#include "support/Check.h"
 
 #include <cassert>
 
@@ -134,11 +135,17 @@ Closure *Vm::exec(FuncId F, std::vector<Word> Regs) {
           break;
         case Command::ModrefAlloc: {
           // Key words identify this modifiable across re-executions; the
-          // fresh-allocation path matches keyless modref() too.
-          std::vector<Word> Keys(C.Args.size());
-          for (size_t I = 0; I < Keys.size(); ++I)
+          // fresh-allocation path matches keyless modref() too. Keys go
+          // through a stack buffer: this runs once per VM-executed
+          // modref(keys...), and a transient heap vector dominated the
+          // instruction's cost. CL key arity is bounded by program text.
+          constexpr size_t MaxModrefKeys = 16;
+          checkAlways(C.Args.size() <= MaxModrefKeys,
+                      "modref key arity exceeds the VM limit");
+          Word Keys[MaxModrefKeys];
+          for (size_t I = 0; I < C.Args.size(); ++I)
             Keys[I] = Regs[C.Args[I]];
-          Regs[C.Dst] = toWord(RT.coreModrefDynamic(Keys.data(), Keys.size()));
+          Regs[C.Dst] = toWord(RT.coreModrefDynamic(Keys, C.Args.size()));
           break;
         }
         case Command::Read: {

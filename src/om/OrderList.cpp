@@ -26,18 +26,17 @@ OrderList::OrderList() {
   Size = 1;
 }
 
-OmNode *OrderList::insertAfter(OmNode *X, void *Item) {
-  assert(X && "insertAfter requires a position");
-  // Appending halves the remaining label space if done by midpoint, which
-  // exhausts it after ~64 insertions and triggers pathological
-  // relabeling; bound the gap so appends consume label space linearly.
-  constexpr uint64_t AppendGap = uint64_t(1) << 32;
+/// Out-of-line continuation of insertAfter: the group is full or the
+/// labels left no room, so rebalance (split or relabel) and retry. The
+/// retry loop re-runs the fast-path placement logic because rebalancing
+/// changes group membership and labels.
+OmNode *OrderList::insertAfterSlow(OmNode *X, void *Item) {
   for (;;) {
     OmGroup *G = X->Group;
     uint64_t Lo = X->Label;
     bool NextInGroup = X->Next && X->Next->Group == G;
     uint64_t Hi = NextInGroup ? X->Next->Label : UINT64_MAX;
-    if (Hi - Lo >= 2) {
+    if (Hi - Lo >= 2 && G->Count < GroupLimit) {
       auto *N = Allocator.create<OmNode>();
       N->Label = Lo + std::min((Hi - Lo) / 2, AppendGap);
       N->Group = G;
@@ -49,12 +48,8 @@ OmNode *OrderList::insertAfter(OmNode *X, void *Item) {
       X->Next = N;
       ++G->Count;
       ++Size;
-      if (G->Count > GroupLimit)
-        splitGroup(G);
       return N;
     }
-    // No room between the labels: rebalance and retry. Splitting changes
-    // group membership and labels, so recompute everything afterwards.
     if (G->Count >= GroupLimit)
       splitGroup(G);
     else
@@ -62,21 +57,8 @@ OmNode *OrderList::insertAfter(OmNode *X, void *Item) {
   }
 }
 
-void OrderList::remove(OmNode *X) {
-  assert(X != Base && "the base timestamp cannot be removed");
-  OmGroup *G = X->Group;
-  if (G->First == X)
-    G->First = (G->Count > 1) ? X->Next : nullptr;
-  if (X->Prev)
-    X->Prev->Next = X->Next;
-  if (X->Next)
-    X->Next->Prev = X->Prev;
-  --G->Count;
-  --Size;
-  Allocator.destroy(X);
-  if (G->Count != 0)
-    return;
-  // Unlink and free the now-empty group.
+/// Unlinks and frees a group whose last member was just removed.
+void OrderList::removeEmptyGroup(OmGroup *G) {
   if (G->Prev)
     G->Prev->Next = G->Next;
   else
@@ -151,11 +133,25 @@ uint64_t OrderList::makeGroupGapAfter(OmGroup *G) {
   ++Relabels;
   ++RangeRelabels;
   // Find the smallest aligned label range [RangeBase, RangeBase + Width)
-  // around G whose density is at most 1/2, then spread its groups evenly.
-  // This is the list-labeling strategy of Bender et al.; it gives
-  // amortized O(log n) group relabeling, which the two-level structure
-  // turns into amortized O(1) per insertion.
+  // around G whose density is below the threshold for its height, then
+  // spread its groups evenly. This is the list-labeling strategy of
+  // Bender et al.; it gives amortized O(log n) group relabeling, which
+  // the two-level structure turns into amortized O(1) per insertion.
+  //
+  // The threshold must *decrease geometrically with height*: a flat
+  // cutoff (say 1/2 at every width) accepts the smallest window that
+  // barely clears it, redistributes with gaps of ~2, and the very next
+  // split at the same position exhausts the gap again — a relabeling
+  // cascade that turns steady-state churn at one trace position (the
+  // change-propagation cursor) into a near-every-propagation O(groups)
+  // relabel. Shrinking the allowance by Alpha per doubling means an
+  // accepted window is redistributed with gaps that grow exponentially
+  // in its height, so the same position absorbs many more splits before
+  // the window overflows again.
+  constexpr double Alpha = 0.9;
+  double Tau = 1.0;
   for (uint64_t Width = 4; Width <= GroupLabelSpace; Width <<= 1) {
+    Tau *= Alpha;
     uint64_t RangeBase =
         Width >= GroupLabelSpace ? 0 : (G->Label & ~(Width - 1));
     uint64_t RangeEnd = RangeBase + Width; // Exclusive; no overflow: <= 2^62.
@@ -169,8 +165,8 @@ uint64_t OrderList::makeGroupGapAfter(OmGroup *G) {
       ++Count;
       Cursor = Cursor->Next;
     }
-    if (Width < 2 * (Count + 1))
-      continue; // Too dense to leave a usable gap; widen the range.
+    if (2.0 * double(Count + 1) > Tau * double(Width))
+      continue; // Too dense for this height; widen the range.
     uint64_t Gap = Width / (Count + 1);
     assert(Gap >= 2 && "density bound guarantees usable gaps");
     Cursor = Lo;

@@ -22,6 +22,8 @@
 
 #include "support/Arena.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 
 namespace ceal {
@@ -63,11 +65,49 @@ public:
   OmNode *base() { return Base; }
   const OmNode *base() const { return Base; }
 
-  /// Inserts a new node immediately after \p X in the order and returns it.
-  OmNode *insertAfter(OmNode *X, void *Item = nullptr);
+  /// Inserts a new node immediately after \p X in the order and returns
+  /// it. The common case — label room between X and its in-group
+  /// successor, group under its member limit — is inlined; rebalancing
+  /// (group split or item relabel) goes out of line.
+  OmNode *insertAfter(OmNode *X, void *Item = nullptr) {
+    assert(X && "insertAfter requires a position");
+    OmGroup *G = X->Group;
+    uint64_t Lo = X->Label;
+    bool NextInGroup = X->Next && X->Next->Group == G;
+    uint64_t Hi = NextInGroup ? X->Next->Label : UINT64_MAX;
+    if (Hi - Lo >= 2 && G->Count < GroupLimit) {
+      auto *N = Allocator.create<OmNode>();
+      N->Label = Lo + std::min((Hi - Lo) / 2, AppendGap);
+      N->Group = G;
+      N->Item = Item;
+      N->Prev = X;
+      N->Next = X->Next;
+      if (X->Next)
+        X->Next->Prev = N;
+      X->Next = N;
+      ++G->Count;
+      ++Size;
+      return N;
+    }
+    return insertAfterSlow(X, Item);
+  }
 
   /// Removes \p X (which must not be base()) from the order and frees it.
-  void remove(OmNode *X);
+  void remove(OmNode *X) {
+    assert(X != Base && "the base timestamp cannot be removed");
+    OmGroup *G = X->Group;
+    if (G->First == X)
+      G->First = (G->Count > 1) ? X->Next : nullptr;
+    if (X->Prev)
+      X->Prev->Next = X->Next;
+    if (X->Next)
+      X->Next->Prev = X->Prev;
+    --G->Count;
+    --Size;
+    Allocator.destroy(X);
+    if (G->Count == 0)
+      removeEmptyGroup(G);
+  }
 
   /// Returns true iff \p A is strictly before \p B in the order.
   static bool precedes(const OmNode *A, const OmNode *B) {
@@ -104,7 +144,13 @@ private:
   static constexpr uint32_t GroupTarget = 32;
   /// Upper-level label space: [0, 2^62).
   static constexpr uint64_t GroupLabelSpace = uint64_t(1) << 62;
+  /// Appending halves the remaining label space if done by midpoint,
+  /// which exhausts it after ~64 insertions and triggers pathological
+  /// relabeling; bound the gap so appends consume label space linearly.
+  static constexpr uint64_t AppendGap = uint64_t(1) << 32;
 
+  OmNode *insertAfterSlow(OmNode *X, void *Item);
+  void removeEmptyGroup(OmGroup *G);
   OmGroup *createGroupAfter(OmGroup *G, uint64_t Label);
   void splitGroup(OmGroup *G);
   void relabelGroupItems(OmGroup *G);

@@ -42,6 +42,7 @@ Runtime::Runtime(const Config &C) : Cfg(C) {
   Cursor = Om.base();
   TraceEnd = Cursor;
   GcAllocMark = 0;
+  Prof.Enabled = Cfg.EnableProfile;
 }
 
 Runtime::~Runtime() = default; // Arena reclaims all trace storage.
@@ -76,12 +77,28 @@ OmNode *Runtime::stampAfterCursor(void *Item) {
 }
 
 /// Inserts \p U into its modifiable's use list at the position given by
-/// its timestamp. Scans backwards from the tail: during an initial run
-/// this is O(1) (appends), and per-modifiable lists are short in practice.
+/// its timestamp. The placement scan starts from the modifiable's cursor
+/// hint (the use most recently inserted) and walks toward the position in
+/// either direction, so an initial run appends in O(1) and mid-interval
+/// re-execution pays O(distance from the previous insertion) instead of
+/// O(uses after the position). Also seeds the governing-write cache from
+/// the predecessor.
 void Runtime::insertUse(Modref *M, Use *U) {
-  Use *After = M->Tail;
-  while (After && OrderList::precedes(U->Start, After->Start))
+  uint64_t Steps = 0;
+  Use *After = M->Hint ? M->Hint : M->Tail;
+  // Too late: back up until the candidate precedes U.
+  while (After && OrderList::precedes(U->Start, After->Start)) {
     After = After->PrevUse;
+    ++Steps;
+  }
+  // Too early (stale hint): advance while the successor still precedes U.
+  for (;;) {
+    Use *Next = After ? After->NextUse : M->Head;
+    if (!Next || OrderList::precedes(U->Start, Next->Start))
+      break;
+    After = Next;
+    ++Steps;
+  }
   U->PrevUse = After;
   if (After) {
     U->NextUse = After->NextUse;
@@ -90,14 +107,22 @@ void Runtime::insertUse(Modref *M, Use *U) {
     U->NextUse = M->Head;
     M->Head = U;
   }
+  if (U->Kind == TraceKind::Read)
+    static_cast<ReadNode *>(U)->Gov = writeGoverning(U);
   if (U->NextUse)
     U->NextUse->PrevUse = U;
   else
     M->Tail = U;
+  M->Hint = U;
+  S.UseScanSteps += Steps;
+  if (Prof.Enabled)
+    Prof.UseScan.record(Steps);
 }
 
 void Runtime::unlinkUse(Use *U) {
   Modref *M = U->Ref;
+  if (M->Hint == U)
+    M->Hint = U->PrevUse ? U->PrevUse : U->NextUse;
   if (U->PrevUse)
     U->PrevUse->NextUse = U->NextUse;
   else
@@ -109,13 +134,23 @@ void Runtime::unlinkUse(Use *U) {
   U->PrevUse = U->NextUse = nullptr;
 }
 
-/// The value a use at this position observes: the latest preceding traced
-/// write, else the modifiable's meta-written initial value.
-Word Runtime::valueGoverning(const Use *U) const {
-  for (const Use *P = U->PrevUse; P; P = P->PrevUse)
-    if (P->Kind == TraceKind::Write)
-      return static_cast<const WriteNode *>(P)->Value;
-  return U->Ref->Initial;
+/// The value a read at this position observes: the latest preceding
+/// traced write (cached on the read itself), else the modifiable's
+/// meta-written initial value.
+Word Runtime::valueGoverning(const ReadNode *R) const {
+  return R->Gov ? R->Gov->Value : R->Ref->Initial;
+}
+
+/// The latest traced write strictly preceding U in its use list, derived
+/// in O(1): the predecessor is either that write itself or a read whose
+/// cache names it. Writes therefore need not store the cache.
+WriteNode *Runtime::writeGoverning(const Use *U) const {
+  Use *P = U->PrevUse;
+  if (!P)
+    return nullptr;
+  if (P->Kind == TraceKind::Write)
+    return static_cast<WriteNode *>(P);
+  return static_cast<ReadNode *>(P)->Gov;
 }
 
 //===----------------------------------------------------------------------===//
@@ -146,17 +181,28 @@ void Runtime::modify(Modref *M, Word V) {
 }
 
 Word Runtime::deref(const Modref *M) const {
-  for (const Use *U = M->Tail; U; U = U->PrevUse)
-    if (U->Kind == TraceKind::Write)
-      return static_cast<const WriteNode *>(U)->Value;
-  return M->Initial;
+  assert(CurPhase == Phase::Meta && "deref is a mutator operation");
+  // The latest traced write is the tail itself or the tail's cached
+  // governing write; no backward walk.
+  const Use *T = M->Tail;
+  if (!T)
+    return M->Initial;
+  const WriteNode *W = T->Kind == TraceKind::Write
+                           ? static_cast<const WriteNode *>(T)
+                           : static_cast<const ReadNode *>(T)->Gov;
+  return W ? W->Value : M->Initial;
 }
 
 void Runtime::run(Closure *C) {
   assert(CurPhase == Phase::Meta && "run_core is a mutator operation");
   CurPhase = Phase::Running;
   Cursor = TraceEnd; // Append this run's trace after all previous runs.
-  trampoline(C);
+  {
+    ProfileTimer T(Prof, Prof.RunCoreNs);
+    trampoline(C);
+  }
+  if (Prof.Enabled)
+    ++Prof.RunCoreCalls;
   TraceEnd = Cursor;
   CurPhase = Phase::Meta;
   if (Cfg.Audit == AuditLevel::EveryPropagation)
@@ -167,13 +213,25 @@ void Runtime::propagate() {
   assert(CurPhase == Phase::Meta && "propagate is a mutator operation");
   CurPhase = Phase::Propagating;
   ++S.Propagations;
-  while (ReadNode *R = heapPopMin()) {
-    if (!R->isDirty())
-      continue;
-    R->setDirty(false);
-    reexecute(R);
+  {
+    ProfileTimer Total(Prof, Prof.PropagateNs);
+    for (;;) {
+      ReadNode *R;
+      {
+        ProfileTimer T(Prof, Prof.QueueNs);
+        R = heapPopMin();
+      }
+      if (!R)
+        break;
+      if (Prof.Enabled)
+        ++Prof.QueuePops;
+      if (!R->isDirty())
+        continue;
+      R->setDirty(false);
+      reexecute(R);
+    }
+    flushDeferredFrees();
   }
-  flushDeferredFrees();
   CurPhase = Phase::Meta;
   if (Cfg.Audit == AuditLevel::EveryPropagation)
     auditNow("after propagate");
@@ -233,7 +291,14 @@ Closure *Runtime::read(Modref *M, Closure *C) {
   }
   uint64_t Hash = readMemoHash(M, C);
   if (IntervalEnd) {
-    if (ReadNode *Hit = findReadMemo(M, C, Hash)) {
+    ReadNode *Hit;
+    {
+      ProfileTimer T(Prof, Prof.MemoLookupNs);
+      Hit = findReadMemo(M, C, Hash);
+    }
+    if (Prof.Enabled)
+      ++Prof.MemoLookups;
+    if (Hit) {
       ++S.MemoReadHits;
       assert(!C->OwnedByTrace && "memo-spliced closure must be transient");
       freeClosure(C);
@@ -267,9 +332,14 @@ void Runtime::write(Modref *M, Word V) {
   W->Value = V;
   W->Start = stampAfterCursor(W);
   insertUse(M, W);
-  // This write governs the readers between itself and the next write.
-  for (Use *U = W->NextUse; U && U->Kind == TraceKind::Read; U = U->NextUse) {
+  // This write governs the readers between itself and the next write:
+  // retarget their governing-write cache and invalidate those that saw a
+  // different value. The first non-read successor (if any) is the next
+  // write, whose previous-write pointer becomes W.
+  for (Use *U = W->NextUse; U && U->Kind == TraceKind::Read;
+       U = U->NextUse) {
     auto *R = static_cast<ReadNode *>(U);
+    R->Gov = W;
     if (R->SeenValue != V || Cfg.DisableEqualityCut)
       invalidate(R);
   }
@@ -278,10 +348,20 @@ void Runtime::write(Modref *M, Word V) {
 void *Runtime::allocate(size_t Size, Closure *Init, uint8_t NodeFlags) {
   assert(CurPhase != Phase::Meta && "allocate is a core operation");
   assert(Init->NumArgs >= 1 && "init closure needs a block slot");
-  assert(Size < UINT32_MAX && "allocation too large");
+  // Hard failure in all build types: AllocNode::Size is 32-bit, and a
+  // truncated size would corrupt the deferred-free accounting.
+  checkAlways(Size < UINT32_MAX,
+              "traced allocation exceeds the 32-bit size limit");
   uint64_t Hash = allocMemoHash(Init, Size);
   if (IntervalEnd) {
-    if (AllocNode *Hit = findAllocMemo(Init, Size, Hash)) {
+    AllocNode *Hit;
+    {
+      ProfileTimer T(Prof, Prof.MemoLookupNs);
+      Hit = findAllocMemo(Init, Size, Hash);
+    }
+    if (Prof.Enabled)
+      ++Prof.MemoLookups;
+    if (Hit) {
       ++S.MemoAllocHits;
       void *Block = Hit->Block;
       uint8_t Flags = Hit->Flags;
@@ -333,11 +413,20 @@ static Closure *modrefInitDynamic(Runtime &, Closure *C) {
 }
 
 Modref *Runtime::coreModrefDynamic(const Word *Keys, size_t NumKeys) {
-  std::vector<Word> Frame(1 + NumKeys);
-  Frame[0] = 0; // Block placeholder.
+  // Hot path of every VM-executed `modref(keys...)`: build the
+  // initializer closure in place instead of staging the key words through
+  // a heap-allocated frame (the arena closure is needed either way, so
+  // this is the minimum — one arena block, no transient allocation).
+  size_t NumArgs = 1 + NumKeys;
+  checkAlways(NumArgs <= UINT16_MAX,
+              "closure arity exceeds the 16-bit frame limit");
+  auto *Init = static_cast<Closure *>(Mem.allocate(Closure::byteSize(NumArgs)));
+  Init->Fn = &modrefInitDynamic;
+  Init->NumArgs = static_cast<uint16_t>(NumArgs);
+  Init->OwnedByTrace = 0;
+  Init->args()[0] = 0; // Block placeholder.
   for (size_t I = 0; I < NumKeys; ++I)
-    Frame[1 + I] = Keys[I];
-  Closure *Init = makeRaw(&modrefInitDynamic, Frame.data(), Frame.size());
+    Init->args()[1 + I] = Keys[I];
   void *Block = allocate(sizeof(Modref), Init, AllocNode::FlagModref);
   return static_cast<Modref *>(Block);
 }
@@ -362,14 +451,25 @@ void Runtime::reexecute(ReadNode *R) {
     return;
   }
   ++S.ReadsReexecuted;
-  R->SeenValue = V;
-  R->Clo->args()[0] = V;
-  Cursor = R->Start;
-  IntervalEnd = R->End;
-  bool Spliced = trampoline(R->Clo);
-  if (!Spliced)
-    revokeInterval(Cursor, R->End);
-  IntervalEnd = nullptr;
+  // Re-executed interval size, measured as the trace operations the
+  // re-execution performs (nodes traced, revoked, or memo-spliced).
+  bool ProfOn = Prof.Enabled;
+  uint64_t Work0 = ProfOn ? traceWorkOps() : 0;
+  if (ProfOn)
+    ++Prof.ReexecCalls;
+  {
+    ProfileTimer T(Prof, Prof.ReexecNs);
+    R->SeenValue = V;
+    R->Clo->args()[0] = V;
+    Cursor = R->Start;
+    IntervalEnd = R->End;
+    bool Spliced = trampoline(R->Clo);
+    if (!Spliced)
+      revokeInterval(Cursor, R->End);
+    IntervalEnd = nullptr;
+  }
+  if (ProfOn)
+    Prof.ReexecWork.record(traceWorkOps() - Work0);
 }
 
 /// Revokes every old trace node strictly between \p From and \p To.
@@ -377,6 +477,9 @@ void Runtime::reexecute(ReadNode *R) {
 /// encountered directly belong to reads whose start lies in the interval
 /// as well and are handled when the start is visited.
 void Runtime::revokeInterval(OmNode *From, OmNode *To) {
+  ProfileTimer T(Prof, Prof.RevokeNs);
+  if (Prof.Enabled)
+    ++Prof.RevokeCalls;
   OmNode *N = From->Next;
   while (N && N != To) {
     void *Item = N->Item;
@@ -427,9 +530,13 @@ void Runtime::revokeWrite(WriteNode *W) {
   ++S.NodesRevoked;
   // Readers this write governed fall back to the previous write (or the
   // initial value); invalidate those that saw something different.
-  Word PrevValue = valueGoverning(W);
-  for (Use *U = W->NextUse; U && U->Kind == TraceKind::Read; U = U->NextUse) {
+  WriteNode *Prev = writeGoverning(W);
+  Word PrevValue = Prev ? Prev->Value : W->Ref->Initial;
+  for (Use *U = W->NextUse; U && U->Kind == TraceKind::Read;
+       U = U->NextUse) {
     auto *R = static_cast<ReadNode *>(U);
+    // Retarget the governing-write cache to the write this one shadowed.
+    R->Gov = Prev;
     if (R->SeenValue != PrevValue || Cfg.DisableEqualityCut)
       invalidate(R);
   }
@@ -630,7 +737,13 @@ void Runtime::maybeSimulateGc() {
   // which shrinks as the live trace approaches the limit, so collections
   // grow more frequent super-linearly under memory pressure.
   size_t Headroom = std::max<size_t>(Cfg.HeapLimitBytes - Live, 1 << 14);
-  if (Mem.totalAllocatedBytes() - GcAllocMark < Headroom)
+  size_t Total = Mem.totalAllocatedBytes();
+  // Defensive re-anchor: if the mark is ahead of the cumulative counter
+  // (an arena stats reset without a matching mark reset), the subtraction
+  // below would wrap and force a collection on every allocation.
+  if (Total < GcAllocMark)
+    GcAllocMark = Total;
+  if (Total - GcAllocMark < Headroom)
     return;
   // "Collect": a tracing collector's cost is proportional to the live
   // data; walk every live timestamp and touch the trace object it marks

@@ -28,9 +28,11 @@
 #include "om/OrderList.h"
 #include "runtime/Closure.h"
 #include "runtime/MemoTable.h"
+#include "runtime/Profile.h"
 #include "runtime/Trace.h"
 #include "runtime/Word.h"
 #include "support/Arena.h"
+#include "support/Check.h"
 
 #include <cstdint>
 #include <vector>
@@ -83,6 +85,11 @@ public:
     /// Trace-sanitizer level (see TraceAudit.h). A violation prints every
     /// finding and aborts, valgrind-style.
     AuditLevel Audit = AuditLevel::Off;
+    /// Enables the propagation profiler (phase timers and work
+    /// histograms; see runtime/Profile.h). Always compiled in; when off,
+    /// the only hot-path cost is a predictable branch per instrumented
+    /// site.
+    bool EnableProfile = false;
   };
 
   /// Counters for tests and the benchmark harnesses.
@@ -97,6 +104,10 @@ public:
     uint64_t NodesRevoked = 0;
     uint64_t Propagations = 0;
     uint64_t GcScans = 0;
+    /// Total placement-scan steps across all use-list insertions; the
+    /// regression guard for the insertUse cursor hint (pure appends and
+    /// runs of adjacent insertions contribute zero).
+    uint64_t UseScanSteps = 0;
   };
 
   Runtime() : Runtime(Config()) {}
@@ -179,6 +190,10 @@ public:
   /// virtual machine, whose arities are only known at run time). The
   /// typed make<Fn> is preferable wherever signatures are static.
   Closure *makeRaw(ClosureFn Fn, const Word *Args, size_t NumArgs) {
+    // Hard failure in all build types: truncating the arity would make
+    // the closure silently drop arguments and corrupt memo keys.
+    checkAlways(NumArgs <= UINT16_MAX,
+                "closure arity exceeds the 16-bit frame limit");
     auto *C = static_cast<Closure *>(Mem.allocate(Closure::byteSize(NumArgs)));
     C->Fn = Fn;
     C->NumArgs = static_cast<uint16_t>(NumArgs);
@@ -257,7 +272,20 @@ public:
   //===--------------------------------------------------------------===//
 
   const Stats &stats() const { return S; }
-  void resetStats() { S = Stats(); }
+  /// Resets the runtime counters and the arena statistics together; the
+  /// simulated-GC allocation mark is re-anchored at the same time so a
+  /// stats reset can never leave it ahead of totalAllocatedBytes() (which
+  /// would underflow the headroom test and force a collection on every
+  /// allocation).
+  void resetStats() {
+    S = Stats();
+    Mem.resetStats();
+    GcAllocMark = Mem.totalAllocatedBytes();
+  }
+  /// Propagation profiler state (phase timers, work histograms). Only
+  /// populated when Config::EnableProfile is set.
+  const PropagationProfile &profile() const { return Prof; }
+  void resetProfile() { Prof.reset(); }
   Arena &arena() { return Mem; }
   size_t liveBytes() const { return Mem.liveBytes(); }
   size_t maxLiveBytes() const { return Mem.maxLiveBytes(); }
@@ -322,10 +350,19 @@ private:
   OmNode *stampAfterCursor(void *Item);
   void insertUse(Modref *M, Use *U);
   void unlinkUse(Use *U);
-  Word valueGoverning(const Use *U) const;
+  Word valueGoverning(const ReadNode *R) const;
+  WriteNode *writeGoverning(const Use *U) const;
 
   // Execution.
   bool trampoline(Closure *C);
+
+  /// Trace operations performed so far, as a monotone work measure; the
+  /// profiler records the delta across one re-execution as the
+  /// re-executed interval's size.
+  uint64_t traceWorkOps() const {
+    return S.ReadsTraced + S.WritesTraced + S.AllocsTraced + S.NodesRevoked +
+           S.MemoReadHits + S.MemoAllocHits;
+  }
 
   // Change propagation.
   void reexecute(ReadNode *R);
@@ -376,6 +413,7 @@ private:
   std::vector<DeferredFree> DeferredFrees;
 
   Stats S;
+  PropagationProfile Prof;
   size_t GcAllocMark = 0;
   size_t MetaBytes = 0;
   bool Oom = false;

@@ -28,6 +28,7 @@
 namespace ceal {
 
 struct Modref;
+struct WriteNode;
 
 enum class TraceKind : uint8_t {
   Read,
@@ -41,6 +42,12 @@ enum class TraceKind : uint8_t {
 struct TraceNode {
   TraceKind Kind;
   uint8_t Flags = 0;
+  /// Position in the propagation queue, or -1. Meaningful for reads
+  /// only, but stored in the base's padding bytes so ReadNode stays
+  /// within the arena's 96-byte size class (the governing-write cache
+  /// below would otherwise push it into the next class — a 17% size tax
+  /// on the most numerous trace node).
+  int32_t HeapIndex = -1;
   OmNode *Start = nullptr;
 
   explicit TraceNode(TraceKind K) : Kind(K) {}
@@ -67,9 +74,16 @@ struct ReadNode : Use {
   Closure *Clo = nullptr;
   Word SeenValue = 0;
   OmNode *End = nullptr;
-
-  /// Position in the propagation queue, or -1.
-  int32_t HeapIndex = -1;
+  /// Governing-write cache: the latest write strictly preceding this read
+  /// in its modifiable's use list — the write whose value the read
+  /// observes — or null when the prefix holds no write (the read is
+  /// governed by Modref::Initial). Maintained by Runtime::insertUse /
+  /// write / revokeWrite so valueGoverning is O(1) instead of
+  /// O(reads since the last write); audited against a full backward walk
+  /// by TraceAudit. Only reads carry the cache: a write's governing write
+  /// is derived in O(1) from its predecessor (Runtime::writeGoverning),
+  /// which keeps WriteNode inside the 48-byte size class.
+  WriteNode *Gov = nullptr;
 
   /// Memo-table chaining (keyed by modifiable, function, argument words).
   ReadNode *MemoNext = nullptr;
@@ -117,7 +131,20 @@ struct Modref {
   Word Initial = 0;
   Use *Head = nullptr;
   Use *Tail = nullptr;
+  /// Insertion cursor: the use most recently inserted into (or left
+  /// adjacent to an unlink from) this list. Runtime::insertUse starts
+  /// its placement scan here instead of at Tail, so runs of nearby
+  /// insertions — the common case during mid-interval re-execution —
+  /// cost O(distance from the previous insertion) rather than
+  /// O(uses after the position). Never dangles: unlinkUse repairs it.
+  Use *Hint = nullptr;
 };
+
+// The size-class contracts behind the HeapIndex and Gov placements above:
+// reads are the bulk of a trace and writes come second, so neither may
+// cross into the next 16-byte arena size class.
+static_assert(sizeof(ReadNode) <= 96, "ReadNode outgrew its size class");
+static_assert(sizeof(WriteNode) <= 48, "WriteNode outgrew its size class");
 
 /// Tagging scheme for OmNode::Item. A read's end timestamp points back at
 /// the read with the low bit set so interval walks can tell starts from

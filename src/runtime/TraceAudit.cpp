@@ -262,8 +262,11 @@ struct TraceAudit::Impl {
       const Use *Prev = nullptr;
       // Value governing the current position: the latest preceding write,
       // else the modifiable's initial value — accumulated as we walk so a
-      // corrupted PrevUse chain cannot send the audit in circles.
+      // corrupted PrevUse chain cannot send the audit in circles. GovW is
+      // the same accumulation as a node pointer, checked against each
+      // read's O(1) governing-write cache (ReadNode::Gov).
       Word Governing = M->Initial;
+      const WriteNode *GovW = nullptr;
       for (const Use *U = M->Head; U; U = U->NextUse) {
         if (!InList.insert(U).second) {
           fail("uselist: cycle in a modifiable's use list");
@@ -279,16 +282,23 @@ struct TraceAudit::Impl {
           fail("uselist: uses not sorted by timestamp");
         if (U->Kind == TraceKind::Read) {
           const auto *R = static_cast<const ReadNode *>(U);
+          if (R->Gov != GovW)
+            fail("uselist: governing-write cache out of sync (cached %p, "
+                 "walk says %p)",
+                 (const void *)R->Gov, (const void *)GovW);
           if (!R->isDirty() && R->SeenValue != Governing)
             fail("uselist: clean read's SeenValue differs from the value "
                  "its position governs (equality cut unsound)");
         } else if (U->Kind == TraceKind::Write) {
-          Governing = static_cast<const WriteNode *>(U)->Value;
+          GovW = static_cast<const WriteNode *>(U);
+          Governing = GovW->Value;
         }
         Prev = U;
       }
       if (M->Tail != Prev)
         fail("uselist: Tail does not point at the last member");
+      if (M->Hint && !InList.count(M->Hint))
+        fail("uselist: insertion hint dangles outside the use list");
       if (InList.size() != TraceUses.size())
         fail("uselist: list has %zu members but the trace has %zu uses "
              "of this modifiable",

@@ -16,32 +16,18 @@ Arena::~Arena() {
   }
 }
 
-void *Arena::allocate(size_t Size) {
-  assert(Size > 0 && "zero-size allocation");
-  ++AllocCount;
-  if (Size > MaxSmallSize) {
-    LiveBytes += Size;
-    TotalAllocated += Size;
-    if (LiveBytes > MaxLiveBytes)
-      MaxLiveBytes = LiveBytes;
-    return ::operator new(Size);
-  }
-  size_t Index = classIndex(Size);
-  size_t Rounded = classSize(Index);
-  LiveBytes += Rounded;
-  TotalAllocated += Rounded;
+void *Arena::allocateLarge(size_t Size) {
+  LiveBytes += Size;
+  TotalAllocated += Size;
   if (LiveBytes > MaxLiveBytes)
     MaxLiveBytes = LiveBytes;
-  if (FreeCell *Cell = FreeLists[Index]) {
-    FreeLists[Index] = Cell->Next;
-    return Cell;
-  }
-  if (BumpPtr + Rounded <= BumpEnd) {
-    void *Result = BumpPtr;
-    BumpPtr += Rounded;
-    return Result;
-  }
-  return allocateSlow(Rounded);
+  return ::operator new(Size);
+}
+
+void Arena::deallocateLarge(void *Ptr, size_t Size) {
+  assert(LiveBytes >= Size && "freelist accounting underflow");
+  LiveBytes -= Size;
+  ::operator delete(Ptr);
 }
 
 void *Arena::allocateSlow(size_t RoundedSize) {
@@ -57,19 +43,3 @@ void *Arena::allocateSlow(size_t RoundedSize) {
   return Result;
 }
 
-void Arena::deallocate(void *Ptr, size_t Size) {
-  assert(Ptr && "deallocating null");
-  if (Size > MaxSmallSize) {
-    assert(LiveBytes >= Size && "freelist accounting underflow");
-    LiveBytes -= Size;
-    ::operator delete(Ptr);
-    return;
-  }
-  size_t Index = classIndex(Size);
-  size_t Rounded = classSize(Index);
-  assert(LiveBytes >= Rounded && "freelist accounting underflow");
-  LiveBytes -= Rounded;
-  auto *Cell = static_cast<FreeCell *>(Ptr);
-  Cell->Next = FreeLists[Index];
-  FreeLists[Index] = Cell;
-}

@@ -37,11 +37,46 @@ public:
   Arena &operator=(const Arena &) = delete;
   ~Arena();
 
-  /// Allocates \p Size bytes aligned to 16.
-  void *allocate(size_t Size);
+  /// Allocates \p Size bytes aligned to 16. Defined in the header so the
+  /// size-class fast path (freelist pop or pointer bump) inlines into the
+  /// trace hot paths; the chunk refill and the rare large-block path stay
+  /// out of line.
+  void *allocate(size_t Size) {
+    assert(Size > 0 && "zero-size allocation");
+    ++AllocCount;
+    if (Size > MaxSmallSize)
+      return allocateLarge(Size);
+    size_t Index = classIndex(Size);
+    size_t Rounded = classSize(Index);
+    LiveBytes += Rounded;
+    TotalAllocated += Rounded;
+    if (LiveBytes > MaxLiveBytes)
+      MaxLiveBytes = LiveBytes;
+    if (FreeCell *Cell = FreeLists[Index]) {
+      FreeLists[Index] = Cell->Next;
+      return Cell;
+    }
+    if (BumpPtr + Rounded <= BumpEnd) {
+      void *Result = BumpPtr;
+      BumpPtr += Rounded;
+      return Result;
+    }
+    return allocateSlow(Rounded);
+  }
 
   /// Returns a block previously obtained from allocate() with \p Size.
-  void deallocate(void *Ptr, size_t Size);
+  void deallocate(void *Ptr, size_t Size) {
+    assert(Ptr && "deallocating null");
+    if (Size > MaxSmallSize)
+      return deallocateLarge(Ptr, Size);
+    size_t Index = classIndex(Size);
+    size_t Rounded = classSize(Index);
+    assert(LiveBytes >= Rounded && "freelist accounting underflow");
+    LiveBytes -= Rounded;
+    auto *Cell = static_cast<FreeCell *>(Ptr);
+    Cell->Next = FreeLists[Index];
+    FreeLists[Index] = Cell;
+  }
 
   /// Typed helper: allocate and default-construct a T.
   template <typename T, typename... Args> T *create(Args &&...As) {
@@ -101,6 +136,8 @@ private:
   static size_t classSize(size_t Index) { return (Index + 1) * Alignment; }
 
   void *allocateSlow(size_t RoundedSize);
+  void *allocateLarge(size_t Size);
+  void deallocateLarge(void *Ptr, size_t Size);
 
   Chunk *Chunks = nullptr;
   char *BumpPtr = nullptr;

@@ -1,0 +1,42 @@
+//===- support/Check.h - Unconditional runtime checks ----------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hard-failure helpers for limits that must hold in every build type.
+/// assert() documents internal invariants and may be compiled out of
+/// Release builds (see the CEAL_EXPENSIVE_CHECKS CMake option); the
+/// checks here guard narrowing limits whose violation would silently
+/// corrupt the trace — e.g. a closure arity truncated to 16 bits or an
+/// allocation size truncated to 32 — so they are never elided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_SUPPORT_CHECK_H
+#define CEAL_SUPPORT_CHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ceal {
+
+/// Prints \p Msg to stderr and aborts. Used for unrecoverable usage
+/// errors that must fail loudly in all build types.
+[[noreturn]] inline void fatalError(const char *Msg) {
+  std::fprintf(stderr, "ceal fatal error: %s\n", Msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Aborts with \p Msg unless \p Cond holds — in every build type,
+/// including Release with CEAL_EXPENSIVE_CHECKS=OFF.
+inline void checkAlways(bool Cond, const char *Msg) {
+  if (!Cond)
+    fatalError(Msg);
+}
+
+} // namespace ceal
+
+#endif // CEAL_SUPPORT_CHECK_H

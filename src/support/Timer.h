@@ -13,6 +13,7 @@
 #define CEAL_SUPPORT_TIMER_H
 
 #include <chrono>
+#include <cstdint>
 
 namespace ceal {
 
@@ -29,6 +30,14 @@ public:
   }
 
   double milliseconds() const { return seconds() * 1e3; }
+
+  /// Monotonic nanoseconds since an arbitrary epoch — the shared clock
+  /// for the propagation profiler's phase accumulators.
+  static uint64_t nowNs() {
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now().time_since_epoch())
+                        .count());
+  }
 
 private:
   using Clock = std::chrono::steady_clock;
