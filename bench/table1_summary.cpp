@@ -84,10 +84,13 @@ int main(int argc, char **argv) {
            << ", \"conv_seconds\": " << M.ConvSeconds
            << ", \"self_seconds\": " << M.SelfSeconds
            << ", \"overhead\": " << M.overhead()
+           << ", \"fromscratch_overhead\": " << M.overhead()
            << ", \"avg_update_seconds\": " << M.AvgUpdateSeconds
            << ", \"speedup\": " << M.speedup()
            << ", \"max_live_bytes\": " << M.MaxLiveBytes;
       if (M.HasProfile) {
+        Json << ",\n     \"construction_profile\": ";
+        M.BuildProf.writeJson(Json);
         Json << ",\n     \"profile\": ";
         M.Prof.writeJson(Json);
       }

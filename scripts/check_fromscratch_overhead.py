@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Guard the from-scratch construction overhead measured by rt_microbench.
+
+Reads a BENCH_rt.json produced by a bench run and fails if any app's
+fromscratch_overhead (self-adjusting initial run / conventional run) is
+above its ceiling, or if the field is missing. Ceilings are calibrated
+at the CI smoke scale (--app-scale=0.02 --app-samples=20), where fixed
+trace costs dominate the tiny inputs, with roughly 10x headroom over
+medians observed on a quiet machine: they only trip on order-of-
+magnitude regressions — the monotone construction fast path silently
+turning off, a new per-node allocation, an accidental audit in Release —
+not on CI machine-speed variance.
+"""
+
+import json
+import sys
+
+# Per-app ceilings at smoke scale. The spread between apps is real:
+# filter writes few output cells per input, while minimum builds a
+# logarithmic reduction tree whose conventional oracle is a bare loop.
+CEILINGS = {
+    "filter": 100,
+    "map": 450,
+    "minimum": 3000,
+    "quicksort": 300,
+    "exptrees": 700,
+}
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_rt.json"
+    with open(path) as f:
+        bench = json.load(f)
+
+    rows = {row["name"]: row for row in bench.get("update_bench", [])}
+    failures = []
+    for app, ceiling in CEILINGS.items():
+        row = rows.get(app)
+        if row is None:
+            failures.append(f"{app}: no update_bench row in {path}")
+            continue
+        overhead = row.get("fromscratch_overhead")
+        if overhead is None:
+            failures.append(f"{app}: row lacks fromscratch_overhead")
+            continue
+        status = "ok" if overhead <= ceiling else "FAIL"
+        print(f"{app:10s} fromscratch_overhead={overhead:8.1f}  "
+              f"ceiling={ceiling:5d}  {status}")
+        if overhead > ceiling:
+            failures.append(
+                f"{app}: fromscratch_overhead {overhead:.1f} exceeds "
+                f"ceiling {ceiling}")
+
+    if failures:
+        print("\n" + "\n".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

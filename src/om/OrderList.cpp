@@ -31,6 +31,8 @@ OrderList::OrderList() {
 /// retry loop re-runs the fast-path placement logic because rebalancing
 /// changes group membership and labels.
 OmNode *OrderList::insertAfterSlow(OmNode *X, void *Item) {
+  if (AppendActive)
+    return appendSlow(X, Item);
   for (;;) {
     OmGroup *G = X->Group;
     uint64_t Lo = X->Label;
@@ -54,6 +56,71 @@ OmNode *OrderList::insertAfterSlow(OmNode *X, void *Item) {
       splitGroup(G);
     else
       relabelGroupItems(G);
+  }
+}
+
+/// Append-mode slow path (see beginAppend): never rewrites an existing
+/// label. A monotone insertion run only ever lands here when the group at
+/// the cursor is full or the in-group label gap is spent, and both cases
+/// resolve by opening a fresh group — O(1) per insertion (the suffix peel
+/// is bounded by GroupLimit and each peeled node prepays the fresh group
+/// it lands in).
+OmNode *OrderList::appendSlow(OmNode *X, void *Item) {
+  for (;;) {
+    OmGroup *G = X->Group;
+    if (X->Next && X->Next->Group == G) {
+      // Mid-group position (the cursor re-entered an interval): peel the
+      // in-group suffix after X into a fresh group under bump labels, so
+      // X becomes a group tail with the full label space above it.
+      OmGroup *NewG = freshGroupAfter(G);
+      OmNode *N = X->Next;
+      NewG->First = N;
+      uint32_t Moved = 0;
+      uint64_t Label = AppendGap;
+      while (N && N->Group == G) {
+        N->Group = NewG;
+        N->Label = Label;
+        Label += AppendGap;
+        ++Moved;
+        N = N->Next;
+      }
+      NewG->Count = Moved;
+      assert(G->Count > Moved && "peel must leave X behind");
+      G->Count -= Moved;
+      continue;
+    }
+    if (G->Count >= FillLimit || UINT64_MAX - X->Label < 2) {
+      // Group tail, but the group is at the append-mode fill target or
+      // the label space above X is gone: start a fresh group after G and
+      // put the new node there.
+      OmGroup *NewG = freshGroupAfter(G);
+      auto *N = Allocator.create<OmNode>();
+      N->Label = AppendGap;
+      N->Group = NewG;
+      N->Item = Item;
+      N->Prev = X;
+      N->Next = X->Next;
+      if (X->Next)
+        X->Next->Prev = N;
+      X->Next = N;
+      NewG->First = N;
+      NewG->Count = 1;
+      ++Size;
+      return N;
+    }
+    // A peel above turned X into a group tail with room: bump insert.
+    auto *N = Allocator.create<OmNode>();
+    N->Label = X->Label + std::min((UINT64_MAX - X->Label) / 2, AppendGap);
+    N->Group = G;
+    N->Item = Item;
+    N->Prev = X;
+    N->Next = X->Next;
+    if (X->Next)
+      X->Next->Prev = N;
+    X->Next = N;
+    ++G->Count;
+    ++Size;
+    return N;
   }
 }
 
@@ -92,6 +159,18 @@ OmGroup *OrderList::createGroupAfter(OmGroup *G, uint64_t Label) {
   return NewG;
 }
 
+OmGroup *OrderList::freshGroupAfter(OmGroup *G) {
+  uint64_t Lo = G->Label;
+  uint64_t Hi = G->Next ? G->Next->Label : GroupLabelSpace;
+  if (Hi - Lo < 2) {
+    Lo = makeGroupGapAfter(G);
+    Hi = G->Next ? G->Next->Label : GroupLabelSpace;
+    assert(Hi - Lo >= 2 && "group relabel failed to open a gap");
+  }
+  return createGroupAfter(G,
+                          Lo + std::min((Hi - Lo) / 2, uint64_t(1) << 31));
+}
+
 void OrderList::splitGroup(OmGroup *G) {
   ++Relabels;
   // Leave the first GroupTarget members in G and distribute the remainder
@@ -108,15 +187,7 @@ void OrderList::splitGroup(OmGroup *G) {
   OmGroup *Pred = G;
   while (Remaining > 0) {
     uint32_t Take = Remaining < GroupTarget ? Remaining : GroupTarget;
-    uint64_t Lo = Pred->Label;
-    uint64_t Hi = Pred->Next ? Pred->Next->Label : GroupLabelSpace;
-    if (Hi - Lo < 2) {
-      Lo = makeGroupGapAfter(Pred);
-      Hi = Pred->Next ? Pred->Next->Label : GroupLabelSpace;
-      assert(Hi - Lo >= 2 && "group relabel failed to open a gap");
-    }
-    OmGroup *NewG = createGroupAfter(
-        Pred, Lo + std::min((Hi - Lo) / 2, uint64_t(1) << 31));
+    OmGroup *NewG = freshGroupAfter(Pred);
     NewG->First = N;
     NewG->Count = Take;
     for (uint32_t I = 0; I < Take; ++I) {

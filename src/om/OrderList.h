@@ -75,7 +75,7 @@ public:
     uint64_t Lo = X->Label;
     bool NextInGroup = X->Next && X->Next->Group == G;
     uint64_t Hi = NextInGroup ? X->Next->Label : UINT64_MAX;
-    if (Hi - Lo >= 2 && G->Count < GroupLimit) {
+    if (Hi - Lo >= 2 && G->Count < FillLimit) {
       auto *N = Allocator.create<OmNode>();
       N->Label = Lo + std::min((Hi - Lo) / 2, AppendGap);
       N->Group = G;
@@ -109,6 +109,41 @@ public:
       removeEmptyGroup(G);
   }
 
+  /// Enters append mode: a construction-time policy switch for monotone
+  /// insertion. The inlined insertAfter fast path is already a label bump;
+  /// append mode changes what happens when that bump runs out of room.
+  /// Instead of splitting or relabeling (which touches existing nodes and
+  /// pays the Bender density machinery), a full group at the insertion
+  /// point opens a *fresh* group after it, and a mid-group position whose
+  /// label gap is exhausted peels its in-group suffix into a fresh group
+  /// so the position becomes a group tail with the whole 64-bit label
+  /// space above it. No existing label is ever rewritten, so a monotone
+  /// run of insertions — the initial trace run, or the re-traced prefix
+  /// of a re-executed interval — costs O(1) worst case per insertion, not
+  /// just amortized. All structural invariants are maintained
+  /// continuously (interleaved remove() calls are fine), so
+  /// finalizeAppend() needs no repair pass; it only restores the
+  /// density-balanced rebalancing policy for general-order insertions.
+  ///
+  /// While appending, groups are filled only to GroupTarget — the same
+  /// occupancy a split leaves behind — so the trace construction ends
+  /// with every group half-open and later general-order insertions (the
+  /// propagation churn) do not pay a split at each fresh position.
+  void beginAppend() {
+    AppendActive = true;
+    FillLimit = GroupTarget;
+  }
+
+  /// Leaves append mode (see beginAppend). The structure is valid at
+  /// every point in between, so this is just the policy switch back.
+  void finalizeAppend() {
+    AppendActive = false;
+    FillLimit = GroupLimit;
+  }
+
+  /// True while the append-mode insertion policy is active.
+  bool inAppendMode() const { return AppendActive; }
+
   /// Returns true iff \p A is strictly before \p B in the order.
   static bool precedes(const OmNode *A, const OmNode *B) {
     if (A->Group == B->Group)
@@ -120,6 +155,14 @@ public:
   static OmNode *next(OmNode *X) { return X->Next; }
   /// Predecessor of \p X in the order, or null if X is base().
   static OmNode *prev(OmNode *X) { return X->Prev; }
+
+  /// Pre-reserves node and group storage for about \p ExpectedNodes
+  /// further insertions (input-size hint; see Arena::reserve).
+  void reserve(size_t ExpectedNodes) {
+    Allocator.reserve(ExpectedNodes * Arena::accountedSize(sizeof(OmNode)) +
+                      (ExpectedNodes / GroupTarget + 1) *
+                          Arena::accountedSize(sizeof(OmGroup)));
+  }
 
   /// Number of nodes currently in the list (including base()).
   size_t size() const { return Size; }
@@ -150,8 +193,13 @@ private:
   static constexpr uint64_t AppendGap = uint64_t(1) << 32;
 
   OmNode *insertAfterSlow(OmNode *X, void *Item);
+  OmNode *appendSlow(OmNode *X, void *Item);
   void removeEmptyGroup(OmGroup *G);
   OmGroup *createGroupAfter(OmGroup *G, uint64_t Label);
+  /// Creates an empty group after \p G with a label midway to its
+  /// successor (bounded by the append stride), relabeling the enclosing
+  /// group range first if the upper-level label space is exhausted there.
+  OmGroup *freshGroupAfter(OmGroup *G);
   void splitGroup(OmGroup *G);
   void relabelGroupItems(OmGroup *G);
   /// Makes room in the group-label space around \p G so that a new group
@@ -164,6 +212,11 @@ private:
   size_t Size = 0;
   size_t Relabels = 0;
   size_t RangeRelabels = 0;
+  /// Group occupancy at which insertAfter leaves the fast path: the
+  /// GroupLimit capacity normally, GroupTarget during append mode (see
+  /// beginAppend).
+  uint32_t FillLimit = GroupLimit;
+  bool AppendActive = false;
 };
 
 } // namespace ceal

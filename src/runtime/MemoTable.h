@@ -50,6 +50,46 @@ public:
     ++Count;
   }
 
+  /// Ensures at least \p Expected buckets (rounded up to a power of two)
+  /// so that \p Expected insertions proceed without an intermediate grow
+  /// or rehash. Never shrinks.
+  void reserve(size_t Expected) {
+    size_t Want = 64;
+    while (Want < Expected)
+      Want <<= 1;
+    if (Want > Buckets.size())
+      rehashTo(Want);
+  }
+
+  /// Bulk-inserts \p N nodes (each with MemoHash already set) after a
+  /// single up-front reserve. The initial run inserts every traced
+  /// read/alloc into a memo index it will not probe until the first
+  /// propagation, so construction defers the inserts and lands them here:
+  /// a flat array walk whose bucket accesses — the random-address cache
+  /// misses that dominate pay-as-you-go insertion — are hidden by a
+  /// two-stage software prefetch (fetch the node line first, then the
+  /// bucket line its hash names once the node line has arrived).
+  void insertBulk(NodeT *const *Nodes, size_t N) {
+    reserve(Count + N);
+    constexpr size_t NodeAhead = 16;
+    constexpr size_t BucketAhead = 8;
+    for (size_t I = 0; I < N; ++I) {
+      if (I + NodeAhead < N)
+        __builtin_prefetch(Nodes[I + NodeAhead], 1);
+      if (I + BucketAhead < N)
+        __builtin_prefetch(&Buckets[bucketIndex(Nodes[I + BucketAhead]->MemoHash)],
+                           1);
+      NodeT *Node = Nodes[I];
+      size_t Index = bucketIndex(Node->MemoHash);
+      Node->MemoPrev = nullptr;
+      Node->MemoNext = Buckets[Index];
+      if (Buckets[Index])
+        Buckets[Index]->MemoPrev = Node;
+      Buckets[Index] = Node;
+    }
+    Count += N;
+  }
+
   /// Removes \p N, which must currently be in the table.
   void remove(NodeT *N) {
     if (N->MemoPrev)
@@ -79,9 +119,11 @@ private:
     return Hash & (Buckets.size() - 1);
   }
 
-  void grow() {
+  void grow() { rehashTo(Buckets.size() * 4); }
+
+  void rehashTo(size_t NewBucketCount) {
     std::vector<NodeT *> Old = std::move(Buckets);
-    Buckets.assign(Old.size() * 4, nullptr);
+    Buckets.assign(NewBucketCount, nullptr);
     for (NodeT *Chain : Old) {
       while (Chain) {
         NodeT *Next = Chain->MemoNext;

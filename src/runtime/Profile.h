@@ -103,6 +103,17 @@ struct PropagationProfile {
   uint64_t MemoLookups = 0;
   uint64_t QueuePops = 0;
 
+  /// Construction section: the primitive operations trace construction
+  /// performs, counted wherever they happen (from-scratch runs and the
+  /// re-traced parts of re-executions), plus the deferred memo-index
+  /// build that the construction fast path runs at the end of run()
+  /// (inside RunCoreNs).
+  uint64_t MemoBuildNs = 0;        ///< deferred memo-table bulk build.
+  uint64_t OmInserts = 0;          ///< order-maintenance timestamps created.
+  uint64_t ArenaAllocs = 0;        ///< arena blocks handed out during runCore.
+  uint64_t MemoInserts = 0;        ///< read/alloc memo-index insertions.
+  uint64_t ClosureDispatches = 0;  ///< trampoline closure invocations.
+
   /// Trace operations (traced + revoked + memo-spliced nodes) per
   /// re-execution: the distribution of re-executed interval sizes.
   ProfileHistogram ReexecWork;
@@ -127,7 +138,13 @@ struct PropagationProfile {
         << ", \"reexec_calls\": " << ReexecCalls
         << ", \"revoke_calls\": " << RevokeCalls
         << ", \"memo_lookups\": " << MemoLookups
-        << ", \"queue_pops\": " << QueuePops << ", \"reexec_work_hist\": ";
+        << ", \"queue_pops\": " << QueuePops
+        << ", \"memo_build_ns\": " << MemoBuildNs
+        << ", \"om_inserts\": " << OmInserts
+        << ", \"arena_allocs\": " << ArenaAllocs
+        << ", \"memo_inserts\": " << MemoInserts
+        << ", \"closure_dispatches\": " << ClosureDispatches
+        << ", \"reexec_work_hist\": ";
     ReexecWork.writeJson(Out);
     Out << ", \"use_scan_hist\": ";
     UseScan.writeJson(Out);

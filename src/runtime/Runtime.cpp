@@ -52,8 +52,10 @@ Runtime::~Runtime() = default; // Arena reclaims all trace storage.
 //===----------------------------------------------------------------------===//
 
 template <typename NodeT> NodeT *Runtime::newNode() {
-  maybeSimulateGc();
-  if (Cfg.SimSpinPerNode) {
+  // The simulation knobs are off in every real configuration; keep their
+  // work (and the out-of-line GC call) behind one predictable branch.
+  if (Cfg.HeapLimitBytes || Cfg.SimSpinPerNode) {
+    maybeSimulateGc();
     // Comparator cost model: per-operation boxing/interpretation work.
     uint64_t X = 0x9e3779b97f4a7c15ULL;
     for (unsigned I = 0; I < Cfg.SimSpinPerNode; ++I)
@@ -61,7 +63,10 @@ template <typename NodeT> NodeT *Runtime::newNode() {
     asm volatile("" : : "r"(X));
   }
   void *Raw = Mem.allocate(sizeof(NodeT) + Cfg.BoxBytesPerNode);
-  return new (Raw) NodeT();
+  // RawInit contract: every caller stamps, links, and memo-keys the node
+  // before anything inspects it (audits run only between core phases), so
+  // the default constructor's zero stores would all be dead.
+  return new (Raw) NodeT(TraceNode::RawInit{});
 }
 
 template <typename NodeT> void Runtime::destroyNode(NodeT *N) {
@@ -72,8 +77,33 @@ template <typename NodeT> void Runtime::destroyNode(NodeT *N) {
 void Runtime::freeClosure(Closure *C) { Mem.deallocate(C, C->byteSize()); }
 
 OmNode *Runtime::stampAfterCursor(void *Item) {
+  if (Prof.Enabled)
+    ++Prof.OmInserts;
   Cursor = Om.insertAfter(Cursor, Item);
   return Cursor;
+}
+
+/// insertUse specialized for construction: the cursor is the global
+/// timestamp maximum, so \p U always belongs at the tail of \p M's use
+/// list and the order query of the general path (three dependent loads
+/// through the timestamp and its group) is dead weight. Correct whenever
+/// no interval is being re-executed, independent of any fast-path config.
+void Runtime::insertUseTail(Modref *M, Use *U) {
+  Use *T = M->Tail;
+  assert((!T || OrderList::precedes(T->Start, U->Start)) &&
+         "construction use out of timestamp order");
+  U->PrevUse = T;
+  U->NextUse = nullptr;
+  if (T)
+    T->NextUse = U;
+  else
+    M->Head = U;
+  M->Tail = U;
+  M->Hint = U;
+  if (U->Kind == TraceKind::Read)
+    static_cast<ReadNode *>(U)->Gov = writeGoverning(U);
+  if (Prof.Enabled)
+    Prof.UseScan.record(0);
 }
 
 /// Inserts \p U into its modifiable's use list at the position given by
@@ -84,6 +114,25 @@ OmNode *Runtime::stampAfterCursor(void *Item) {
 /// O(uses after the position). Also seeds the governing-write cache from
 /// the predecessor.
 void Runtime::insertUse(Modref *M, Use *U) {
+  Use *T = M->Tail;
+  if (!T || OrderList::precedes(T->Start, U->Start)) {
+    // Tail append, including the first use of a fresh modifiable: no
+    // placement scan, no hint to consult. This is every insertion of the
+    // initial run and the overwhelmingly common case in re-execution.
+    U->PrevUse = T;
+    U->NextUse = nullptr;
+    if (T)
+      T->NextUse = U;
+    else
+      M->Head = U;
+    M->Tail = U;
+    M->Hint = U;
+    if (U->Kind == TraceKind::Read)
+      static_cast<ReadNode *>(U)->Gov = writeGoverning(U);
+    if (Prof.Enabled)
+      Prof.UseScan.record(0);
+    return;
+  }
   uint64_t Steps = 0;
   Use *After = M->Hint ? M->Hint : M->Tail;
   // Too late: back up until the candidate precedes U.
@@ -197,16 +246,55 @@ void Runtime::run(Closure *C) {
   assert(CurPhase == Phase::Meta && "run_core is a mutator operation");
   CurPhase = Phase::Running;
   Cursor = TraceEnd; // Append this run's trace after all previous runs.
+  const bool FastPath = !Cfg.DisableConstructionFastPath;
+  uint64_t Allocs0 = Prof.Enabled ? Mem.allocationCount() : 0;
+  if (FastPath)
+    Om.beginAppend(); // Construction stamps in monotone order.
   {
     ProfileTimer T(Prof, Prof.RunCoreNs);
     trampoline(C);
+    // The memo inserts deferred during construction must land before the
+    // meta phase resumes: propagation probes the indexes, and the audits
+    // check exact membership. Counted inside RunCoreNs (it is part of the
+    // from-scratch cost), itemized under MemoBuildNs.
+    flushConstructionMemo();
   }
-  if (Prof.Enabled)
+  if (FastPath)
+    Om.finalizeAppend();
+  if (Prof.Enabled) {
     ++Prof.RunCoreCalls;
+    Prof.ArenaAllocs += Mem.allocationCount() - Allocs0;
+  }
   TraceEnd = Cursor;
   CurPhase = Phase::Meta;
   if (Cfg.Audit == AuditLevel::EveryPropagation)
     auditNow("after run_core");
+}
+
+void Runtime::reserveTrace(size_t ExpectedOps) {
+  // Ratios measured across the bench apps: reads and allocations are each
+  // roughly a third to a half of traced operations, timestamps about 1.5x
+  // (two per read, one per write/alloc), and a traced operation retains
+  // about 128 arena bytes (trace node, closure, user block).
+  ReadMemo.reserve(ExpectedOps / 2);
+  AllocMemo.reserve(ExpectedOps / 2);
+  PendingReadMemo.reserve(ExpectedOps / 2);
+  PendingAllocMemo.reserve(ExpectedOps / 2);
+  PendingReads.reserve(ExpectedOps / 2);
+  Om.reserve(ExpectedOps + ExpectedOps / 2);
+  constexpr size_t BytesPerOp = 128;
+  constexpr size_t MaxReserve = size_t(1) << 30;
+  Mem.reserve(std::min(ExpectedOps * BytesPerOp, MaxReserve));
+}
+
+void Runtime::flushConstructionMemo() {
+  if (PendingReadMemo.empty() && PendingAllocMemo.empty())
+    return;
+  ProfileTimer T(Prof, Prof.MemoBuildNs);
+  ReadMemo.insertBulk(PendingReadMemo.data(), PendingReadMemo.size());
+  PendingReadMemo.clear();
+  AllocMemo.insertBulk(PendingAllocMemo.data(), PendingAllocMemo.size());
+  PendingAllocMemo.clear();
 }
 
 void Runtime::propagate() {
@@ -258,6 +346,8 @@ bool Runtime::trampoline(Closure *C) {
   size_t PendingBase = PendingReads.size();
   bool DidSplice = false;
   while (C) {
+    if (Prof.Enabled)
+      ++Prof.ClosureDispatches;
     Closure *Next = C->Fn(*this, C);
     if (!C->OwnedByTrace)
       freeClosure(C);
@@ -280,6 +370,9 @@ bool Runtime::trampoline(Closure *C) {
 Closure *Runtime::read(Modref *M, Closure *C) {
   assert(CurPhase != Phase::Meta && "read is a core operation");
   assert(C->NumArgs >= 1 && "read closure needs a value slot");
+  // The modifiable's header line is not touched until the use-list link,
+  // ~50ns of node setup from now; start the (usually cold) fill early.
+  __builtin_prefetch(M, 1);
   // SaSML-style simulation: the basic translation allocates one heap
   // continuation per tail jump; model that garbage with transient
   // allocations of a typical boxed-continuation size, so a bounded heap
@@ -289,6 +382,12 @@ Closure *Runtime::read(Modref *M, Closure *C) {
     void *Extra = Mem.allocate(SimContinuationBytes);
     Mem.deallocate(Extra, SimContinuationBytes);
   }
+  // Construction (no interval being re-executed) never probes the memo
+  // index, so its inserts are deferred to the bulk build at the end of
+  // run(). The hash itself is still computed here, while the closure's
+  // key words sit in cache (hashing at flush time was measurably slower:
+  // it re-misses on every closure line).
+  const bool EagerMemo = IntervalEnd || Cfg.DisableConstructionFastPath;
   uint64_t Hash = readMemoHash(M, C);
   if (IntervalEnd) {
     ReadNode *Hit;
@@ -314,23 +413,54 @@ Closure *Runtime::read(Modref *M, Closure *C) {
   R->Clo = C;
   C->OwnedByTrace = 1;
   R->Start = stampAfterCursor(R);
-  insertUse(M, R);
+  if (IntervalEnd)
+    insertUse(M, R);
+  else
+    insertUseTail(M, R);
   Word V = valueGoverning(R);
   R->SeenValue = V;
   C->args()[0] = V;
+  if (Prof.Enabled)
+    ++Prof.MemoInserts;
+  // Propagation both probes and revokes the memo index, so its inserts
+  // must be immediate; construction defers them to the bulk build.
   R->MemoHash = Hash;
-  ReadMemo.insert(R);
+  if (EagerMemo) {
+    ReadMemo.insert(R);
+  } else {
+    PendingReadMemo.push_back(R);
+  }
   PendingReads.push_back(R);
   return C;
 }
 
 void Runtime::write(Modref *M, Word V) {
   assert(CurPhase != Phase::Meta && "write is a core operation");
+  __builtin_prefetch(M, 1); // See read(): cold until the use-list link.
   ++S.WritesTraced;
   WriteNode *W = newNode<WriteNode>();
   W->Ref = M;
   W->Value = V;
   W->Start = stampAfterCursor(W);
+  if (!M->Head) {
+    // Fresh modifiable, no trace history: nothing to scan for placement,
+    // no governing-write bookkeeping to derive, no readers downstream to
+    // retarget or invalidate. This covers every write of the initial run
+    // against a just-allocated modifiable (the common CEAL idiom: each
+    // output cell is written exactly once, right after its allocation).
+    W->PrevUse = W->NextUse = nullptr;
+    M->Head = M->Tail = M->Hint = W;
+    if (Prof.Enabled)
+      Prof.UseScan.record(0);
+    return;
+  }
+  if (!IntervalEnd) {
+    // Construction with trace history on the modifiable (a multi-write
+    // modref): still a guaranteed tail append, with no readers after it
+    // to retarget.
+    insertUseTail(M, W);
+    return;
+  }
   insertUse(M, W);
   // This write governs the readers between itself and the next write:
   // retarget their governing-write cache and invalidate those that saw a
@@ -352,6 +482,8 @@ void *Runtime::allocate(size_t Size, Closure *Init, uint8_t NodeFlags) {
   // truncated size would corrupt the deferred-free accounting.
   checkAlways(Size < UINT32_MAX,
               "traced allocation exceeds the 32-bit size limit");
+  // See read(): construction defers the memo insert, not the hashing.
+  const bool EagerMemo = IntervalEnd || Cfg.DisableConstructionFastPath;
   uint64_t Hash = allocMemoHash(Init, Size);
   if (IntervalEnd) {
     AllocNode *Hit;
@@ -381,6 +513,8 @@ void *Runtime::allocate(size_t Size, Closure *Init, uint8_t NodeFlags) {
       Init->OwnedByTrace = 1;
       A->Start = stampAfterCursor(A);
       A->MemoHash = Hash;
+      if (Prof.Enabled)
+        ++Prof.MemoInserts;
       AllocMemo.insert(A);
       return Block;
     }
@@ -394,8 +528,14 @@ void *Runtime::allocate(size_t Size, Closure *Init, uint8_t NodeFlags) {
   A->Init = Init;
   Init->OwnedByTrace = 1;
   A->Start = stampAfterCursor(A);
+  if (Prof.Enabled)
+    ++Prof.MemoInserts;
   A->MemoHash = Hash;
-  AllocMemo.insert(A);
+  if (EagerMemo) {
+    AllocMemo.insert(A);
+  } else {
+    PendingAllocMemo.push_back(A);
+  }
   // Run the initializer now; it may not read or write modifiables
   // (correct-usage restriction 2), so it cannot splice or extend traces.
   Init->args()[0] = toWord(Block);

@@ -82,6 +82,14 @@ public:
     /// proportional to the live trace runs; if the live trace itself
     /// exceeds the limit, the runtime reports out-of-memory.
     size_t HeapLimitBytes = 0;
+    /// Ablation/debug: fall back to the pay-as-you-go construction path
+    /// (general-order OM insertion policy, immediate memo-table inserts).
+    /// The default exploits the monotone timestamp order of trace
+    /// construction: run_core and re-executed intervals build their trace
+    /// under the OM append-mode policy (OrderList::beginAppend) and a
+    /// from-scratch run defers its memo-index inserts into a bulk build
+    /// at the end of run(). Correctness is unaffected either way.
+    bool DisableConstructionFastPath = false;
     /// Trace-sanitizer level (see TraceAudit.h). A violation prints every
     /// finding and aborts, valgrind-style.
     AuditLevel Audit = AuditLevel::Off;
@@ -164,6 +172,14 @@ public:
     run(make<Fn>(As...));
   }
   void run(Closure *C);
+
+  /// Input-size hint: pre-sizes the trace containers (memo tables, arena
+  /// chunks, pending-read stack, OM node storage) for a run_core expected
+  /// to perform about \p ExpectedOps traced operations (reads + writes +
+  /// allocations). Purely an optimization — construction is correct with
+  /// any hint including none; the hint only removes incremental grows and
+  /// chunk refills from the from-scratch path.
+  void reserveTrace(size_t ExpectedOps);
 
   /// Propagates all pending modifications (paper: `propagate`).
   void propagate();
@@ -349,12 +365,17 @@ private:
   void freeClosure(Closure *C);
   OmNode *stampAfterCursor(void *Item);
   void insertUse(Modref *M, Use *U);
+  void insertUseTail(Modref *M, Use *U);
   void unlinkUse(Use *U);
   Word valueGoverning(const ReadNode *R) const;
   WriteNode *writeGoverning(const Use *U) const;
 
   // Execution.
   bool trampoline(Closure *C);
+  /// Bulk-builds the memo indexes from the inserts deferred during
+  /// construction; runs before run() returns to the meta phase (audits
+  /// and propagation require complete memo membership).
+  void flushConstructionMemo();
 
   /// Trace operations performed so far, as a monotone work measure; the
   /// profiler records the delta across one re-execution as the
@@ -404,6 +425,10 @@ private:
   std::vector<ReadNode *> Heap;
   MemoTable<ReadNode> ReadMemo;
   MemoTable<AllocNode> AllocMemo;
+  /// Memo-index inserts deferred by the construction fast path; flushed
+  /// (bulk-built with an up-front reserve) at the end of run().
+  std::vector<ReadNode *> PendingReadMemo;
+  std::vector<AllocNode *> PendingAllocMemo;
 
   struct DeferredFree {
     void *Block;

@@ -41,25 +41,37 @@ enum class TraceKind : uint8_t {
 /// timestamp, see ReadNode::End).
 struct TraceNode {
   TraceKind Kind;
-  uint8_t Flags = 0;
+  uint8_t Flags;
   /// Position in the propagation queue, or -1. Meaningful for reads
   /// only, but stored in the base's padding bytes so ReadNode stays
   /// within the arena's 96-byte size class (the governing-write cache
   /// below would otherwise push it into the next class — a 17% size tax
   /// on the most numerous trace node).
-  int32_t HeapIndex = -1;
-  OmNode *Start = nullptr;
+  int32_t HeapIndex;
+  OmNode *Start;
 
-  explicit TraceNode(TraceKind K) : Kind(K) {}
+  /// Tag for Runtime::newNode: skip zero-initializing the fields the
+  /// tracing hot paths overwrite unconditionally before anything reads
+  /// them (every trace node is stamped, linked, and memo-keyed in the
+  /// same traced operation that creates it). Kind, Flags, and HeapIndex
+  /// are still initialized — the dirty bit and queue position must start
+  /// clear no matter who allocates.
+  struct RawInit {};
+
+  explicit TraceNode(TraceKind K)
+      : Kind(K), Flags(0), HeapIndex(-1), Start(nullptr) {}
+  TraceNode(TraceKind K, RawInit) : Kind(K), Flags(0), HeapIndex(-1) {}
 };
 
 /// Base of per-modifiable uses (reads and writes), linked in time order.
 struct Use : TraceNode {
-  Modref *Ref = nullptr;
-  Use *PrevUse = nullptr;
-  Use *NextUse = nullptr;
+  Modref *Ref;
+  Use *PrevUse;
+  Use *NextUse;
 
-  explicit Use(TraceKind K) : TraceNode(K) {}
+  explicit Use(TraceKind K)
+      : TraceNode(K), Ref(nullptr), PrevUse(nullptr), NextUse(nullptr) {}
+  Use(TraceKind K, RawInit R) : TraceNode(K, R) {}
 };
 
 /// A traced read: the modifiable, the closure that consumed the value, the
@@ -67,13 +79,16 @@ struct Use : TraceNode {
 /// end is the point where the enclosing tail-call chain finished; during
 /// change propagation the closure re-executes inside (Start, End).
 struct ReadNode : Use {
-  ReadNode() : Use(TraceKind::Read) {}
+  ReadNode()
+      : Use(TraceKind::Read), Clo(nullptr), SeenValue(0), End(nullptr),
+        Gov(nullptr), MemoNext(nullptr), MemoPrev(nullptr), MemoHash(0) {}
+  explicit ReadNode(RawInit R) : Use(TraceKind::Read, R) {}
 
   static constexpr uint8_t FlagDirty = 1;
 
-  Closure *Clo = nullptr;
-  Word SeenValue = 0;
-  OmNode *End = nullptr;
+  Closure *Clo;
+  Word SeenValue;
+  OmNode *End;
   /// Governing-write cache: the latest write strictly preceding this read
   /// in its modifiable's use list — the write whose value the read
   /// observes — or null when the prefix holds no write (the read is
@@ -83,12 +98,12 @@ struct ReadNode : Use {
   /// by TraceAudit. Only reads carry the cache: a write's governing write
   /// is derived in O(1) from its predecessor (Runtime::writeGoverning),
   /// which keeps WriteNode inside the 48-byte size class.
-  WriteNode *Gov = nullptr;
+  WriteNode *Gov;
 
   /// Memo-table chaining (keyed by modifiable, function, argument words).
-  ReadNode *MemoNext = nullptr;
-  ReadNode *MemoPrev = nullptr;
-  uint64_t MemoHash = 0;
+  ReadNode *MemoNext;
+  ReadNode *MemoPrev;
+  uint64_t MemoHash;
 
   bool isDirty() const { return Flags & FlagDirty; }
   void setDirty(bool D) {
@@ -98,9 +113,10 @@ struct ReadNode : Use {
 
 /// A traced write of a word into a modifiable.
 struct WriteNode : Use {
-  WriteNode() : Use(TraceKind::Write) {}
+  WriteNode() : Use(TraceKind::Write), Value(0) {}
+  explicit WriteNode(RawInit R) : Use(TraceKind::Write, R) {}
 
-  Word Value = 0;
+  Word Value;
 };
 
 /// A traced, memo-keyed allocation. Init is retained because its function
@@ -109,17 +125,20 @@ struct WriteNode : Use {
 /// the pointer identity that lets downstream writes equality-cut and
 /// downstream reads memo-match (the paper's Sec. 1 "memoization" role).
 struct AllocNode : TraceNode {
-  AllocNode() : TraceNode(TraceKind::Alloc) {}
+  AllocNode()
+      : TraceNode(TraceKind::Alloc), Init(nullptr), Block(nullptr), Size(0),
+        MemoNext(nullptr), MemoPrev(nullptr), MemoHash(0) {}
+  explicit AllocNode(RawInit R) : TraceNode(TraceKind::Alloc, R) {}
 
   static constexpr uint8_t FlagModref = 1;
 
-  Closure *Init = nullptr;
-  void *Block = nullptr;
-  uint32_t Size = 0;
+  Closure *Init;
+  void *Block;
+  uint32_t Size;
 
-  AllocNode *MemoNext = nullptr;
-  AllocNode *MemoPrev = nullptr;
-  uint64_t MemoHash = 0;
+  AllocNode *MemoNext;
+  AllocNode *MemoPrev;
+  uint64_t MemoHash;
 
   bool isModrefBlock() const { return Flags & FlagModref; }
 };

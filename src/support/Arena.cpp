@@ -30,16 +30,29 @@ void Arena::deallocateLarge(void *Ptr, size_t Size) {
   ::operator delete(Ptr);
 }
 
-void *Arena::allocateSlow(size_t RoundedSize) {
-  auto *C = static_cast<Chunk *>(::operator new(ChunkSize));
+void Arena::newChunk(size_t PayloadBytes) {
+  auto *C = static_cast<Chunk *>(::operator new(Alignment + PayloadBytes));
   C->Next = Chunks;
   Chunks = C;
-  char *Base = reinterpret_cast<char *>(C) + Alignment;
-  BumpPtr = Base;
-  BumpEnd = reinterpret_cast<char *>(C) + ChunkSize;
+  BumpPtr = reinterpret_cast<char *>(C) + Alignment;
+  BumpEnd = BumpPtr + PayloadBytes;
+}
+
+void *Arena::allocateSlow(size_t RoundedSize) {
+  newChunk(NextChunkBytes - Alignment);
+  // Refills grow geometrically so a large trace pays O(log bytes) chunk
+  // allocations; the cap bounds the over-reserve at the trace's tail.
+  if (NextChunkBytes < MaxChunkSize)
+    NextChunkBytes *= 2;
   assert(BumpPtr + RoundedSize <= BumpEnd && "chunk too small for class");
   void *Result = BumpPtr;
   BumpPtr += RoundedSize;
   return Result;
+}
+
+void Arena::reserve(size_t Bytes) {
+  if (static_cast<size_t>(BumpEnd - BumpPtr) >= Bytes)
+    return;
+  newChunk(Bytes);
 }
 

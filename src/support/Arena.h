@@ -90,6 +90,13 @@ public:
     deallocate(Ptr, sizeof(T));
   }
 
+  /// Pre-reserves at least \p Bytes of contiguous bump space (an
+  /// input-size hint: one chunk allocation up front instead of a refill
+  /// per chunk during trace construction). The current chunk's remaining
+  /// tail is abandoned if it is too small, so call this before a large
+  /// allocation burst, not inside one. No effect on liveBytes().
+  void reserve(size_t Bytes);
+
   /// Bytes currently handed out to clients.
   size_t liveBytes() const { return LiveBytes; }
 
@@ -120,6 +127,9 @@ private:
   static constexpr size_t MaxSmallSize = 512;
   static constexpr size_t NumClasses = MaxSmallSize / Alignment;
   static constexpr size_t ChunkSize = 1 << 20;
+  /// Chunk sizes double per refill up to this cap, so a trace of B bytes
+  /// takes O(log B) refills instead of B / ChunkSize.
+  static constexpr size_t MaxChunkSize = size_t(1) << 25;
 
   struct FreeCell {
     FreeCell *Next;
@@ -138,10 +148,13 @@ private:
   void *allocateSlow(size_t RoundedSize);
   void *allocateLarge(size_t Size);
   void deallocateLarge(void *Ptr, size_t Size);
+  /// Installs a fresh chunk with \p PayloadBytes of bump space.
+  void newChunk(size_t PayloadBytes);
 
   Chunk *Chunks = nullptr;
   char *BumpPtr = nullptr;
   char *BumpEnd = nullptr;
+  size_t NextChunkBytes = ChunkSize;
   FreeCell *FreeLists[NumClasses] = {};
 
   size_t LiveBytes = 0;

@@ -57,6 +57,35 @@ TEST(Arena, DistinctBlocksDoNotOverlap) {
       ASSERT_EQ(Blocks[I][J], static_cast<char>(I & 0xff));
 }
 
+TEST(Arena, ReservePreallocatesOneContiguousChunk) {
+  // reserve() is an input-size hint: a burst that fits the reservation
+  // must be served by pure pointer bumps from one chunk (consecutive
+  // same-class blocks are adjacent), with no accounting side effects.
+  Arena A;
+  constexpr size_t Bytes = 1 << 18;
+  A.reserve(Bytes);
+  EXPECT_EQ(A.liveBytes(), 0u) << "reserve must not count as allocation";
+  EXPECT_EQ(A.allocationCount(), 0u);
+  char *Prev = static_cast<char *>(A.allocate(64));
+  for (size_t Used = 64; Used + 64 <= Bytes; Used += 64) {
+    auto *P = static_cast<char *>(A.allocate(64));
+    ASSERT_EQ(P, Prev + 64) << "chunk refill inside a reserved burst";
+    Prev = P;
+  }
+  EXPECT_EQ(A.liveBytes(), Bytes);
+}
+
+TEST(Arena, ReserveIsIdempotentWhenSpaceRemains) {
+  // A second reserve within the first one's headroom must not abandon
+  // the current chunk: the next allocation still comes from it.
+  Arena A;
+  A.reserve(1 << 16);
+  auto *P = static_cast<char *>(A.allocate(64));
+  A.reserve(1 << 10); // Far below the remaining headroom.
+  auto *Q = static_cast<char *>(A.allocate(64));
+  EXPECT_EQ(Q, P + 64);
+}
+
 TEST(Arena, RandomizedChurn) {
   Arena A;
   Rng R(7);

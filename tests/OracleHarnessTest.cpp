@@ -61,6 +61,30 @@ TEST(OracleHarness, Distance) {
 }
 
 //===----------------------------------------------------------------------===//
+// Construction fast path: legacy sweep and multi-group append coverage
+//===----------------------------------------------------------------------===//
+
+TEST(OracleHarnessFastPath, LegacyConstructionPathStillMatchesOracle) {
+  // The kill switch must keep working: with the fast path disabled the
+  // runtime uses the original eager-memo, density-balanced construction,
+  // and every propagation still matches the conventional recomputation.
+  HarnessOptions Opt;
+  Opt.Sequences = 12;
+  Opt.Config.DisableConstructionFastPath = true;
+  EXPECT_EQ(runOracleHarness(factory<ListModel>(), Opt), "");
+}
+
+TEST(OracleHarnessFastPath, LargeListsExerciseMultiGroupAppend) {
+  // Lists long enough that one construction spans many order-maintenance
+  // groups (GroupTarget members each), so the append-mode fresh-group
+  // path and the bulk memo build run for real before the churn starts —
+  // the default small-list sweeps mostly stay inside the first group.
+  HarnessOptions Opt;
+  Opt.Sequences = 10;
+  EXPECT_EQ(runOracleHarness(factory<ListModel>(200, 256), Opt), "");
+}
+
+//===----------------------------------------------------------------------===//
 // Propagation under simulated-GC heap pressure (SaSML-style config)
 //===----------------------------------------------------------------------===//
 

@@ -304,3 +304,148 @@ TEST(OrderList, HeavyMixedChurn) {
   L.verifyInvariants();
   EXPECT_EQ(L.size(), Live.size());
 }
+
+//===----------------------------------------------------------------------===//
+// Append mode (construction-time monotone insertion policy)
+//===----------------------------------------------------------------------===//
+
+TEST(OrderListAppend, MonotoneAppendNeverRelabels) {
+  // The whole point of append mode: a monotone run of tail insertions —
+  // the trace of an initial run — must never rewrite an existing label,
+  // so both relabel counters stay at zero from start to finalize.
+  OrderList L;
+  L.beginAppend();
+  EXPECT_TRUE(L.inAppendMode());
+  std::vector<OmNode *> Nodes;
+  OmNode *Cur = L.base();
+  for (int I = 0; I < 50000; ++I) {
+    Cur = L.insertAfter(Cur);
+    Nodes.push_back(Cur);
+    // Structural invariants hold continuously, not just after finalize.
+    if (I % 8192 == 0)
+      L.verifyInvariants();
+  }
+  EXPECT_EQ(L.relabelCount(), 0u)
+      << "monotone append paid a split or relabel";
+  EXPECT_EQ(L.rangeRelabelCount(), 0u);
+  L.finalizeAppend();
+  EXPECT_FALSE(L.inAppendMode());
+  L.verifyInvariants();
+  for (size_t I = 1; I < Nodes.size(); I += 173)
+    EXPECT_TRUE(OrderList::precedes(Nodes[I - 1], Nodes[I]));
+  EXPECT_TRUE(OrderList::precedes(L.base(), Nodes.front()));
+}
+
+TEST(OrderListAppend, MidGroupReentryPeelsSuffix) {
+  // Build a list under the normal policy so groups sit at their
+  // post-split occupancy, then enter append mode and insert at mid-group
+  // positions (the re-traced interval case): appendSlow must peel the
+  // in-group suffix into a fresh group and keep the total order exact.
+  OrderList L;
+  std::vector<OmNode *> Order{L.base()};
+  OmNode *Cur = L.base();
+  for (int I = 0; I < 1000; ++I) {
+    Cur = L.insertAfter(Cur);
+    Order.push_back(Cur);
+  }
+
+  L.beginAppend();
+  Rng R(314);
+  for (int Burst = 0; Burst < 40; ++Burst) {
+    // Re-enter at a random interior position and append a short monotone
+    // run there, exactly like re-tracing a revoked interval.
+    size_t At = 1 + R.below(Order.size() - 2);
+    OmNode *Spot = Order[At];
+    for (int I = 0; I < 8; ++I) {
+      Spot = L.insertAfter(Spot);
+      Order.insert(Order.begin() + static_cast<long>(++At), Spot);
+    }
+    L.verifyInvariants();
+  }
+  // Range redistribution must not have been needed: peels open fresh
+  // groups without touching the Bender machinery.
+  EXPECT_EQ(L.rangeRelabelCount(), 0u);
+  L.finalizeAppend();
+  L.verifyInvariants();
+  for (size_t I = 1; I < Order.size(); ++I)
+    ASSERT_TRUE(OrderList::precedes(Order[I - 1], Order[I]))
+        << "order broken at position " << I;
+}
+
+TEST(OrderListAppend, RandomOpsInAndAfterAppendMatchOracle) {
+  // Append mode is a policy switch, not a restricted interface: arbitrary
+  // insert-after positions and removals stay legal while it is active.
+  // Drive random operations against the exact oracle with the mode on,
+  // finalize mid-stream, and keep going — the order answers must agree
+  // throughout, and the relabeling policy flip must leave no seam.
+  Rng R(77);
+  OrderList L;
+  OrderOracle Oracle;
+  std::map<int, OmNode *> NodeById;
+  NodeById[0] = L.base();
+  L.beginAppend();
+
+  for (int Op = 0; Op < 3000; ++Op) {
+    if (Op == 1500) {
+      L.finalizeAppend();
+      L.verifyInvariants();
+    }
+    std::vector<int> Ids = Oracle.ids();
+    bool DoRemove = Ids.size() > 1 && R.below(100) < 30;
+    if (DoRemove) {
+      int Victim;
+      do {
+        Victim = Ids[R.below(Ids.size())];
+      } while (Victim == 0);
+      Oracle.remove(Victim);
+      L.remove(NodeById.at(Victim));
+      NodeById.erase(Victim);
+    } else {
+      int After = Ids[R.below(Ids.size())];
+      int Id = Oracle.insertAfter(After);
+      NodeById[Id] = L.insertAfter(NodeById.at(After));
+    }
+    if (Op % 64 == 0) {
+      L.verifyInvariants();
+      std::vector<int> Cur = Oracle.ids();
+      for (int Q = 0; Q < 8 && Cur.size() >= 2; ++Q) {
+        int A = Cur[R.below(Cur.size())];
+        int B = Cur[R.below(Cur.size())];
+        if (A == B)
+          continue;
+        EXPECT_EQ(Oracle.precedes(A, B),
+                  OrderList::precedes(NodeById.at(A), NodeById.at(B)))
+            << "op=" << Op << (L.inAppendMode() ? " (appending)" : "");
+      }
+    }
+  }
+  L.verifyInvariants();
+}
+
+TEST(OrderListAppend, RemoveDuringAppendKeepsInvariants) {
+  // Interleaved removals are explicitly allowed while appending (revoked
+  // trace intervals die mid-construction); the structure must stay sound
+  // at every step, including group-emptying removals.
+  Rng R(2026);
+  OrderList L;
+  L.beginAppend();
+  std::vector<OmNode *> Live{L.base()};
+  OmNode *Cur = L.base();
+  for (int I = 0; I < 5000; ++I) {
+    Cur = L.insertAfter(Cur);
+    Live.push_back(Cur);
+    if (Live.size() > 2 && R.below(100) < 20) {
+      // Remove a random node other than base and the append cursor.
+      size_t Idx = 1 + R.below(Live.size() - 2);
+      L.remove(Live[Idx]);
+      Live.erase(Live.begin() + static_cast<long>(Idx));
+    }
+    if (I % 512 == 0)
+      L.verifyInvariants();
+  }
+  L.finalizeAppend();
+  L.verifyInvariants();
+  EXPECT_EQ(L.size(), Live.size());
+  for (size_t I = 1; I < Live.size(); I += 37)
+    EXPECT_TRUE(OrderList::precedes(Live[I - 1], Live[I]));
+}

@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 using namespace ceal;
 using namespace ceal::apps;
 
@@ -105,6 +107,53 @@ TEST(TraceAudit, CheckpointLevelAuditsOnlyOnRequest) {
   Fixture F(C);
   F.RT.auditNow("explicit checkpoint"); // Clean: must not abort.
   SUCCEED();
+}
+
+TEST(TraceAudit, CheckpointsCleanWithFastPathReserveAndChurn) {
+  // The construction fast path (OM append mode, raw-init nodes, deferred
+  // memo build) plus an input-size reservation, audited the way the
+  // benchmarks run: checkpoint after the from-scratch run, then through
+  // edit/propagate churn that revisits the half-open groups and the
+  // bulk-built memo index.
+  Runtime::Config C;
+  C.Audit = AuditLevel::Checkpoints;
+  Runtime RT(C);
+  const size_t N = 512;
+  RT.reserveTrace(4 * N);
+  Rng R(11);
+  ListHandle L = buildList(RT, gen::randomWords(R, N));
+  Modref *Dst = RT.modref();
+  RT.runCore<&mapCore>(L.Head, Dst, &mapId, Word(0));
+  RT.auditNow("after fast-path construction");
+  TraceAudit::Report Rep = TraceAudit::inspect(RT);
+  ASSERT_TRUE(Rep.ok()) << Rep.summary();
+  ASSERT_GT(Rep.Reads, N) << "trace unexpectedly small";
+
+  for (int Edit = 0; Edit < 16; ++Edit) {
+    size_t I = R.below(L.Cells.size());
+    detachCell(RT, L, I);
+    RT.propagate();
+    reattachCell(RT, L, I);
+    RT.propagate();
+    RT.auditNow("after churn round");
+  }
+  Rep = TraceAudit::inspect(RT);
+  EXPECT_TRUE(Rep.ok()) << Rep.summary();
+}
+
+TEST(TraceAudit, FastPathTraceMatchesLegacyShape) {
+  // The fast path is a constant-factor optimization: with it on or off,
+  // the same program must trace the same reads, writes, allocations, and
+  // timestamps, and both traces must audit clean.
+  auto Shape = [](bool Disable) {
+    Runtime::Config C;
+    C.DisableConstructionFastPath = Disable;
+    Fixture F(C, 64);
+    TraceAudit::Report Rep = TraceAudit::inspect(F.RT);
+    EXPECT_TRUE(Rep.ok()) << Rep.summary();
+    return std::tuple(Rep.Reads, Rep.Writes, Rep.Allocs, Rep.Timestamps);
+  };
+  EXPECT_EQ(Shape(false), Shape(true));
 }
 
 TEST(TraceAudit, OffLevelIgnoresEvenCorruptedState) {
