@@ -53,6 +53,9 @@ struct Measurement {
   bool HasProfile = false;
   PropagationProfile BuildProf;
   PropagationProfile Prof;
+  /// Per-kind live-byte accounting, captured after the update loop (the
+  /// trace is back to its steady-state shape by then).
+  MemoryStats Mem;
 
   /// From-scratch overhead over the conventional baseline — the paper's
   /// Table 1 "Ovr." column (3-10x there; tracked in BENCH_*.json).
@@ -247,6 +250,7 @@ inline Measurement benchList(ListKind K, size_t N, size_t UpdateSamples,
   }
   M.AvgUpdateSeconds = T.seconds() / double(2 * Samples);
   M.MaxLiveBytes = RT.maxLiveBytes();
+  M.Mem = RT.memoryStats();
   if (Cfg.EnableProfile)
     M.Prof = RT.profile();
   return M;
@@ -359,6 +363,7 @@ inline Measurement benchGeometry(GeoKind K, size_t N, size_t UpdateSamples,
   }
   M.AvgUpdateSeconds = T.seconds() / double(2 * Samples);
   M.MaxLiveBytes = RT.maxLiveBytes();
+  M.Mem = RT.memoryStats();
   if (Cfg.EnableProfile)
     M.Prof = RT.profile();
   return M;
@@ -427,6 +432,7 @@ inline Measurement benchExpTrees(size_t NumLeaves, size_t UpdateSamples,
   }
   M.AvgUpdateSeconds = Tm.seconds() / double(2 * Samples);
   M.MaxLiveBytes = RT.maxLiveBytes();
+  M.Mem = RT.memoryStats();
   if (Cfg.EnableProfile)
     M.Prof = RT.profile();
   return M;
@@ -495,6 +501,7 @@ inline Measurement benchTreeContraction(size_t N, size_t UpdateSamples,
   }
   M.AvgUpdateSeconds = T.seconds() / double(2 * Samples);
   M.MaxLiveBytes = RT.maxLiveBytes();
+  M.Mem = RT.memoryStats();
   if (Cfg.EnableProfile)
     M.Prof = RT.profile();
   return M;

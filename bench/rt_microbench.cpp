@@ -273,6 +273,8 @@ void writeUpdateBench(std::ostream &Out, double Scale, size_t Samples) {
   Rows.push_back(benchList(ListKind::Minimum, Scaled(100000), Samples));
   Rows.push_back(benchList(ListKind::Quicksort, Scaled(10000), Samples));
   Rows.push_back(benchExpTrees(Scaled(100000), Samples));
+  Rows.push_back(benchGeometry(GeoKind::Quickhull, Scaled(20000), Samples));
+  Rows.push_back(benchTreeContraction(Scaled(20000), Samples));
 
   Out << "  \"update_bench\": [\n";
   for (size_t I = 0; I < Rows.size(); ++I) {
@@ -285,6 +287,21 @@ void writeUpdateBench(std::ostream &Out, double Scale, size_t Samples) {
         << ", \"fromscratch_overhead\": " << M.overhead()
         << ", \"max_live_bytes\": " << M.MaxLiveBytes << "}"
         << (I + 1 < Rows.size() ? ",\n" : "\n");
+  }
+  Out << "  ],\n";
+
+  // Per-kind live-byte accounting for the same runs: where every live
+  // arena byte went (nodes, closures, user blocks, meta), plus OM and
+  // memo-index footprints and arena occupancy. CI's check_max_live.py
+  // gates on update_bench's max_live_bytes; this section explains any
+  // movement in it.
+  Out << "  \"memory\": [\n";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Measurement &M = Rows[I];
+    Out << "    {\"name\": \"" << M.Name << "\", \"n\": " << M.N
+        << ", \"stats\": ";
+    M.Mem.writeJson(Out);
+    Out << "}" << (I + 1 < Rows.size() ? ",\n" : "\n");
   }
   Out << "  ],\n";
 

@@ -87,7 +87,9 @@ int main(int argc, char **argv) {
            << ", \"fromscratch_overhead\": " << M.overhead()
            << ", \"avg_update_seconds\": " << M.AvgUpdateSeconds
            << ", \"speedup\": " << M.speedup()
-           << ", \"max_live_bytes\": " << M.MaxLiveBytes;
+           << ", \"max_live_bytes\": " << M.MaxLiveBytes
+           << ",\n     \"memory\": ";
+      M.Mem.writeJson(Json);
       if (M.HasProfile) {
         Json << ",\n     \"construction_profile\": ";
         M.BuildProf.writeJson(Json);

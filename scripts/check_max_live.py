@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Guard the per-app max-live trace footprint measured by rt_microbench.
+
+Reads a BENCH_rt.json produced by a bench run and fails if any app's
+max_live_bytes (the trace arena's high-water mark across construction
+and the update loop) regressed more than 10% over its baseline, or if
+the field is missing. Growing a trace node layout or leaking trace
+structure shows up here directly — max-live is deterministic for a
+fixed app and scale, so the tolerance only absorbs layout-neutral
+drift (memo-table growth points, sample-count changes), not node-size
+regressions, which cost well over 10%.
+
+Baselines are calibrated at the CI smoke scale (--app-scale=0.02
+--app-samples=20) on the compressed trace layout. Recalibrate (run the
+smoke line from .github/workflows/ci.yml and paste the max_live_bytes
+column) when deliberately changing what the trace retains; the wide
+layout (CEAL_WIDE_TRACE) roughly doubles these numbers, so don't gate
+that build with this script.
+
+Usage:
+    check_max_live.py [BENCH_rt.json] [--baseline OTHER_BENCH.json]
+
+With --baseline, per-app baselines come from the other run's
+update_bench rows instead of the embedded table (A/B comparisons).
+"""
+
+import json
+import sys
+
+# Per-app max_live_bytes at smoke scale (compressed trace layout).
+BASELINES = {
+    "filter": 461080,
+    "map": 656248,
+    "minimum": 2449440,
+    "quicksort": 715824,
+    "exptrees": 1312928,
+    "quickhull": 2521760,
+    "rctree-opt": 1581272,
+}
+
+TOLERANCE = 0.10
+
+
+def rows_by_name(path):
+    with open(path) as f:
+        bench = json.load(f)
+    return {row["name"]: row for row in bench.get("update_bench", [])}
+
+
+def main(argv):
+    path = "BENCH_rt.json"
+    baseline_path = None
+    args = argv[1:]
+    while args:
+        a = args.pop(0)
+        if a == "--baseline":
+            baseline_path = args.pop(0)
+        else:
+            path = a
+
+    rows = rows_by_name(path)
+    if baseline_path:
+        base_rows = rows_by_name(baseline_path)
+        baselines = {
+            name: row["max_live_bytes"]
+            for name, row in base_rows.items()
+            if "max_live_bytes" in row
+        }
+    else:
+        baselines = BASELINES
+
+    failures = []
+    for app, base in sorted(baselines.items()):
+        row = rows.get(app)
+        if row is None:
+            failures.append(f"{app}: no update_bench row in {path}")
+            continue
+        live = row.get("max_live_bytes")
+        if live is None:
+            failures.append(f"{app}: row lacks max_live_bytes")
+            continue
+        limit = base * (1 + TOLERANCE)
+        ratio = live / base if base else float("inf")
+        status = "ok" if live <= limit else "FAIL"
+        print(f"{app:10s} max_live_bytes={live:12d}  "
+              f"baseline={base:12d}  ratio={ratio:5.2f}  {status}")
+        if live > limit:
+            failures.append(
+                f"{app}: max_live_bytes {live} exceeds baseline {base} "
+                f"by {100 * (ratio - 1):.1f}% (> {100 * TOLERANCE:.0f}%)")
+
+    if failures:
+        print("\n" + "\n".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

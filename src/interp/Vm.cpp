@@ -72,39 +72,39 @@ Vm::Vm(Runtime &RT, const Program &P) : RT(RT), Prog(P) {
   assert(isNormalForm(P) && "VM requires normalized CL (run NORMALIZE)");
 }
 
-/// Closure layout: [0] substitution slot (read value / block address),
-/// [1] Vm*, [2] function id, [3] substitution position within the CL
-/// arguments (NoSubst if none), [4..] CL argument words. The stored CL
-/// arguments are never mutated (slot [3 + pos] keeps its placeholder), so
-/// memo keys — which cover args [1..] — are stable across re-executions.
+/// Closure layout: [0] Vm*, [1] function id, [2] substitution position
+/// within the CL arguments (NoSubst if none), [3..] CL argument words.
+/// The read value / block address has no frame slot — it arrives in the
+/// trampoline's substitution register. The stored CL arguments are never
+/// mutated (the substitution position keeps its placeholder), so memo
+/// keys — which cover every stored arg — are stable across re-executions.
 Closure *Vm::makeVmClosure(FuncId F, Word SubstPos,
                            const std::vector<Word> &Args) {
   ++ClosuresMade;
   ClosureEnvWords += Args.size();
-  std::vector<Word> Frame(4 + Args.size());
-  Frame[0] = 0;
-  Frame[1] = toWord(this);
-  Frame[2] = F;
-  Frame[3] = SubstPos;
+  std::vector<Word> Frame(3 + Args.size());
+  Frame[0] = toWord(this);
+  Frame[1] = F;
+  Frame[2] = SubstPos;
   for (size_t I = 0; I < Args.size(); ++I)
-    Frame[4 + I] = Args[I];
+    Frame[3 + I] = Args[I];
   return RT.makeRaw(&Vm::vmEntry, Frame.data(), Frame.size());
 }
 
-Closure *Vm::vmEntry(Runtime &RT, Closure *C) {
+Closure *Vm::vmEntry(Runtime &RT, Closure *C, Word Subst) {
   (void)RT;
   const Word *A = C->args();
-  Vm *Self = fromWord<Vm *>(A[1]);
-  auto F = static_cast<FuncId>(A[2]);
-  Word SubstPos = A[3];
-  size_t NumArgs = C->NumArgs - 4;
+  Vm *Self = fromWord<Vm *>(A[0]);
+  auto F = static_cast<FuncId>(A[1]);
+  Word SubstPos = A[2];
+  size_t NumArgs = C->numArgs() - 3;
   const Function &Fn = Self->Prog.Funcs[F];
   std::vector<Word> Regs(Fn.Vars.size(), 0);
   assert(NumArgs == Fn.NumParams && "VM closure arity mismatch");
   for (size_t I = 0; I < NumArgs; ++I)
-    Regs[I] = A[4 + I];
+    Regs[I] = A[3 + I];
   if (SubstPos != NoSubst)
-    Regs[SubstPos] = A[0]; // The read value / block address arrives here.
+    Regs[SubstPos] = Subst; // The read value / block address arrives here.
   return Self->exec(F, std::move(Regs));
 }
 

@@ -72,7 +72,7 @@ public:
 
 private:
   friend struct VmEntryHook;
-  static Closure *vmEntry(Runtime &RT, Closure *C);
+  static Closure *vmEntry(Runtime &RT, Closure *C, Word Subst);
   Closure *exec(cl::FuncId F, std::vector<Word> Regs0);
   Closure *makeVmClosure(cl::FuncId F, Word SubstPos,
                          const std::vector<Word> &Args);

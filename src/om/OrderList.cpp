@@ -20,7 +20,7 @@ OrderList::OrderList() {
   N->Prev = N->Next = nullptr;
   N->Group = G;
   N->Label = UINT64_MAX / 2;
-  N->Item = nullptr;
+  N->Item = 0;
   G->First = N;
   Base = N;
   Size = 1;
@@ -30,7 +30,7 @@ OrderList::OrderList() {
 /// labels left no room, so rebalance (split or relabel) and retry. The
 /// retry loop re-runs the fast-path placement logic because rebalancing
 /// changes group membership and labels.
-OmNode *OrderList::insertAfterSlow(OmNode *X, void *Item) {
+OmNode *OrderList::insertAfterSlow(OmNode *X, OmItem Item) {
   if (AppendActive)
     return appendSlow(X, Item);
   for (;;) {
@@ -65,7 +65,7 @@ OmNode *OrderList::insertAfterSlow(OmNode *X, void *Item) {
 /// resolve by opening a fresh group — O(1) per insertion (the suffix peel
 /// is bounded by GroupLimit and each peeled node prepays the fresh group
 /// it lands in).
-OmNode *OrderList::appendSlow(OmNode *X, void *Item) {
+OmNode *OrderList::appendSlow(OmNode *X, OmItem Item) {
   for (;;) {
     OmGroup *G = X->Group;
     if (X->Next && X->Next->Group == G) {

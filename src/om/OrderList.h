@@ -31,6 +31,18 @@ namespace ceal {
 class OrderList;
 struct OmGroup;
 
+/// The opaque client payload of a timestamp: the run-time system stores a
+/// back-reference to the owning trace node here. Under the compressed
+/// trace layout this is a 32-bit arena handle (with the top bit free for
+/// the end-marker tag — see runtime/Trace.h); under CEAL_WIDE_TRACE it is
+/// pointer-sized and carries raw pointer bits (low-bit tag). Zero means
+/// "no payload" in both.
+#ifdef CEAL_WIDE_TRACE
+using OmItem = uintptr_t;
+#else
+using OmItem = uint32_t;
+#endif
+
 /// One position in the total order. Nodes carry an opaque client payload
 /// (the run-time system stores its trace item here).
 struct OmNode {
@@ -38,7 +50,7 @@ struct OmNode {
   OmNode *Next;
   OmGroup *Group;
   uint64_t Label;
-  void *Item;
+  OmItem Item;
 };
 
 /// A group of up to OrderList::GroupLimit consecutive nodes. Groups carry
@@ -69,7 +81,7 @@ public:
   /// it. The common case — label room between X and its in-group
   /// successor, group under its member limit — is inlined; rebalancing
   /// (group split or item relabel) goes out of line.
-  OmNode *insertAfter(OmNode *X, void *Item = nullptr) {
+  OmNode *insertAfter(OmNode *X, OmItem Item = 0) {
     assert(X && "insertAfter requires a position");
     OmGroup *G = X->Group;
     uint64_t Lo = X->Label;
@@ -156,6 +168,16 @@ public:
   /// Predecessor of \p X in the order, or null if X is base().
   static OmNode *prev(OmNode *X) { return X->Prev; }
 
+  /// Handle minting/resolution against this list's node arena, so trace
+  /// nodes can reference their timestamps in 4 bytes (see Arena::Handle).
+  OmNode *nodeAt(Handle<OmNode> H) const { return Allocator.ptr(H); }
+
+  /// The arena the timestamps live in (memory accounting).
+  const Arena &arena() const { return Allocator; }
+  Handle<OmNode> handleOf(const OmNode *N) const {
+    return Allocator.handle(N);
+  }
+
   /// Pre-reserves node and group storage for about \p ExpectedNodes
   /// further insertions (input-size hint; see Arena::reserve).
   void reserve(size_t ExpectedNodes) {
@@ -192,8 +214,8 @@ private:
   /// relabeling; bound the gap so appends consume label space linearly.
   static constexpr uint64_t AppendGap = uint64_t(1) << 32;
 
-  OmNode *insertAfterSlow(OmNode *X, void *Item);
-  OmNode *appendSlow(OmNode *X, void *Item);
+  OmNode *insertAfterSlow(OmNode *X, OmItem Item);
+  OmNode *appendSlow(OmNode *X, OmItem Item);
   void removeEmptyGroup(OmGroup *G);
   OmGroup *createGroupAfter(OmGroup *G, uint64_t Label);
   /// Creates an empty group after \p G with a label midway to its

@@ -16,12 +16,28 @@
 /// encode/decode pair per (function, signature), which is the same
 /// specialization without a compiler pass.
 ///
+/// Two layout economies keep closures at one word of header plus the
+/// stored arguments:
+///
+///  * The header packs the code pointer (47 bits cover canonical user
+///    addresses on x86-64 and AArch64), the argument count, and the
+///    trace-ownership flag into one uint64_t, checked — not assumed — at
+///    fill time.
+///
+///  * Closures awaiting a value (a read's continuation waiting for the
+///    cell's contents, an allocation initializer waiting for its block)
+///    do not reserve a frame slot for it. The pending value travels in a
+///    trampoline register — the Subst parameter of ClosureFn — and the
+///    "subst" invoker flavor below binds it to the function's first
+///    declared parameter. This removes one word from every traced read.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CEAL_RUNTIME_CLOSURE_H
 #define CEAL_RUNTIME_CLOSURE_H
 
 #include "runtime/Word.h"
+#include "support/Check.h"
 
 #include <cassert>
 #include <tuple>
@@ -34,18 +50,42 @@ struct Closure;
 
 /// The code pointer stored in a closure. Returning a closure continues the
 /// tail-call chain on the active trampoline; returning null ends it.
-using ClosureFn = Closure *(*)(Runtime &, Closure *);
+/// \p Subst carries the pending substitution value (the read value or the
+/// fresh allocation block) for closures built with a placeholder; plain
+/// closures ignore it.
+using ClosureFn = Closure *(*)(Runtime &, Closure *, Word Subst);
 
-/// A heap closure: code pointer plus an inline frame of word arguments.
-/// Allocated from the runtime arena via Runtime::make<Fn>().
+/// A heap closure: a packed one-word header plus an inline frame of word
+/// arguments. Allocated from the runtime arena via Runtime::make<Fn>().
 struct Closure {
-  ClosureFn Fn;
-  uint16_t NumArgs;
+  /// fn (bits 0..46) | numArgs (bits 47..62) | owned-by-trace (bit 63).
+  uint64_t FnBits;
+
+  static constexpr unsigned NumArgsShift = 47;
+  static constexpr uint64_t FnMask = (uint64_t(1) << NumArgsShift) - 1;
+  static constexpr uint64_t OwnedBit = uint64_t(1) << 63;
+
+  ClosureFn fn() const {
+    return reinterpret_cast<ClosureFn>(FnBits & FnMask);
+  }
+  size_t numArgs() const { return (FnBits >> NumArgsShift) & 0xffff; }
   /// Set while the closure is owned by a trace node (a read's closure must
   /// outlive its execution so propagation can re-run it); transient
   /// closures are freed by the trampoline after they run.
-  uint16_t OwnedByTrace;
-  uint32_t Pad = 0;
+  bool ownedByTrace() const { return (FnBits & OwnedBit) != 0; }
+  void setOwnedByTrace(bool Owned) {
+    FnBits = Owned ? (FnBits | OwnedBit) : (FnBits & ~OwnedBit);
+  }
+  /// The header with the ownership bit masked off: function identity plus
+  /// arity, suitable for memo keys.
+  uint64_t identityBits() const { return FnBits & ~OwnedBit; }
+
+  void setHeader(ClosureFn Fn, size_t NumArgs) {
+    auto Code = reinterpret_cast<uint64_t>(Fn);
+    checkAlways((Code & ~FnMask) == 0,
+                "closure code pointer exceeds the 47-bit packed range");
+    FnBits = Code | (uint64_t(NumArgs) << NumArgsShift);
+  }
 
   Word *args() { return reinterpret_cast<Word *>(this + 1); }
   const Word *args() const {
@@ -55,8 +95,10 @@ struct Closure {
   static size_t byteSize(size_t NumArgs) {
     return sizeof(Closure) + NumArgs * sizeof(Word);
   }
-  size_t byteSize() const { return byteSize(NumArgs); }
+  size_t byteSize() const { return byteSize(numArgs()); }
 };
+
+static_assert(sizeof(Closure) == 8, "closure header must be one word");
 
 /// Extracts the declared parameter list of a core function. Core functions
 /// have the shape `Closure *f(Runtime &, T0, T1, ...)` where each Ti is
@@ -71,14 +113,32 @@ namespace detail {
 
 template <auto Fn, typename... As, size_t... I>
 Closure *invokeClosure(Runtime &RT, Closure *C, std::index_sequence<I...>) {
-  assert(C->NumArgs == sizeof...(As) && "closure arity mismatch");
+  assert(C->numArgs() == sizeof...(As) && "closure arity mismatch");
   return Fn(RT, fromWord<As>(C->args()[I])...);
 }
 
 /// The monomorphized trampoline entry for one (function, signature) pair.
+/// Plain flavor: every declared argument is stored in the frame; the
+/// substitution register is unused.
 template <auto Fn, typename... As>
-Closure *closureInvoker(Runtime &RT, Closure *C) {
+Closure *closureInvoker(Runtime &RT, Closure *C, Word /*Subst*/) {
   return invokeClosure<Fn, As...>(RT, C, std::index_sequence_for<As...>{});
+}
+
+template <auto Fn, typename S, typename... Rest, size_t... I>
+Closure *invokeSubstClosure(Runtime &RT, Closure *C, Word Subst,
+                            std::index_sequence<I...>) {
+  assert(C->numArgs() == sizeof...(Rest) && "subst closure arity mismatch");
+  return Fn(RT, fromWord<S>(Subst), fromWord<Rest>(C->args()[I])...);
+}
+
+/// Subst flavor: the function's first declared parameter arrives in the
+/// trampoline's substitution register; only the trailing arguments have
+/// frame slots.
+template <auto Fn, typename S, typename... Rest>
+Closure *substClosureInvoker(Runtime &RT, Closure *C, Word Subst) {
+  return invokeSubstClosure<Fn, S, Rest...>(RT, C, Subst,
+                                            std::index_sequence_for<Rest...>{});
 }
 
 template <auto Fn, typename Tuple> struct ClosureMaker;
@@ -88,11 +148,25 @@ struct ClosureMaker<Fn, std::tuple<As...>> {
   static constexpr ClosureFn Invoker = &closureInvoker<Fn, As...>;
 
   static void fill(Closure *C, As... Vs) {
-    C->Fn = Invoker;
-    C->NumArgs = sizeof...(As);
-    C->OwnedByTrace = 0;
+    C->setHeader(Invoker, sizeof...(As));
     size_t I = 0;
     ((C->args()[I++] = toWord<As>(Vs)), ...);
+    (void)I;
+  }
+};
+
+template <auto Fn, typename Tuple> struct SubstClosureMaker;
+
+template <auto Fn, typename S, typename... Rest>
+struct SubstClosureMaker<Fn, std::tuple<S, Rest...>> {
+  static constexpr ClosureFn Invoker = &substClosureInvoker<Fn, S, Rest...>;
+  /// Frame words: the placeholder parameter has no slot.
+  static constexpr size_t FrameArgs = sizeof...(Rest);
+
+  static void fill(Closure *C, Rest... Vs) {
+    C->setHeader(Invoker, sizeof...(Rest));
+    size_t I = 0;
+    ((C->args()[I++] = toWord<Rest>(Vs)), ...);
     (void)I;
   }
 };

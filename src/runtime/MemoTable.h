@@ -6,14 +6,20 @@
 ///
 /// \file
 /// A small intrusive chained hash table used for the read and allocation
-/// memo indexes. Nodes provide MemoNext/MemoPrev/MemoHash members; key
-/// equality is the caller's business (the table only buckets by hash), so
-/// one template serves both ReadNode and AllocNode.
+/// memo indexes. Nodes embed a MemoLinks record (chain handles plus the
+/// stored hash); key equality is the caller's business (the table only
+/// buckets by hash), so one template serves both ReadNode and AllocNode.
+///
+/// Chain links are 32-bit arena handles (Arena::Handle), which is why the
+/// table carries a reference to the arena that owns its nodes: every
+/// probe resolves handles against that one region base.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CEAL_RUNTIME_MEMOTABLE_H
 #define CEAL_RUNTIME_MEMOTABLE_H
+
+#include "support/Arena.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -29,24 +35,44 @@ inline uint64_t hashMixWord(uint64_t H, uint64_t W) {
   return H;
 }
 
-/// Intrusive chained hash table over NodeT with MemoNext/MemoPrev/MemoHash.
+/// The intrusive memo-chain record every memoized trace node embeds as a
+/// member named `Memo`. Hash stores the low 32 bits of the node's 64-bit
+/// memo hash — the table buckets by those bits, and key comparisons
+/// re-verify the full key anyway, so the upper half buys nothing at the
+/// cost of four bytes per node. Members are deliberately uninitialized
+/// (the RawInit trace-node constructors skip them; Hash is stamped by the
+/// tracing op and the links by table insertion).
+template <typename NodeT> struct MemoLinks {
+  Handle<NodeT> Next;
+  Handle<NodeT> Prev;
+  uint32_t Hash;
+};
+
+/// Intrusive chained hash table over NodeT with a MemoLinks member `Memo`.
+/// All nodes must come from the single Arena the table is bound to.
 template <typename NodeT> class MemoTable {
 public:
-  MemoTable() : Buckets(64, nullptr) {}
+  explicit MemoTable(Arena &A) : Mem(&A), Buckets(64, Handle<NodeT>{}) {}
 
-  /// Inserts \p N; N->MemoHash must already be set.
+  /// Resolves a chain handle (auditors and chain walks).
+  NodeT *resolve(Handle<NodeT> H) const { return Mem->ptr(H); }
+  /// The node after \p N on its chain, or null.
+  NodeT *next(const NodeT *N) const { return Mem->ptr(N->Memo.Next); }
+
+  /// Inserts \p N; N->Memo.Hash must already be set.
   void insert(NodeT *N) {
     // Load factor 1: every chain probe is a dependent cache miss on the
     // propagation hot path, so buckets are kept at least as numerous as
     // entries (growing at 2 measurably lengthened memo lookups).
     if (Count >= Buckets.size())
       grow();
-    size_t Index = bucketIndex(N->MemoHash);
-    N->MemoPrev = nullptr;
-    N->MemoNext = Buckets[Index];
-    if (Buckets[Index])
-      Buckets[Index]->MemoPrev = N;
-    Buckets[Index] = N;
+    size_t Index = bucketIndex(N->Memo.Hash);
+    Handle<NodeT> HN = Mem->handle(N);
+    N->Memo.Prev = Handle<NodeT>{};
+    N->Memo.Next = Buckets[Index];
+    if (NodeT *Head = Mem->ptr(Buckets[Index]))
+      Head->Memo.Prev = HN;
+    Buckets[Index] = HN;
     ++Count;
   }
 
@@ -61,7 +87,7 @@ public:
       rehashTo(Want);
   }
 
-  /// Bulk-inserts \p N nodes (each with MemoHash already set) after a
+  /// Bulk-inserts \p N nodes (each with Memo.Hash already set) after a
   /// single up-front reserve. The initial run inserts every traced
   /// read/alloc into a memo index it will not probe until the first
   /// propagation, so construction defers the inserts and lands them here:
@@ -77,68 +103,76 @@ public:
       if (I + NodeAhead < N)
         __builtin_prefetch(Nodes[I + NodeAhead], 1);
       if (I + BucketAhead < N)
-        __builtin_prefetch(&Buckets[bucketIndex(Nodes[I + BucketAhead]->MemoHash)],
-                           1);
+        __builtin_prefetch(
+            &Buckets[bucketIndex(Nodes[I + BucketAhead]->Memo.Hash)], 1);
       NodeT *Node = Nodes[I];
-      size_t Index = bucketIndex(Node->MemoHash);
-      Node->MemoPrev = nullptr;
-      Node->MemoNext = Buckets[Index];
-      if (Buckets[Index])
-        Buckets[Index]->MemoPrev = Node;
-      Buckets[Index] = Node;
+      size_t Index = bucketIndex(Node->Memo.Hash);
+      Handle<NodeT> HN = Mem->handle(Node);
+      Node->Memo.Prev = Handle<NodeT>{};
+      Node->Memo.Next = Buckets[Index];
+      if (NodeT *Head = Mem->ptr(Buckets[Index]))
+        Head->Memo.Prev = HN;
+      Buckets[Index] = HN;
     }
     Count += N;
   }
 
   /// Removes \p N, which must currently be in the table.
   void remove(NodeT *N) {
-    if (N->MemoPrev)
-      N->MemoPrev->MemoNext = N->MemoNext;
+    if (NodeT *Prev = Mem->ptr(N->Memo.Prev))
+      Prev->Memo.Next = N->Memo.Next;
     else
-      Buckets[bucketIndex(N->MemoHash)] = N->MemoNext;
-    if (N->MemoNext)
-      N->MemoNext->MemoPrev = N->MemoPrev;
-    N->MemoPrev = N->MemoNext = nullptr;
+      Buckets[bucketIndex(N->Memo.Hash)] = N->Memo.Next;
+    if (NodeT *Next = Mem->ptr(N->Memo.Next))
+      Next->Memo.Prev = N->Memo.Prev;
+    N->Memo.Prev = N->Memo.Next = Handle<NodeT>{};
     --Count;
   }
 
   /// Head of the chain that would contain nodes with \p Hash.
-  NodeT *chainHead(uint64_t Hash) const { return Buckets[bucketIndex(Hash)]; }
+  NodeT *chainHead(uint64_t Hash) const {
+    return Mem->ptr(Buckets[bucketIndex(Hash)]);
+  }
 
   size_t size() const { return Count; }
 
   /// Bucket enumeration for auditors (TraceAudit walks every chain to
   /// check acyclicity, hash placement, and membership).
   size_t bucketCount() const { return Buckets.size(); }
-  NodeT *bucketHead(size_t Index) const { return Buckets[Index]; }
+  NodeT *bucketHead(size_t Index) const { return Mem->ptr(Buckets[Index]); }
   /// The bucket \p Hash maps to under the current table size.
   size_t bucketFor(uint64_t Hash) const { return bucketIndex(Hash); }
 
 private:
   size_t bucketIndex(uint64_t Hash) const {
+    // Bucket counts stay well under 2^32, so bucketing by the stored
+    // 32-bit hash and by the full 64-bit hash agree.
     return Hash & (Buckets.size() - 1);
   }
 
   void grow() { rehashTo(Buckets.size() * 4); }
 
   void rehashTo(size_t NewBucketCount) {
-    std::vector<NodeT *> Old = std::move(Buckets);
-    Buckets.assign(NewBucketCount, nullptr);
-    for (NodeT *Chain : Old) {
+    std::vector<Handle<NodeT>> Old = std::move(Buckets);
+    Buckets.assign(NewBucketCount, Handle<NodeT>{});
+    for (Handle<NodeT> ChainH : Old) {
+      NodeT *Chain = Mem->ptr(ChainH);
       while (Chain) {
-        NodeT *Next = Chain->MemoNext;
-        size_t Index = bucketIndex(Chain->MemoHash);
-        Chain->MemoPrev = nullptr;
-        Chain->MemoNext = Buckets[Index];
-        if (Buckets[Index])
-          Buckets[Index]->MemoPrev = Chain;
-        Buckets[Index] = Chain;
+        NodeT *Next = Mem->ptr(Chain->Memo.Next);
+        size_t Index = bucketIndex(Chain->Memo.Hash);
+        Handle<NodeT> HC = Mem->handle(Chain);
+        Chain->Memo.Prev = Handle<NodeT>{};
+        Chain->Memo.Next = Buckets[Index];
+        if (NodeT *Head = Mem->ptr(Buckets[Index]))
+          Head->Memo.Prev = HC;
+        Buckets[Index] = HC;
         Chain = Next;
       }
     }
   }
 
-  std::vector<NodeT *> Buckets;
+  Arena *Mem;
+  std::vector<Handle<NodeT>> Buckets;
   size_t Count = 0;
 };
 

@@ -152,6 +152,64 @@ struct PropagationProfile {
   }
 };
 
+/// Per-kind live-memory accounting, filled by Runtime::memoryStats() from
+/// a meta-phase walk of the trace. Byte counts are arena-accounted (they
+/// include the 8-byte size-class rounding), so the per-kind numbers sum
+/// to what the arena actually charges:
+///
+///   ReadBytes + WriteBytes + AllocBytes + UserBlockBytes + ClosureBytes
+///     + MetaBytes == ArenaLiveBytes
+///
+/// (TraceAudit enforces the same identity). OM timestamps and the memo
+/// bucket arrays live outside the trace arena and are reported
+/// separately.
+struct MemoryStats {
+  uint64_t ReadBytes = 0;      ///< ReadNode records (+ per-node box).
+  uint64_t WriteBytes = 0;     ///< WriteNode records (+ per-node box).
+  uint64_t AllocBytes = 0;     ///< AllocNode records (+ per-node box).
+  uint64_t UserBlockBytes = 0; ///< memo-keyed allocations' user blocks.
+  uint64_t ClosureBytes = 0;   ///< read closures + alloc initializers.
+  uint64_t MetaBytes = 0;      ///< tracked meta blocks (inputs, modrefs).
+  uint64_t OmBytes = 0;        ///< order-list arena live bytes.
+  uint64_t MemoIndexBytes = 0; ///< memo-table bucket arrays (malloc side).
+
+  uint64_t Reads = 0, Writes = 0, Allocs = 0, Timestamps = 0;
+
+  /// Trace-arena occupancy: live vs. high-water vs. touched region.
+  uint64_t ArenaLiveBytes = 0;
+  uint64_t ArenaMaxLiveBytes = 0;
+  uint64_t ArenaBumpUsedBytes = 0;
+
+  /// Fraction of the touched region currently live; the remainder is
+  /// size-class freelist inventory (fragmentation()).
+  double utilization() const {
+    return ArenaBumpUsedBytes
+               ? double(ArenaLiveBytes) / double(ArenaBumpUsedBytes)
+               : 1.0;
+  }
+  double fragmentation() const { return 1.0 - utilization(); }
+
+  /// Emits the stats as one JSON object (no trailing newline).
+  void writeJson(std::ostream &Out) const {
+    Out << "{\"read_bytes\": " << ReadBytes
+        << ", \"write_bytes\": " << WriteBytes
+        << ", \"alloc_bytes\": " << AllocBytes
+        << ", \"user_block_bytes\": " << UserBlockBytes
+        << ", \"closure_bytes\": " << ClosureBytes
+        << ", \"meta_bytes\": " << MetaBytes
+        << ", \"om_bytes\": " << OmBytes
+        << ", \"memo_index_bytes\": " << MemoIndexBytes
+        << ", \"reads\": " << Reads << ", \"writes\": " << Writes
+        << ", \"allocs\": " << Allocs
+        << ", \"timestamps\": " << Timestamps
+        << ", \"arena_live_bytes\": " << ArenaLiveBytes
+        << ", \"arena_max_live_bytes\": " << ArenaMaxLiveBytes
+        << ", \"arena_bump_used_bytes\": " << ArenaBumpUsedBytes
+        << ", \"utilization\": " << utilization()
+        << ", \"fragmentation\": " << fragmentation() << "}";
+  }
+};
+
 /// RAII phase timer. When profiling is disabled the constructor and
 /// destructor each cost one branch; when enabled, one clock read each.
 class ProfileTimer {

@@ -76,7 +76,7 @@ template <typename NodeT> void Runtime::destroyNode(NodeT *N) {
 
 void Runtime::freeClosure(Closure *C) { Mem.deallocate(C, C->byteSize()); }
 
-OmNode *Runtime::stampAfterCursor(void *Item) {
+OmNode *Runtime::stampAfterCursor(OmItem Item) {
   if (Prof.Enabled)
     ++Prof.OmInserts;
   Cursor = Om.insertAfter(Cursor, Item);
@@ -89,17 +89,18 @@ OmNode *Runtime::stampAfterCursor(void *Item) {
 /// through the timestamp and its group) is dead weight. Correct whenever
 /// no interval is being re-executed, independent of any fast-path config.
 void Runtime::insertUseTail(Modref *M, Use *U) {
-  Use *T = M->Tail;
-  assert((!T || OrderList::precedes(T->Start, U->Start)) &&
+  Use *T = Mem.ptr(M->Tail);
+  assert((!T || OrderList::precedes(Om.nodeAt(T->Start), Om.nodeAt(U->Start))) &&
          "construction use out of timestamp order");
-  U->PrevUse = T;
-  U->NextUse = nullptr;
+  Handle<Use> HU = Mem.handle(U);
+  U->PrevUse = M->Tail;
+  U->NextUse = Handle<Use>{};
   if (T)
-    T->NextUse = U;
+    T->NextUse = HU;
   else
-    M->Head = U;
-  M->Tail = U;
-  M->Hint = U;
+    M->Head = HU;
+  M->Tail = HU;
+  M->Hint = HU;
   if (U->Kind == TraceKind::Read)
     static_cast<ReadNode *>(U)->Gov = writeGoverning(U);
   if (Prof.Enabled)
@@ -114,19 +115,21 @@ void Runtime::insertUseTail(Modref *M, Use *U) {
 /// O(uses after the position). Also seeds the governing-write cache from
 /// the predecessor.
 void Runtime::insertUse(Modref *M, Use *U) {
-  Use *T = M->Tail;
-  if (!T || OrderList::precedes(T->Start, U->Start)) {
+  Use *T = Mem.ptr(M->Tail);
+  OmNode *UStart = Om.nodeAt(U->Start);
+  Handle<Use> HU = Mem.handle(U);
+  if (!T || OrderList::precedes(Om.nodeAt(T->Start), UStart)) {
     // Tail append, including the first use of a fresh modifiable: no
     // placement scan, no hint to consult. This is every insertion of the
     // initial run and the overwhelmingly common case in re-execution.
-    U->PrevUse = T;
-    U->NextUse = nullptr;
+    U->PrevUse = M->Tail;
+    U->NextUse = Handle<Use>{};
     if (T)
-      T->NextUse = U;
+      T->NextUse = HU;
     else
-      M->Head = U;
-    M->Tail = U;
-    M->Hint = U;
+      M->Head = HU;
+    M->Tail = HU;
+    M->Hint = HU;
     if (U->Kind == TraceKind::Read)
       static_cast<ReadNode *>(U)->Gov = writeGoverning(U);
     if (Prof.Enabled)
@@ -134,71 +137,75 @@ void Runtime::insertUse(Modref *M, Use *U) {
     return;
   }
   uint64_t Steps = 0;
-  Use *After = M->Hint ? M->Hint : M->Tail;
+  Use *After = M->Hint ? Mem.ptr(M->Hint) : T;
   // Too late: back up until the candidate precedes U.
-  while (After && OrderList::precedes(U->Start, After->Start)) {
-    After = After->PrevUse;
+  while (After && OrderList::precedes(UStart, Om.nodeAt(After->Start))) {
+    After = Mem.ptr(After->PrevUse);
     ++Steps;
   }
   // Too early (stale hint): advance while the successor still precedes U.
   for (;;) {
-    Use *Next = After ? After->NextUse : M->Head;
-    if (!Next || OrderList::precedes(U->Start, Next->Start))
+    Use *Next = After ? Mem.ptr(After->NextUse) : Mem.ptr(M->Head);
+    if (!Next || OrderList::precedes(UStart, Om.nodeAt(Next->Start)))
       break;
     After = Next;
     ++Steps;
   }
-  U->PrevUse = After;
   if (After) {
+    U->PrevUse = Mem.handle(After);
     U->NextUse = After->NextUse;
-    After->NextUse = U;
+    After->NextUse = HU;
   } else {
+    U->PrevUse = Handle<Use>{};
     U->NextUse = M->Head;
-    M->Head = U;
+    M->Head = HU;
   }
   if (U->Kind == TraceKind::Read)
     static_cast<ReadNode *>(U)->Gov = writeGoverning(U);
-  if (U->NextUse)
-    U->NextUse->PrevUse = U;
+  if (Use *Next = Mem.ptr(U->NextUse))
+    Next->PrevUse = HU;
   else
-    M->Tail = U;
-  M->Hint = U;
+    M->Tail = HU;
+  M->Hint = HU;
   S.UseScanSteps += Steps;
   if (Prof.Enabled)
     Prof.UseScan.record(Steps);
 }
 
 void Runtime::unlinkUse(Use *U) {
-  Modref *M = U->Ref;
-  if (M->Hint == U)
+  Modref *M = Mem.ptr(U->Ref);
+  Handle<Use> HU = Mem.handle(U);
+  if (M->Hint == HU)
     M->Hint = U->PrevUse ? U->PrevUse : U->NextUse;
-  if (U->PrevUse)
-    U->PrevUse->NextUse = U->NextUse;
+  if (Use *Prev = Mem.ptr(U->PrevUse))
+    Prev->NextUse = U->NextUse;
   else
     M->Head = U->NextUse;
-  if (U->NextUse)
-    U->NextUse->PrevUse = U->PrevUse;
+  if (Use *Next = Mem.ptr(U->NextUse))
+    Next->PrevUse = U->PrevUse;
   else
     M->Tail = U->PrevUse;
-  U->PrevUse = U->NextUse = nullptr;
+  U->PrevUse = U->NextUse = Handle<Use>{};
 }
 
 /// The value a read at this position observes: the latest preceding
 /// traced write (cached on the read itself), else the modifiable's
 /// meta-written initial value.
 Word Runtime::valueGoverning(const ReadNode *R) const {
-  return R->Gov ? R->Gov->Value : R->Ref->Initial;
+  if (const WriteNode *G = Mem.ptr(R->Gov))
+    return G->Value;
+  return Mem.ptr(R->Ref)->Initial;
 }
 
 /// The latest traced write strictly preceding U in its use list, derived
 /// in O(1): the predecessor is either that write itself or a read whose
 /// cache names it. Writes therefore need not store the cache.
-WriteNode *Runtime::writeGoverning(const Use *U) const {
-  Use *P = U->PrevUse;
+Handle<WriteNode> Runtime::writeGoverning(const Use *U) const {
+  Use *P = Mem.ptr(U->PrevUse);
   if (!P)
-    return nullptr;
+    return Handle<WriteNode>{};
   if (P->Kind == TraceKind::Write)
-    return static_cast<WriteNode *>(P);
+    return handle_cast<WriteNode>(U->PrevUse);
   return static_cast<ReadNode *>(P)->Gov;
 }
 
@@ -222,7 +229,8 @@ void Runtime::modify(Modref *M, Word V) {
   M->Initial = V;
   // Readers governed by the initial value are the prefix of the use list
   // up to the first traced write.
-  for (Use *U = M->Head; U && U->Kind == TraceKind::Read; U = U->NextUse) {
+  for (Use *U = Mem.ptr(M->Head); U && U->Kind == TraceKind::Read;
+       U = Mem.ptr(U->NextUse)) {
     auto *R = static_cast<ReadNode *>(U);
     if (R->SeenValue != V || Cfg.DisableEqualityCut)
       invalidate(R);
@@ -233,12 +241,12 @@ Word Runtime::deref(const Modref *M) const {
   assert(CurPhase == Phase::Meta && "deref is a mutator operation");
   // The latest traced write is the tail itself or the tail's cached
   // governing write; no backward walk.
-  const Use *T = M->Tail;
+  const Use *T = Mem.ptr(M->Tail);
   if (!T)
     return M->Initial;
   const WriteNode *W = T->Kind == TraceKind::Write
                            ? static_cast<const WriteNode *>(T)
-                           : static_cast<const ReadNode *>(T)->Gov;
+                           : Mem.ptr(static_cast<const ReadNode *>(T)->Gov);
   return W ? W->Value : M->Initial;
 }
 
@@ -275,14 +283,19 @@ void Runtime::reserveTrace(size_t ExpectedOps) {
   // Ratios measured across the bench apps: reads and allocations are each
   // roughly a third to a half of traced operations, timestamps about 1.5x
   // (two per read, one per write/alloc), and a traced operation retains
-  // about 128 arena bytes (trace node, closure, user block).
+  // about 80 arena bytes under the compressed node layouts (trace node,
+  // closure, user block).
   ReadMemo.reserve(ExpectedOps / 2);
   AllocMemo.reserve(ExpectedOps / 2);
   PendingReadMemo.reserve(ExpectedOps / 2);
   PendingAllocMemo.reserve(ExpectedOps / 2);
   PendingReads.reserve(ExpectedOps / 2);
   Om.reserve(ExpectedOps + ExpectedOps / 2);
+#ifdef CEAL_WIDE_TRACE
   constexpr size_t BytesPerOp = 128;
+#else
+  constexpr size_t BytesPerOp = 80;
+#endif
   constexpr size_t MaxReserve = size_t(1) << 30;
   Mem.reserve(std::min(ExpectedOps * BytesPerOp, MaxReserve));
 }
@@ -331,6 +344,52 @@ void Runtime::auditNow(const char *Where) const {
   TraceAudit::enforce(*this, Where);
 }
 
+MemoryStats Runtime::memoryStats() const {
+  assert(CurPhase == Phase::Meta &&
+         "memory accounting requires a quiescent trace");
+  MemoryStats S;
+  const size_t Box = Cfg.BoxBytesPerNode;
+  for (const OmNode *N = Om.base()->Next; N; N = N->Next) {
+    ++S.Timestamps;
+    OmItem Item = N->Item;
+    if (!Item || isEndItem(Item))
+      continue;
+    const TraceNode *T = itemNode(Mem, Item);
+    switch (T->Kind) {
+    case TraceKind::Read: {
+      const auto *R = static_cast<const ReadNode *>(T);
+      ++S.Reads;
+      S.ReadBytes += Arena::accountedSize(sizeof(ReadNode) + Box);
+      if (const Closure *C = Mem.ptr(R->Clo))
+        S.ClosureBytes += Arena::accountedSize(C->byteSize());
+      break;
+    }
+    case TraceKind::Write:
+      ++S.Writes;
+      S.WriteBytes += Arena::accountedSize(sizeof(WriteNode) + Box);
+      break;
+    case TraceKind::Alloc: {
+      const auto *A = static_cast<const AllocNode *>(T);
+      ++S.Allocs;
+      S.AllocBytes += Arena::accountedSize(sizeof(AllocNode) + Box);
+      if (const Closure *Init = Mem.ptr(A->Init))
+        S.ClosureBytes += Arena::accountedSize(Init->byteSize());
+      if (A->Size)
+        S.UserBlockBytes += Arena::accountedSize(A->Size);
+      break;
+    }
+    }
+  }
+  S.MetaBytes = MetaBytes;
+  S.OmBytes = Om.arena().liveBytes();
+  S.MemoIndexBytes = ReadMemo.bucketCount() * sizeof(Handle<ReadNode>) +
+                     AllocMemo.bucketCount() * sizeof(Handle<AllocNode>);
+  S.ArenaLiveBytes = Mem.liveBytes();
+  S.ArenaMaxLiveBytes = Mem.maxLiveBytes();
+  S.ArenaBumpUsedBytes = Mem.bumpUsedBytes();
+  return S;
+}
+
 //===----------------------------------------------------------------------===//
 // Execution
 //===----------------------------------------------------------------------===//
@@ -348,8 +407,13 @@ bool Runtime::trampoline(Closure *C) {
   while (C) {
     if (Prof.Enabled)
       ++Prof.ClosureDispatches;
-    Closure *Next = C->Fn(*this, C);
-    if (!C->OwnedByTrace)
+    // Hand the parked substitution value (read value, block address) to
+    // the closure and clear it: only the dispatch immediately after the
+    // read/alloc that parked it may consume it.
+    Word Sub = PendingSubst;
+    PendingSubst = 0;
+    Closure *Next = C->fn()(*this, C, Sub);
+    if (!C->ownedByTrace())
       freeClosure(C);
     C = Next;
     if (SplicedFlag) {
@@ -361,7 +425,7 @@ bool Runtime::trampoline(Closure *C) {
   }
   for (size_t I = PendingReads.size(); I > PendingBase; --I) {
     ReadNode *R = PendingReads[I - 1];
-    R->End = stampAfterCursor(tagEndItem(R));
+    R->End = Om.handleOf(stampAfterCursor(endItemOf(Mem, R)));
   }
   PendingReads.resize(PendingBase);
   return DidSplice;
@@ -369,7 +433,6 @@ bool Runtime::trampoline(Closure *C) {
 
 Closure *Runtime::read(Modref *M, Closure *C) {
   assert(CurPhase != Phase::Meta && "read is a core operation");
-  assert(C->NumArgs >= 1 && "read closure needs a value slot");
   // The modifiable's header line is not touched until the use-list link,
   // ~50ns of node setup from now; start the (usually cold) fill early.
   __builtin_prefetch(M, 1);
@@ -399,32 +462,34 @@ Closure *Runtime::read(Modref *M, Closure *C) {
       ++Prof.MemoLookups;
     if (Hit) {
       ++S.MemoReadHits;
-      assert(!C->OwnedByTrace && "memo-spliced closure must be transient");
+      assert(!C->ownedByTrace() && "memo-spliced closure must be transient");
       freeClosure(C);
-      revokeInterval(Cursor, Hit->Start);
-      Cursor = Hit->End;
+      revokeInterval(Cursor, Om.nodeAt(Hit->Start));
+      Cursor = Om.nodeAt(Hit->End);
       SplicedFlag = true;
       return nullptr;
     }
   }
   ++S.ReadsTraced;
   ReadNode *R = newNode<ReadNode>();
-  R->Ref = M;
-  R->Clo = C;
-  C->OwnedByTrace = 1;
-  R->Start = stampAfterCursor(R);
+  R->Ref = Mem.handle(M);
+  R->Clo = Mem.handle(C);
+  C->setOwnedByTrace(true);
+  R->Start = Om.handleOf(stampAfterCursor(itemOf(Mem, R)));
   if (IntervalEnd)
     insertUse(M, R);
   else
     insertUseTail(M, R);
   Word V = valueGoverning(R);
   R->SeenValue = V;
-  C->args()[0] = V;
+  // The value reaches the closure through the trampoline's substitution
+  // register, not a frame slot (the frame has none for it).
+  PendingSubst = V;
   if (Prof.Enabled)
     ++Prof.MemoInserts;
   // Propagation both probes and revokes the memo index, so its inserts
   // must be immediate; construction defers them to the bulk build.
-  R->MemoHash = Hash;
+  R->Memo.Hash = static_cast<uint32_t>(Hash);
   if (EagerMemo) {
     ReadMemo.insert(R);
   } else {
@@ -439,17 +504,17 @@ void Runtime::write(Modref *M, Word V) {
   __builtin_prefetch(M, 1); // See read(): cold until the use-list link.
   ++S.WritesTraced;
   WriteNode *W = newNode<WriteNode>();
-  W->Ref = M;
+  W->Ref = Mem.handle(M);
   W->Value = V;
-  W->Start = stampAfterCursor(W);
+  W->Start = Om.handleOf(stampAfterCursor(itemOf(Mem, W)));
   if (!M->Head) {
     // Fresh modifiable, no trace history: nothing to scan for placement,
     // no governing-write bookkeeping to derive, no readers downstream to
     // retarget or invalidate. This covers every write of the initial run
     // against a just-allocated modifiable (the common CEAL idiom: each
     // output cell is written exactly once, right after its allocation).
-    W->PrevUse = W->NextUse = nullptr;
-    M->Head = M->Tail = M->Hint = W;
+    W->PrevUse = W->NextUse = Handle<Use>{};
+    M->Head = M->Tail = M->Hint = Mem.handle(static_cast<Use *>(W));
     if (Prof.Enabled)
       Prof.UseScan.record(0);
     return;
@@ -466,10 +531,11 @@ void Runtime::write(Modref *M, Word V) {
   // retarget their governing-write cache and invalidate those that saw a
   // different value. The first non-read successor (if any) is the next
   // write, whose previous-write pointer becomes W.
-  for (Use *U = W->NextUse; U && U->Kind == TraceKind::Read;
-       U = U->NextUse) {
+  Handle<WriteNode> HW = Mem.handle(W);
+  for (Use *U = Mem.ptr(W->NextUse); U && U->Kind == TraceKind::Read;
+       U = Mem.ptr(U->NextUse)) {
     auto *R = static_cast<ReadNode *>(U);
-    R->Gov = W;
+    R->Gov = HW;
     if (R->SeenValue != V || Cfg.DisableEqualityCut)
       invalidate(R);
   }
@@ -477,7 +543,6 @@ void Runtime::write(Modref *M, Word V) {
 
 void *Runtime::allocate(size_t Size, Closure *Init, uint8_t NodeFlags) {
   assert(CurPhase != Phase::Meta && "allocate is a core operation");
-  assert(Init->NumArgs >= 1 && "init closure needs a block slot");
   // Hard failure in all build types: AllocNode::Size is 32-bit, and a
   // truncated size would corrupt the deferred-free accounting.
   checkAlways(Size < UINT32_MAX,
@@ -495,24 +560,25 @@ void *Runtime::allocate(size_t Size, Closure *Init, uint8_t NodeFlags) {
       ++Prof.MemoLookups;
     if (Hit) {
       ++S.MemoAllocHits;
-      void *Block = Hit->Block;
+      Handle<void> BlockH = Hit->Block;
+      void *Block = Mem.ptr(BlockH);
       uint8_t Flags = Hit->Flags;
       // Steal the block: consume the old node and re-trace the
       // allocation at the cursor. The initializer is not re-run — by the
       // correct-usage restrictions (Sec. 4.2) the block was only
       // side-effected by an initializer that is a function of the key.
       AllocMemo.remove(Hit);
-      Om.remove(Hit->Start);
-      freeClosure(Hit->Init);
+      Om.remove(Om.nodeAt(Hit->Start));
+      freeClosure(Mem.ptr(Hit->Init));
       destroyNode(Hit);
       AllocNode *A = newNode<AllocNode>();
       A->Flags = Flags;
-      A->Block = Block;
+      A->Block = BlockH;
       A->Size = static_cast<uint32_t>(Size);
-      A->Init = Init;
-      Init->OwnedByTrace = 1;
-      A->Start = stampAfterCursor(A);
-      A->MemoHash = Hash;
+      A->Init = Mem.handle(Init);
+      Init->setOwnedByTrace(true);
+      A->Start = Om.handleOf(stampAfterCursor(itemOf(Mem, A)));
+      A->Memo.Hash = static_cast<uint32_t>(Hash);
       if (Prof.Enabled)
         ++Prof.MemoInserts;
       AllocMemo.insert(A);
@@ -523,14 +589,14 @@ void *Runtime::allocate(size_t Size, Closure *Init, uint8_t NodeFlags) {
   void *Block = Mem.allocate(Size);
   AllocNode *A = newNode<AllocNode>();
   A->Flags = NodeFlags;
-  A->Block = Block;
+  A->Block = Mem.handle(Block);
   A->Size = static_cast<uint32_t>(Size);
-  A->Init = Init;
-  Init->OwnedByTrace = 1;
-  A->Start = stampAfterCursor(A);
+  A->Init = Mem.handle(Init);
+  Init->setOwnedByTrace(true);
+  A->Start = Om.handleOf(stampAfterCursor(itemOf(Mem, A)));
   if (Prof.Enabled)
     ++Prof.MemoInserts;
-  A->MemoHash = Hash;
+  A->Memo.Hash = static_cast<uint32_t>(Hash);
   if (EagerMemo) {
     AllocMemo.insert(A);
   } else {
@@ -538,17 +604,18 @@ void *Runtime::allocate(size_t Size, Closure *Init, uint8_t NodeFlags) {
   }
   // Run the initializer now; it may not read or write modifiables
   // (correct-usage restriction 2), so it cannot splice or extend traces.
-  Init->args()[0] = toWord(Block);
-  Closure *Result = Init->Fn(*this, Init);
+  // The block address travels in the substitution register.
+  Closure *Result = Init->fn()(*this, Init, toWord(Block));
   assert(!Result && "initializers must not continue a tail-call chain");
   (void)Result;
   return Block;
 }
 
-/// Initializer for dynamically keyed modifiables: the block address is in
-/// slot 0; the remaining slots are memo-key words it ignores.
-static Closure *modrefInitDynamic(Runtime &, Closure *C) {
-  new (fromWord<void *>(C->args()[0])) Modref();
+/// Initializer for dynamically keyed modifiables: the block address
+/// arrives in the substitution register; the frame slots are memo-key
+/// words it ignores.
+static Closure *modrefInitDynamic(Runtime &, Closure *, Word Block) {
+  new (fromWord<void *>(Block)) Modref();
   return nullptr;
 }
 
@@ -557,16 +624,12 @@ Modref *Runtime::coreModrefDynamic(const Word *Keys, size_t NumKeys) {
   // initializer closure in place instead of staging the key words through
   // a heap-allocated frame (the arena closure is needed either way, so
   // this is the minimum — one arena block, no transient allocation).
-  size_t NumArgs = 1 + NumKeys;
-  checkAlways(NumArgs <= UINT16_MAX,
+  checkAlways(NumKeys <= UINT16_MAX,
               "closure arity exceeds the 16-bit frame limit");
-  auto *Init = static_cast<Closure *>(Mem.allocate(Closure::byteSize(NumArgs)));
-  Init->Fn = &modrefInitDynamic;
-  Init->NumArgs = static_cast<uint16_t>(NumArgs);
-  Init->OwnedByTrace = 0;
-  Init->args()[0] = 0; // Block placeholder.
+  auto *Init = static_cast<Closure *>(Mem.allocate(Closure::byteSize(NumKeys)));
+  Init->setHeader(&modrefInitDynamic, NumKeys);
   for (size_t I = 0; I < NumKeys; ++I)
-    Init->args()[1 + I] = Keys[I];
+    Init->args()[I] = Keys[I];
   void *Block = allocate(sizeof(Modref), Init, AllocNode::FlagModref);
   return static_cast<Modref *>(Block);
 }
@@ -600,12 +663,13 @@ void Runtime::reexecute(ReadNode *R) {
   {
     ProfileTimer T(Prof, Prof.ReexecNs);
     R->SeenValue = V;
-    R->Clo->args()[0] = V;
-    Cursor = R->Start;
-    IntervalEnd = R->End;
-    bool Spliced = trampoline(R->Clo);
+    PendingSubst = V; // Consumed by the first trampoline dispatch below.
+    Cursor = Om.nodeAt(R->Start);
+    OmNode *End = Om.nodeAt(R->End);
+    IntervalEnd = End;
+    bool Spliced = trampoline(Mem.ptr(R->Clo));
     if (!Spliced)
-      revokeInterval(Cursor, R->End);
+      revokeInterval(Cursor, End);
     IntervalEnd = nullptr;
   }
   if (ProfOn)
@@ -622,7 +686,7 @@ void Runtime::revokeInterval(OmNode *From, OmNode *To) {
     ++Prof.RevokeCalls;
   OmNode *N = From->Next;
   while (N && N != To) {
-    void *Item = N->Item;
+    OmItem Item = N->Item;
     OmNode *Next = N->Next;
     if (isEndItem(Item)) {
       // Skipped: removed together with its read's start. A read whose
@@ -631,13 +695,13 @@ void Runtime::revokeInterval(OmNode *From, OmNode *To) {
       N = Next;
       continue;
     }
-    auto *T = static_cast<TraceNode *>(Item);
+    TraceNode *T = itemNode(Mem, Item);
     switch (T->Kind) {
     case TraceKind::Read: {
       auto *R = static_cast<ReadNode *>(T);
       // The read's end node is ahead of us and about to be deleted; if it
       // is the immediate successor, step over it.
-      if (R->End == Next)
+      if (Om.nodeAt(R->End) == Next)
         Next = Next->Next;
       revokeRead(R);
       break;
@@ -659,10 +723,10 @@ void Runtime::revokeRead(ReadNode *R) {
     heapRemove(R);
   ReadMemo.remove(R);
   unlinkUse(R);
-  Om.remove(R->Start);
+  Om.remove(Om.nodeAt(R->Start));
   assert(R->End && "revoking a read whose interval is still open");
-  Om.remove(R->End);
-  freeClosure(R->Clo);
+  Om.remove(Om.nodeAt(R->End));
+  freeClosure(Mem.ptr(R->Clo));
   destroyNode(R);
 }
 
@@ -670,27 +734,28 @@ void Runtime::revokeWrite(WriteNode *W) {
   ++S.NodesRevoked;
   // Readers this write governed fall back to the previous write (or the
   // initial value); invalidate those that saw something different.
-  WriteNode *Prev = writeGoverning(W);
-  Word PrevValue = Prev ? Prev->Value : W->Ref->Initial;
-  for (Use *U = W->NextUse; U && U->Kind == TraceKind::Read;
-       U = U->NextUse) {
+  Handle<WriteNode> PrevH = writeGoverning(W);
+  WriteNode *Prev = Mem.ptr(PrevH);
+  Word PrevValue = Prev ? Prev->Value : Mem.ptr(W->Ref)->Initial;
+  for (Use *U = Mem.ptr(W->NextUse); U && U->Kind == TraceKind::Read;
+       U = Mem.ptr(U->NextUse)) {
     auto *R = static_cast<ReadNode *>(U);
     // Retarget the governing-write cache to the write this one shadowed.
-    R->Gov = Prev;
+    R->Gov = PrevH;
     if (R->SeenValue != PrevValue || Cfg.DisableEqualityCut)
       invalidate(R);
   }
   unlinkUse(W);
-  Om.remove(W->Start);
+  Om.remove(Om.nodeAt(W->Start));
   destroyNode(W);
 }
 
 void Runtime::revokeAlloc(AllocNode *A) {
   ++S.NodesRevoked;
   AllocMemo.remove(A);
-  Om.remove(A->Start);
-  freeClosure(A->Init);
-  DeferredFrees.push_back({A->Block, A->Size, A->isModrefBlock()});
+  Om.remove(Om.nodeAt(A->Start));
+  freeClosure(Mem.ptr(A->Init));
+  DeferredFrees.push_back({Mem.ptr(A->Block), A->Size, A->isModrefBlock()});
   destroyNode(A);
 }
 
@@ -709,7 +774,7 @@ void Runtime::flushDeferredFrees() {
         assert(!Arr[I].Head &&
                "collected modifiable still has live uses; core program "
                "violates the correct-usage restrictions");
-        AnyLive |= Arr[I].Head != nullptr;
+        AnyLive |= static_cast<bool>(Arr[I].Head);
       }
       if (AnyLive)
         continue;
@@ -726,17 +791,20 @@ void Runtime::flushDeferredFrees() {
 //===----------------------------------------------------------------------===//
 
 uint64_t Runtime::readMemoHash(const Modref *M, const Closure *C) const {
-  uint64_t H = hashMixWord(0x51ab5eed, reinterpret_cast<uintptr_t>(C->Fn));
+  // identityBits covers the code pointer and the arity; the frame holds
+  // only key words (the pending value has no slot), so every stored
+  // argument participates.
+  uint64_t H = hashMixWord(0x51ab5eed, C->identityBits());
   H = hashMixWord(H, reinterpret_cast<uintptr_t>(M));
-  for (uint16_t I = 1; I < C->NumArgs; ++I)
+  for (size_t I = 0, N = C->numArgs(); I < N; ++I)
     H = hashMixWord(H, C->args()[I]);
   return H;
 }
 
 uint64_t Runtime::allocMemoHash(const Closure *Init, size_t Size) const {
-  uint64_t H = hashMixWord(0xa110c5eed, reinterpret_cast<uintptr_t>(Init->Fn));
+  uint64_t H = hashMixWord(0xa110c5eed, Init->identityBits());
   H = hashMixWord(H, Size);
-  for (uint16_t I = 1; I < Init->NumArgs; ++I)
+  for (size_t I = 0, N = Init->numArgs(); I < N; ++I)
     H = hashMixWord(H, Init->args()[I]);
   return H;
 }
@@ -750,9 +818,9 @@ bool Runtime::inReuseWindow(const OmNode *Start) const {
 }
 
 static bool sameTrailingArgs(const Closure *A, const Closure *B) {
-  if (A->Fn != B->Fn || A->NumArgs != B->NumArgs)
+  if (A->identityBits() != B->identityBits())
     return false;
-  for (uint16_t I = 1; I < A->NumArgs; ++I)
+  for (size_t I = 0, N = A->numArgs(); I < N; ++I)
     if (A->args()[I] != B->args()[I])
       return false;
   return true;
@@ -760,13 +828,16 @@ static bool sameTrailingArgs(const Closure *A, const Closure *B) {
 
 ReadNode *Runtime::findReadMemo(const Modref *M, const Closure *C,
                                 uint64_t Hash) {
+  const uint32_t H32 = static_cast<uint32_t>(Hash);
   ReadNode *Best = nullptr;
-  for (ReadNode *N = ReadMemo.chainHead(Hash); N; N = N->MemoNext) {
-    if (N->MemoHash != Hash || N->Ref != M || !sameTrailingArgs(N->Clo, C))
+  for (ReadNode *N = ReadMemo.chainHead(Hash); N; N = ReadMemo.next(N)) {
+    if (N->Memo.Hash != H32 || Mem.ptr(N->Ref) != M ||
+        !sameTrailingArgs(Mem.ptr(N->Clo), C))
       continue;
-    if (!inReuseWindow(N->Start))
+    if (!inReuseWindow(Om.nodeAt(N->Start)))
       continue;
-    if (!Best || OrderList::precedes(N->Start, Best->Start))
+    if (!Best ||
+        OrderList::precedes(Om.nodeAt(N->Start), Om.nodeAt(Best->Start)))
       Best = N;
   }
   return Best;
@@ -774,14 +845,16 @@ ReadNode *Runtime::findReadMemo(const Modref *M, const Closure *C,
 
 AllocNode *Runtime::findAllocMemo(const Closure *Init, size_t Size,
                                   uint64_t Hash) {
+  const uint32_t H32 = static_cast<uint32_t>(Hash);
   AllocNode *Best = nullptr;
-  for (AllocNode *N = AllocMemo.chainHead(Hash); N; N = N->MemoNext) {
-    if (N->MemoHash != Hash || N->Size != Size ||
-        !sameTrailingArgs(N->Init, Init))
+  for (AllocNode *N = AllocMemo.chainHead(Hash); N; N = AllocMemo.next(N)) {
+    if (N->Memo.Hash != H32 || N->Size != Size ||
+        !sameTrailingArgs(Mem.ptr(N->Init), Init))
       continue;
-    if (!inReuseWindow(N->Start))
+    if (!inReuseWindow(Om.nodeAt(N->Start)))
       continue;
-    if (!Best || OrderList::precedes(N->Start, Best->Start))
+    if (!Best ||
+        OrderList::precedes(Om.nodeAt(N->Start), Om.nodeAt(Best->Start)))
       Best = N;
   }
   return Best;
@@ -791,8 +864,8 @@ AllocNode *Runtime::findAllocMemo(const Closure *Init, size_t Size,
 // Propagation queue: intrusive binary heap ordered by start timestamp
 //===----------------------------------------------------------------------===//
 
-static bool heapLess(const ReadNode *A, const ReadNode *B) {
-  return OrderList::precedes(A->Start, B->Start);
+bool Runtime::heapLess(const ReadNode *A, const ReadNode *B) const {
+  return OrderList::precedes(Om.nodeAt(A->Start), Om.nodeAt(B->Start));
 }
 
 void Runtime::heapPush(ReadNode *R) {
@@ -893,7 +966,7 @@ void Runtime::maybeSimulateGc() {
   for (const OmNode *N = Om.base(); N; N = N->Next) {
     Sink += N->Label;
     if (N->Item && !isEndItem(N->Item))
-      Sink += static_cast<const TraceNode *>(N->Item)->Flags;
+      Sink += itemNode(Mem, N->Item)->Flags;
   }
   asm volatile("" : : "r"(Sink) : "memory");
   GcAllocMark = Mem.totalAllocatedBytes();

@@ -211,9 +211,7 @@ public:
     checkAlways(NumArgs <= UINT16_MAX,
                 "closure arity exceeds the 16-bit frame limit");
     auto *C = static_cast<Closure *>(Mem.allocate(Closure::byteSize(NumArgs)));
-    C->Fn = Fn;
-    C->NumArgs = static_cast<uint16_t>(NumArgs);
-    C->OwnedByTrace = 0;
+    C->setHeader(Fn, NumArgs);
     for (size_t I = 0; I < NumArgs; ++I)
       C->args()[I] = Args[I];
     return C;
@@ -313,6 +311,12 @@ public:
   size_t metaBytes() const { return MetaBytes; }
   const Config &config() const { return Cfg; }
 
+  /// Per-kind live-memory accounting: walks the trace (meta phase only)
+  /// and attributes every live arena byte to reads, writes, allocations,
+  /// user blocks, closures, or meta blocks, alongside OM/memo-index
+  /// footprints and arena occupancy. See MemoryStats in Profile.h.
+  MemoryStats memoryStats() const;
+
   /// Runs the trace sanitizer if Config::Audit is not Off; prints all
   /// violations and aborts if any invariant fails. Must be called from
   /// the meta phase (between runCore/propagate calls).
@@ -335,8 +339,11 @@ private:
     return nullptr;
   }
 
-  /// Builds a closure whose slot 0 is a placeholder to be substituted
-  /// (read value or block address).
+  /// Builds a closure whose first declared parameter is a placeholder
+  /// bound later through the trampoline's substitution register (the read
+  /// value or the allocated block address). The placeholder has no frame
+  /// slot — the frame stores only the trailing arguments, one word less
+  /// than the function's arity.
   template <auto Fn, typename... Rest>
   Closure *makeWithPlaceholder(Rest... Rs) {
     using Traits = CoreFnTraits<decltype(Fn)>;
@@ -351,8 +358,8 @@ private:
   struct makePlaceholderImpl<Fn, std::tuple<T0, As...>> {
     static Closure *fill(Runtime &RT, As... Vs) {
       auto *C = static_cast<Closure *>(
-          RT.Mem.allocate(Closure::byteSize(sizeof...(As) + 1)));
-      detail::ClosureMaker<Fn, std::tuple<T0, As...>>::fill(C, T0{}, Vs...);
+          RT.Mem.allocate(Closure::byteSize(sizeof...(As))));
+      detail::SubstClosureMaker<Fn, std::tuple<T0, As...>>::fill(C, Vs...);
       return C;
     }
   };
@@ -363,12 +370,12 @@ private:
   template <typename NodeT> NodeT *newNode();
   template <typename NodeT> void destroyNode(NodeT *N);
   void freeClosure(Closure *C);
-  OmNode *stampAfterCursor(void *Item);
+  OmNode *stampAfterCursor(OmItem Item);
   void insertUse(Modref *M, Use *U);
   void insertUseTail(Modref *M, Use *U);
   void unlinkUse(Use *U);
   Word valueGoverning(const ReadNode *R) const;
-  WriteNode *writeGoverning(const Use *U) const;
+  Handle<WriteNode> writeGoverning(const Use *U) const;
 
   // Execution.
   bool trampoline(Closure *C);
@@ -402,6 +409,7 @@ private:
   bool inReuseWindow(const OmNode *Start) const;
 
   // Propagation queue (intrusive binary heap ordered by start time).
+  bool heapLess(const ReadNode *A, const ReadNode *B) const;
   void heapPush(ReadNode *R);
   ReadNode *heapPopMin();
   void heapRemove(ReadNode *R);
@@ -414,6 +422,11 @@ private:
   Config Cfg;
   Arena Mem;
   OrderList Om;
+  /// The pending substitution value for the next closure the trampoline
+  /// invokes: read() parks the value seen here, allocate() the fresh
+  /// block. Subst-flavor invokers (makeWithPlaceholder) consume it as
+  /// their first declared parameter; plain closures ignore it.
+  Word PendingSubst = 0;
   OmNode *Cursor;
   /// The maximum stamped position: where a subsequent run_core appends.
   OmNode *TraceEnd;
@@ -423,8 +436,10 @@ private:
 
   std::vector<ReadNode *> PendingReads;
   std::vector<ReadNode *> Heap;
-  MemoTable<ReadNode> ReadMemo;
-  MemoTable<AllocNode> AllocMemo;
+  /// The memo indexes chain through 32-bit handles, so each table is
+  /// bound to the arena that owns its nodes (Mem, declared above).
+  MemoTable<ReadNode> ReadMemo{Mem};
+  MemoTable<AllocNode> AllocMemo{Mem};
   /// Memo-index inserts deferred by the construction fast path; flushed
   /// (bulk-built with an up-front reserve) at the end of run().
   std::vector<ReadNode *> PendingReadMemo;

@@ -14,6 +14,23 @@
 /// modifiable form a per-modifiable list in timestamp order so a write can
 /// invalidate exactly the readers it governs.
 ///
+/// Every inter-node edge is a 32-bit arena handle (Arena::Handle), not a
+/// pointer: trace nodes, closures, and user blocks live in the runtime's
+/// Mem arena, timestamps in the order list's own arena, and each edge
+/// names its target by region offset. That packs the per-node layouts to
+///
+///   TraceNode  8 B   (kind, flags, start timestamp)
+///   Use       20 B   (+ modifiable, prev/next use)
+///   ReadNode  56 B   (+ closure, seen value, end, governing write,
+///                      queue index, memo links)
+///   WriteNode 32 B   (+ value)
+///   AllocNode 32 B   (+ initializer, block, size, memo links)
+///   Modref    24 B   (initial value + head/tail/hint of the use list)
+///
+/// — roughly half the pointer-width layout, which the CEAL_WIDE_TRACE
+/// build keeps available for A/B comparison (handles widen to pointers,
+/// same code shape). See DESIGN.md "Trace memory layout".
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CEAL_RUNTIME_TRACE_H
@@ -21,6 +38,7 @@
 
 #include "om/OrderList.h"
 #include "runtime/Closure.h"
+#include "runtime/MemoTable.h"
 #include "runtime/Word.h"
 
 #include <cstdint>
@@ -28,7 +46,9 @@
 namespace ceal {
 
 struct Modref;
+struct Use;
 struct WriteNode;
+struct ReadNode;
 
 enum class TraceKind : uint8_t {
   Read,
@@ -36,41 +56,33 @@ enum class TraceKind : uint8_t {
   Alloc,
 };
 
-/// Base of all trace nodes. Start is the node's timestamp; its OmNode's
-/// Item pointer refers back to this node (reads additionally tag their end
-/// timestamp, see ReadNode::End).
+/// Base of all trace nodes. Start is the node's timestamp (a handle into
+/// the order list's arena); the timestamp's Item refers back to this node
+/// (reads additionally tag their end timestamp, see ReadNode::End).
 struct TraceNode {
   TraceKind Kind;
   uint8_t Flags;
-  /// Position in the propagation queue, or -1. Meaningful for reads
-  /// only, but stored in the base's padding bytes so ReadNode stays
-  /// within the arena's 96-byte size class (the governing-write cache
-  /// below would otherwise push it into the next class — a 17% size tax
-  /// on the most numerous trace node).
-  int32_t HeapIndex;
-  OmNode *Start;
+  Handle<OmNode> Start;
 
   /// Tag for Runtime::newNode: skip zero-initializing the fields the
   /// tracing hot paths overwrite unconditionally before anything reads
   /// them (every trace node is stamped, linked, and memo-keyed in the
-  /// same traced operation that creates it). Kind, Flags, and HeapIndex
-  /// are still initialized — the dirty bit and queue position must start
-  /// clear no matter who allocates.
+  /// same traced operation that creates it). Kind and Flags are still
+  /// initialized — the dirty bit must start clear no matter who
+  /// allocates (as must ReadNode's queue index, see its RawInit).
   struct RawInit {};
 
-  explicit TraceNode(TraceKind K)
-      : Kind(K), Flags(0), HeapIndex(-1), Start(nullptr) {}
-  TraceNode(TraceKind K, RawInit) : Kind(K), Flags(0), HeapIndex(-1) {}
+  explicit TraceNode(TraceKind K) : Kind(K), Flags(0), Start{} {}
+  TraceNode(TraceKind K, RawInit) : Kind(K), Flags(0) {}
 };
 
 /// Base of per-modifiable uses (reads and writes), linked in time order.
 struct Use : TraceNode {
-  Modref *Ref;
-  Use *PrevUse;
-  Use *NextUse;
+  Handle<Modref> Ref;
+  Handle<Use> PrevUse;
+  Handle<Use> NextUse;
 
-  explicit Use(TraceKind K)
-      : TraceNode(K), Ref(nullptr), PrevUse(nullptr), NextUse(nullptr) {}
+  explicit Use(TraceKind K) : TraceNode(K), Ref{}, PrevUse{}, NextUse{} {}
   Use(TraceKind K, RawInit R) : TraceNode(K, R) {}
 };
 
@@ -80,15 +92,15 @@ struct Use : TraceNode {
 /// change propagation the closure re-executes inside (Start, End).
 struct ReadNode : Use {
   ReadNode()
-      : Use(TraceKind::Read), Clo(nullptr), SeenValue(0), End(nullptr),
-        Gov(nullptr), MemoNext(nullptr), MemoPrev(nullptr), MemoHash(0) {}
-  explicit ReadNode(RawInit R) : Use(TraceKind::Read, R) {}
+      : Use(TraceKind::Read), Clo{}, SeenValue(0), End{}, Gov{},
+        HeapIndex(-1), Memo{} {}
+  explicit ReadNode(RawInit R) : Use(TraceKind::Read, R), HeapIndex(-1) {}
 
   static constexpr uint8_t FlagDirty = 1;
 
-  Closure *Clo;
+  Handle<Closure> Clo;
   Word SeenValue;
-  OmNode *End;
+  Handle<OmNode> End;
   /// Governing-write cache: the latest write strictly preceding this read
   /// in its modifiable's use list — the write whose value the read
   /// observes — or null when the prefix holds no write (the read is
@@ -96,14 +108,13 @@ struct ReadNode : Use {
   /// write / revokeWrite so valueGoverning is O(1) instead of
   /// O(reads since the last write); audited against a full backward walk
   /// by TraceAudit. Only reads carry the cache: a write's governing write
-  /// is derived in O(1) from its predecessor (Runtime::writeGoverning),
-  /// which keeps WriteNode inside the 48-byte size class.
-  WriteNode *Gov;
+  /// is derived in O(1) from its predecessor (Runtime::writeGoverning).
+  Handle<WriteNode> Gov;
+  /// Position in the propagation queue, or -1.
+  int32_t HeapIndex;
 
   /// Memo-table chaining (keyed by modifiable, function, argument words).
-  ReadNode *MemoNext;
-  ReadNode *MemoPrev;
-  uint64_t MemoHash;
+  MemoLinks<ReadNode> Memo;
 
   bool isDirty() const { return Flags & FlagDirty; }
   void setDirty(bool D) {
@@ -126,19 +137,16 @@ struct WriteNode : Use {
 /// downstream reads memo-match (the paper's Sec. 1 "memoization" role).
 struct AllocNode : TraceNode {
   AllocNode()
-      : TraceNode(TraceKind::Alloc), Init(nullptr), Block(nullptr), Size(0),
-        MemoNext(nullptr), MemoPrev(nullptr), MemoHash(0) {}
+      : TraceNode(TraceKind::Alloc), Init{}, Block{}, Size(0), Memo{} {}
   explicit AllocNode(RawInit R) : TraceNode(TraceKind::Alloc, R) {}
 
   static constexpr uint8_t FlagModref = 1;
 
-  Closure *Init;
-  void *Block;
+  Handle<Closure> Init;
+  Handle<void> Block;
   uint32_t Size;
 
-  AllocNode *MemoNext;
-  AllocNode *MemoPrev;
-  uint64_t MemoHash;
+  MemoLinks<AllocNode> Memo;
 
   bool isModrefBlock() const { return Flags & FlagModref; }
 };
@@ -148,35 +156,81 @@ struct AllocNode : TraceNode {
 /// is the value of the latest traced write before t, else Initial.
 struct Modref {
   Word Initial = 0;
-  Use *Head = nullptr;
-  Use *Tail = nullptr;
+  Handle<Use> Head{};
+  Handle<Use> Tail{};
   /// Insertion cursor: the use most recently inserted into (or left
   /// adjacent to an unlink from) this list. Runtime::insertUse starts
   /// its placement scan here instead of at Tail, so runs of nearby
   /// insertions — the common case during mid-interval re-execution —
   /// cost O(distance from the previous insertion) rather than
   /// O(uses after the position). Never dangles: unlinkUse repairs it.
-  Use *Hint = nullptr;
+  Handle<Use> Hint{};
 };
 
-// The size-class contracts behind the HeapIndex and Gov placements above:
-// reads are the bulk of a trace and writes come second, so neither may
-// cross into the next 16-byte arena size class.
-static_assert(sizeof(ReadNode) <= 96, "ReadNode outgrew its size class");
+// The compressed size-class contracts (see the file comment): each layout
+// must exactly fill its 8-byte arena class; growing any of them is a
+// measured regression on every app's max-live footprint, so it fails the
+// build rather than landing silently. The wide build only bounds the
+// layouts loosely — it exists for A/B measurement, not for a contract.
+#ifndef CEAL_WIDE_TRACE
+static_assert(sizeof(TraceNode) == 8, "TraceNode outgrew its packed layout");
+static_assert(sizeof(Use) == 20, "Use outgrew its packed layout");
+static_assert(sizeof(ReadNode) == 56, "ReadNode outgrew its size class");
+static_assert(sizeof(WriteNode) == 32, "WriteNode outgrew its size class");
+static_assert(sizeof(AllocNode) == 32, "AllocNode outgrew its size class");
+static_assert(sizeof(Modref) == 24, "Modref outgrew its size class");
+#else
+static_assert(sizeof(ReadNode) <= 112, "ReadNode outgrew its size class");
 static_assert(sizeof(WriteNode) <= 48, "WriteNode outgrew its size class");
+static_assert(sizeof(AllocNode) <= 64, "AllocNode outgrew its size class");
+#endif
 
-/// Tagging scheme for OmNode::Item. A read's end timestamp points back at
-/// the read with the low bit set so interval walks can tell starts from
-/// ends.
-inline void *tagEndItem(ReadNode *R) {
-  return reinterpret_cast<void *>(reinterpret_cast<uintptr_t>(R) | 1);
+/// Tagging scheme for OmNode::Item (an OmItem — see om/OrderList.h). A
+/// trace node's start timestamp carries the node's Mem-arena handle; a
+/// read's end timestamp carries the read's handle with the tag bit set so
+/// interval walks can tell starts from ends. Compressed items tag bit 31
+/// — which requires the trace arena region to stay under 2^31 grains
+/// (16 GB; the default region is 8 GB) — wide items tag bit 0 of the
+/// pointer (all trace nodes are 8-aligned).
+#ifdef CEAL_WIDE_TRACE
+
+inline OmItem itemOf(const Arena &, const TraceNode *T) {
+  return reinterpret_cast<uintptr_t>(T);
 }
-inline bool isEndItem(void *Item) {
-  return reinterpret_cast<uintptr_t>(Item) & 1;
+inline OmItem endItemOf(const Arena &, const ReadNode *R) {
+  return reinterpret_cast<uintptr_t>(R) | 1;
 }
-inline ReadNode *untagEndItem(void *Item) {
-  return reinterpret_cast<ReadNode *>(reinterpret_cast<uintptr_t>(Item) & ~uintptr_t(1));
+inline bool isEndItem(OmItem I) { return I & 1; }
+inline TraceNode *itemNode(const Arena &, OmItem I) {
+  return reinterpret_cast<TraceNode *>(I);
 }
+inline ReadNode *endItemRead(const Arena &, OmItem I) {
+  return reinterpret_cast<ReadNode *>(I & ~uintptr_t(1));
+}
+
+#else
+
+constexpr OmItem OmItemEndBit = OmItem(1) << 31;
+
+inline OmItem itemOf(const Arena &Mem, const TraceNode *T) {
+  OmItem I = Mem.handle(T).Bits;
+  assert(!(I & OmItemEndBit) && "trace arena outgrew the end-tag bit");
+  return I;
+}
+inline OmItem endItemOf(const Arena &Mem, const ReadNode *R) {
+  OmItem I = Mem.handle(R).Bits;
+  assert(!(I & OmItemEndBit) && "trace arena outgrew the end-tag bit");
+  return I | OmItemEndBit;
+}
+inline bool isEndItem(OmItem I) { return I & OmItemEndBit; }
+inline TraceNode *itemNode(const Arena &Mem, OmItem I) {
+  return Mem.ptr(Handle<TraceNode>(I));
+}
+inline ReadNode *endItemRead(const Arena &Mem, OmItem I) {
+  return Mem.ptr(Handle<ReadNode>(I & ~OmItemEndBit));
+}
+
+#endif
 
 } // namespace ceal
 

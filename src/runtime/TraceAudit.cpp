@@ -79,6 +79,44 @@ struct TraceAudit::Impl {
 
   Impl(const Runtime &R, TraceAudit::Report &Out) : RT(R), Rep(Out) {}
 
+  /// Decodes a trace-arena handle, bounds-checking it against the arena's
+  /// bump frontier first (a corrupted handle must produce a report line,
+  /// not an out-of-region dereference). Returns null for both the null
+  /// handle and a failed check, so callers treat the result like the
+  /// pointer it replaces.
+  template <typename T> const T *decode(Handle<T> H, const char *What) {
+#ifdef CEAL_WIDE_TRACE
+    return H.Ptr;
+#else
+    if (!H.Bits)
+      return nullptr;
+    if (!RT.Mem.handleInBounds(H.Bits)) {
+      fail("%s: handle 0x%x outside the trace arena's allocated region",
+           What, H.Bits);
+      return nullptr;
+    }
+    return RT.Mem.ptr(H);
+#endif
+  }
+
+  /// Same, for timestamp handles (which resolve against the order list's
+  /// own arena).
+  const OmNode *omAt(Handle<OmNode> H, const char *What) {
+#ifdef CEAL_WIDE_TRACE
+    (void)What;
+    return H.Ptr;
+#else
+    if (!H.Bits)
+      return nullptr;
+    if (!RT.Om.Allocator.handleInBounds(H.Bits)) {
+      fail("%s: timestamp handle 0x%x outside the order-list arena", What,
+           H.Bits);
+      return nullptr;
+    }
+    return RT.Om.nodeAt(H);
+#endif
+  }
+
   void fail(const char *Fmt, ...) __attribute__((format(printf, 2, 3))) {
     if (Rep.Violations.size() >= MaxViolations)
       return;
@@ -168,14 +206,22 @@ struct TraceAudit::Impl {
     const OmNode *Last = RT.Om.base();
     for (const OmNode *N = RT.Om.base()->Next; N; N = N->Next) {
       Last = N;
-      void *Item = N->Item;
+      OmItem Item = N->Item;
       if (!Item) {
         fail("trace: non-base timestamp with no payload");
         continue;
       }
+#ifndef CEAL_WIDE_TRACE
+      if (!RT.Mem.handleInBounds(Item & ~OmItemEndBit)) {
+        fail("trace: timestamp payload handle 0x%x outside the trace "
+             "arena's allocated region",
+             unsigned(Item & ~OmItemEndBit));
+        continue;
+      }
+#endif
       if (isEndItem(Item)) {
-        const ReadNode *R = untagEndItem(Item);
-        if (R->End != N)
+        const ReadNode *R = endItemRead(RT.Mem, Item);
+        if (omAt(R->End, "read end") != N)
           fail("trace: end marker not pointed back at by its read");
         if (OpenReads.empty())
           fail("trace: interval end with no open read");
@@ -185,8 +231,8 @@ struct TraceAudit::Impl {
           OpenReads.pop_back();
         continue;
       }
-      const auto *T = static_cast<const TraceNode *>(Item);
-      if (T->Start != N)
+      const TraceNode *T = itemNode(RT.Mem, Item);
+      if (omAt(T->Start, "node start") != N)
         fail("trace: node's Start does not point back at its timestamp");
       if (!LiveNodes.insert(T).second) {
         fail("trace: node stamped at two timestamps");
@@ -196,42 +242,45 @@ struct TraceAudit::Impl {
       case TraceKind::Read: {
         const auto *R = static_cast<const ReadNode *>(T);
         Reads.push_back(R);
-        UsesByRef[R->Ref].push_back(R);
-        if (!R->Ref)
+        const Modref *M = decode(R->Ref, "read modifiable");
+        if (M)
+          UsesByRef[M].push_back(R);
+        else
           fail("read: null modifiable");
         if (!R->End)
           fail("read: interval never closed");
         else
           OpenReads.push_back(R);
-        if (!R->Clo)
+        const Closure *Clo = decode(R->Clo, "read closure");
+        if (!Clo)
           fail("read: null closure");
-        else {
-          if (!R->Clo->OwnedByTrace)
-            fail("read: closure not marked trace-owned");
-          if (R->Clo->NumArgs < 1)
-            fail("read: closure lacks a value slot");
-        }
+        else if (!Clo->ownedByTrace())
+          fail("read: closure not marked trace-owned");
         break;
       }
       case TraceKind::Write: {
         const auto *W = static_cast<const WriteNode *>(T);
         Writes.push_back(W);
-        UsesByRef[W->Ref].push_back(W);
-        if (!W->Ref)
+        const Modref *M = decode(W->Ref, "write modifiable");
+        if (M)
+          UsesByRef[M].push_back(W);
+        else
           fail("write: null modifiable");
         break;
       }
       case TraceKind::Alloc: {
         const auto *A = static_cast<const AllocNode *>(T);
         Allocs.push_back(A);
-        if (!A->Block)
+        const void *Block = decode(A->Block, "alloc block");
+        if (!Block)
           fail("alloc: null block");
-        else if (!Blocks.insert(A->Block).second)
+        else if (!Blocks.insert(Block).second)
           fail("alloc: two live allocations share one block (double "
                "steal?)");
-        if (!A->Init)
+        const Closure *Init = decode(A->Init, "alloc initializer");
+        if (!Init)
           fail("alloc: null initializer closure");
-        else if (!A->Init->OwnedByTrace)
+        else if (!Init->ownedByTrace())
           fail("alloc: initializer not marked trace-owned");
         break;
       }
@@ -267,25 +316,32 @@ struct TraceAudit::Impl {
       // read's O(1) governing-write cache (ReadNode::Gov).
       Word Governing = M->Initial;
       const WriteNode *GovW = nullptr;
-      for (const Use *U = M->Head; U; U = U->NextUse) {
+      for (const Use *U = decode(M->Head, "uselist head"); U;
+           U = decode(U->NextUse, "uselist next")) {
         if (!InList.insert(U).second) {
           fail("uselist: cycle in a modifiable's use list");
           break;
         }
-        if (U->Ref != M)
+        if (decode(U->Ref, "uselist member modifiable") != M)
           fail("uselist: member belongs to a different modifiable");
         if (!LiveNodes.count(U))
           fail("uselist: member is not a live trace node (dangling use)");
-        if (U->PrevUse != Prev)
+        if (decode(U->PrevUse, "uselist prev") != Prev)
           fail("uselist: PrevUse back-link broken");
-        if (Prev && !OrderList::precedes(Prev->Start, U->Start))
-          fail("uselist: uses not sorted by timestamp");
+        if (Prev) {
+          const OmNode *PrevStart = omAt(Prev->Start, "uselist prev start");
+          const OmNode *UStart = omAt(U->Start, "uselist start");
+          if (!PrevStart || !UStart ||
+              !OrderList::precedes(PrevStart, UStart))
+            fail("uselist: uses not sorted by timestamp");
+        }
         if (U->Kind == TraceKind::Read) {
           const auto *R = static_cast<const ReadNode *>(U);
-          if (R->Gov != GovW)
+          if (decode(R->Gov, "governing-write cache") != GovW)
             fail("uselist: governing-write cache out of sync (cached %p, "
                  "walk says %p)",
-                 (const void *)R->Gov, (const void *)GovW);
+                 (const void *)decode(R->Gov, "governing-write cache"),
+                 (const void *)GovW);
           if (!R->isDirty() && R->SeenValue != Governing)
             fail("uselist: clean read's SeenValue differs from the value "
                  "its position governs (equality cut unsound)");
@@ -295,9 +351,9 @@ struct TraceAudit::Impl {
         }
         Prev = U;
       }
-      if (M->Tail != Prev)
+      if (decode(M->Tail, "uselist tail") != Prev)
         fail("uselist: Tail does not point at the last member");
-      if (M->Hint && !InList.count(M->Hint))
+      if (M->Hint && !InList.count(decode(M->Hint, "uselist hint")))
         fail("uselist: insertion hint dangles outside the use list");
       if (InList.size() != TraceUses.size())
         fail("uselist: list has %zu members but the trace has %zu uses "
@@ -323,7 +379,9 @@ struct TraceAudit::Impl {
         fail("heap: entry %zu is not dirty", I);
       if (I > 0) {
         const ReadNode *Parent = Heap[(I - 1) / 2];
-        if (OrderList::precedes(R->Start, Parent->Start))
+        const OmNode *RStart = omAt(R->Start, "heap entry start");
+        const OmNode *PStart = omAt(Parent->Start, "heap parent start");
+        if (RStart && PStart && OrderList::precedes(RStart, PStart))
           fail("heap: min-heap property violated at entry %zu", I);
       }
     }
@@ -352,19 +410,20 @@ struct TraceAudit::Impl {
     std::unordered_set<const NodeT *> InTable;
     for (size_t B = 0; B < Table.bucketCount(); ++B) {
       const NodeT *Prev = nullptr;
-      for (const NodeT *N = Table.bucketHead(B); N; N = N->MemoNext) {
+      for (const NodeT *N = Table.bucketHead(B); N;
+           N = decode(N->Memo.Next, "memo chain next")) {
         if (!InTable.insert(N).second) {
           fail("%s memo: chain cycle in bucket %zu", Name, B);
           break;
         }
-        if (N->MemoPrev != Prev)
-          fail("%s memo: MemoPrev back-link broken", Name);
-        if (Table.bucketFor(N->MemoHash) != B)
+        if (decode(N->Memo.Prev, "memo chain prev") != Prev)
+          fail("%s memo: Memo.Prev back-link broken", Name);
+        if (Table.bucketFor(N->Memo.Hash) != B)
           fail("%s memo: entry hashed to bucket %zu but chained in %zu",
-               Name, Table.bucketFor(N->MemoHash), B);
+               Name, Table.bucketFor(N->Memo.Hash), B);
         if (!LiveNodes.count(N))
           fail("%s memo: entry is not a live trace node", Name);
-        else if (RecomputeHash(N) != N->MemoHash)
+        else if (static_cast<uint32_t>(RecomputeHash(N)) != N->Memo.Hash)
           fail("%s memo: stored hash does not match its key", Name);
         Prev = N;
       }
@@ -382,10 +441,10 @@ struct TraceAudit::Impl {
 
   void checkMemos() {
     checkMemoTable(RT.ReadMemo, "read", Reads, [&](const ReadNode *R) {
-      return RT.readMemoHash(R->Ref, R->Clo);
+      return RT.readMemoHash(RT.Mem.ptr(R->Ref), RT.Mem.ptr(R->Clo));
     });
     checkMemoTable(RT.AllocMemo, "alloc", Allocs, [&](const AllocNode *A) {
-      return RT.allocMemoHash(A->Init, A->Size);
+      return RT.allocMemoHash(RT.Mem.ptr(A->Init), A->Size);
     });
   }
 
@@ -398,8 +457,8 @@ struct TraceAudit::Impl {
     size_t Bytes = 0;
     for (const ReadNode *R : Reads) {
       Bytes += Arena::accountedSize(sizeof(ReadNode) + Box);
-      if (R->Clo)
-        Bytes += Arena::accountedSize(R->Clo->byteSize());
+      if (const Closure *Clo = RT.Mem.ptr(R->Clo))
+        Bytes += Arena::accountedSize(Clo->byteSize());
     }
     for (const WriteNode *W : Writes) {
       (void)W;
@@ -407,8 +466,8 @@ struct TraceAudit::Impl {
     }
     for (const AllocNode *A : Allocs) {
       Bytes += Arena::accountedSize(sizeof(AllocNode) + Box);
-      if (A->Init)
-        Bytes += Arena::accountedSize(A->Init->byteSize());
+      if (const Closure *Init = RT.Mem.ptr(A->Init))
+        Bytes += Arena::accountedSize(Init->byteSize());
       if (A->Size)
         Bytes += Arena::accountedSize(A->Size);
     }

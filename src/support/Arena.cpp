@@ -1,58 +1,80 @@
-//===- support/Arena.cpp - Bump arena with size-class freelists ----------===//
+//===- support/Arena.cpp - Region arena with 32-bit handles --------------===//
 
 #include "support/Arena.h"
+#include "support/Check.h"
 
-#include <cstdlib>
-#include <new>
+#include <sys/mman.h>
 
 using namespace ceal;
 
-Arena::~Arena() {
-  Chunk *C = Chunks;
-  while (C) {
-    Chunk *Next = C->Next;
-    ::operator delete(C);
-    C = Next;
+Arena::Arena(size_t Bytes) {
+  checkAlways(Bytes > 0 && Bytes <= MaxRegionBytes,
+              "Arena region size out of range");
+  // Reserve address space only: MAP_NORESERVE defers physical pages to
+  // first touch, so an 8 GB default region costs nothing until used. If
+  // the kernel refuses (strict overcommit, tiny address space), back off
+  // geometrically — a smaller region just means a lower handle ceiling.
+  constexpr size_t FloorBytes = size_t(256) << 20;
+  size_t Attempt = Bytes;
+  void *Mapped = MAP_FAILED;
+  for (;;) {
+    Mapped = ::mmap(nullptr, Attempt, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (Mapped != MAP_FAILED || Attempt <= FloorBytes || Attempt <= Bytes / 64)
+      break;
+    Attempt /= 2;
   }
+  checkAlways(Mapped != MAP_FAILED, "Arena region mmap failed");
+  Base = static_cast<char *>(Mapped);
+  RegionBytes = Attempt;
+  // Offset 0 encodes the null handle; the first block starts one grain in.
+  BumpPtr = Base + HandleGrain;
+  BumpEnd = Base + RegionBytes;
+}
+
+Arena::~Arena() {
+  if (Base)
+    ::munmap(Base, RegionBytes);
 }
 
 void *Arena::allocateLarge(size_t Size) {
-  LiveBytes += Size;
-  TotalAllocated += Size;
+  size_t Rounded = accountedSize(Size);
+  LiveBytes += Rounded;
+  TotalAllocated += Rounded;
   if (LiveBytes > MaxLiveBytes)
     MaxLiveBytes = LiveBytes;
-  return ::operator new(Size);
-}
-
-void Arena::deallocateLarge(void *Ptr, size_t Size) {
-  assert(LiveBytes >= Size && "freelist accounting underflow");
-  LiveBytes -= Size;
-  ::operator delete(Ptr);
-}
-
-void Arena::newChunk(size_t PayloadBytes) {
-  auto *C = static_cast<Chunk *>(::operator new(Alignment + PayloadBytes));
-  C->Next = Chunks;
-  Chunks = C;
-  BumpPtr = reinterpret_cast<char *>(C) + Alignment;
-  BumpEnd = BumpPtr + PayloadBytes;
-}
-
-void *Arena::allocateSlow(size_t RoundedSize) {
-  newChunk(NextChunkBytes - Alignment);
-  // Refills grow geometrically so a large trace pays O(log bytes) chunk
-  // allocations; the cap bounds the over-reserve at the trace's tail.
-  if (NextChunkBytes < MaxChunkSize)
-    NextChunkBytes *= 2;
-  assert(BumpPtr + RoundedSize <= BumpEnd && "chunk too small for class");
-  void *Result = BumpPtr;
-  BumpPtr += RoundedSize;
+  auto It = LargeFree.find(Rounded);
+  if (It != LargeFree.end() && It->second) {
+    FreeCell *Cell = It->second;
+    It->second = Cell->Next;
+    return Cell;
+  }
+  char *Result = BumpPtr;
+  if (Result + Rounded > BumpEnd)
+    regionExhausted();
+  BumpPtr = Result + Rounded;
   return Result;
 }
 
-void Arena::reserve(size_t Bytes) {
-  if (static_cast<size_t>(BumpEnd - BumpPtr) >= Bytes)
-    return;
-  newChunk(Bytes);
+void Arena::deallocateLarge(void *Ptr, size_t Size) {
+  size_t Rounded = accountedSize(Size);
+  assert(LiveBytes >= Rounded && "freelist accounting underflow");
+  LiveBytes -= Rounded;
+  auto *Cell = static_cast<FreeCell *>(Ptr);
+  FreeCell *&Head = LargeFree[Rounded];
+  Cell->Next = Head;
+  Head = Cell;
 }
 
+void Arena::regionExhausted() const {
+  fatalError("Arena region exhausted: trace outgrew the 32-bit handle "
+             "space (construct the Arena with a larger region, up to "
+             "Arena::MaxRegionBytes)");
+}
+
+void Arena::reserve(size_t Bytes) {
+  // One contiguous region exists from construction; a reservation can
+  // only check that the burst will fit below the handle ceiling.
+  if (static_cast<size_t>(BumpEnd - BumpPtr) < Bytes)
+    regionExhausted();
+}

@@ -1,16 +1,33 @@
-//===- support/Arena.h - Bump arena with size-class freelists --*- C++ -*-===//
+//===- support/Arena.h - Region arena with 32-bit handles ------*- C++ -*-===//
 //
 // Part of the CEAL reproduction. MIT license; see LICENSE.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A bump allocator with per-size-class freelists. The self-adjusting
-/// run-time system allocates all trace structures (timestamps, trace nodes,
-/// closures, user blocks) from an Arena so that (a) allocation is a pointer
-/// bump, (b) freed trace structures are recycled without touching malloc,
-/// and (c) the high-water mark of live bytes gives the "max live" metric
-/// the paper reports in Tables 1 and 2.
+/// A region-based bump allocator with per-size-class freelists and 32-bit
+/// block handles. The self-adjusting run-time system allocates all trace
+/// structures (timestamps, trace nodes, closures, user blocks) from an
+/// Arena so that (a) allocation is a pointer bump, (b) freed trace
+/// structures are recycled without touching malloc, (c) the high-water
+/// mark of live bytes gives the "max live" metric the paper reports in
+/// Tables 1 and 2, and (d) every block is addressable by a 32-bit Handle
+/// — half the width of a pointer — so trace nodes can link to each other
+/// in 4 bytes per edge instead of 8.
+///
+/// Handles work because each Arena owns one contiguous virtual-memory
+/// region (mmap with MAP_NORESERVE: address space is reserved up front,
+/// physical pages materialize only when touched). A Handle is the block's
+/// byte offset into the region divided by the 8-byte allocation grain;
+/// handle 0 is reserved as null (the bump pointer starts past offset 0).
+/// The default 8 GB region keeps every handle below 2^30, leaving the
+/// top handle bits free for client tags (the trace end-timestamp tag).
+/// Exhausting the region — minting a handle past the 32-bit-addressable
+/// space — is a checkAlways hard failure, never a silent wrap.
+///
+/// Under the CEAL_WIDE_TRACE build (see the CMake option of the same
+/// name) Handle<T> widens to a plain pointer with the same API, so the
+/// pre-compression trace layout stays buildable for A/B measurement.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,26 +38,87 @@
 #include <cstddef>
 #include <cstdint>
 #include <new>
+#include <unordered_map>
 
 namespace ceal {
 
-/// A bump allocator with size-class freelists and live-byte accounting.
+/// A 32-bit reference to a block in an Arena region (or, under
+/// CEAL_WIDE_TRACE, a plain pointer with the same interface). Resolution
+/// goes through the owning Arena: `A.ptr(H)` and `A.handle(P)`.
+/// Default-constructed handles are null and test false.
+/// Like a raw pointer, the default constructor leaves a Handle
+/// uninitialized (so the trace's RawInit node constructors stay free of
+/// dead stores); value-initialize — `Handle<T>{}` or `Handle<T>()` — for
+/// the null handle.
+#ifdef CEAL_WIDE_TRACE
+template <typename T> struct Handle {
+  T *Ptr;
+
+  Handle() = default;
+  explicit Handle(T *P) : Ptr(P) {}
+  explicit operator bool() const { return Ptr != nullptr; }
+  bool operator==(const Handle &O) const { return Ptr == O.Ptr; }
+  bool operator!=(const Handle &O) const { return Ptr != O.Ptr; }
+};
+#else
+template <typename T> struct Handle {
+  uint32_t Bits;
+
+  Handle() = default;
+  explicit Handle(uint32_t B) : Bits(B) {}
+  explicit operator bool() const { return Bits != 0; }
+  bool operator==(const Handle &O) const { return Bits == O.Bits; }
+  bool operator!=(const Handle &O) const { return Bits != O.Bits; }
+};
+
+static_assert(sizeof(Handle<int>) == 4, "Handle must be half a pointer");
+#endif
+
+/// Re-types a handle along a static_cast-compatible hierarchy edge (e.g.
+/// Handle<Use> -> Handle<WriteNode> after inspecting the node's Kind).
+/// Valid only for single-inheritance chains where the addresses coincide.
+template <typename To, typename From>
+inline Handle<To> handle_cast(Handle<From> H) {
+#ifdef CEAL_WIDE_TRACE
+  return Handle<To>(static_cast<To *>(H.Ptr));
+#else
+  return Handle<To>(H.Bits);
+#endif
+}
+
+/// A single-region bump allocator with size-class freelists, live-byte
+/// accounting, and handle minting.
 ///
-/// Blocks up to MaxSmallSize bytes are rounded to 16-byte classes and
-/// recycled through freelists; larger blocks fall back to operator new and
-/// are freed eagerly. All small storage is released when the arena is
-/// destroyed, so clients may drop whole traces in O(#chunks).
+/// Blocks up to MaxSmallSize bytes are rounded to 8-byte classes and
+/// recycled through per-class freelists; larger blocks are bump-allocated
+/// from the same region and recycled through a per-size side table, so
+/// *every* block — including large user allocations that contain interior
+/// trace structures — lives inside the region and is handle-addressable.
+/// The whole region is released when the arena is destroyed, so clients
+/// may drop whole traces in O(1).
 class Arena {
 public:
-  Arena() = default;
+  /// Allocation grain: every block size is a multiple of this, every
+  /// block address is aligned to it, and handles count in units of it.
+  static constexpr size_t HandleGrain = 8;
+  /// Default virtual region per arena. Address space only (MAP_NORESERVE)
+  /// — the committed footprint is just the pages ever touched.
+  static constexpr size_t DefaultRegionBytes = size_t(8) << 30;
+  /// Hard cap: offsets must stay handle-encodable (2^32 grains).
+  static constexpr size_t MaxRegionBytes = (size_t(1) << 32) * HandleGrain;
+
+  /// Maps a region of \p RegionBytes (rounded up to the page size). If
+  /// the mmap fails, retries at geometrically smaller sizes down to a
+  /// floor before giving up with a fatal error.
+  explicit Arena(size_t RegionBytes = DefaultRegionBytes);
   Arena(const Arena &) = delete;
   Arena &operator=(const Arena &) = delete;
   ~Arena();
 
-  /// Allocates \p Size bytes aligned to 16. Defined in the header so the
-  /// size-class fast path (freelist pop or pointer bump) inlines into the
-  /// trace hot paths; the chunk refill and the rare large-block path stay
-  /// out of line.
+  /// Allocates \p Size bytes aligned to HandleGrain. Defined in the
+  /// header so the size-class fast path (freelist pop or pointer bump)
+  /// inlines into the trace hot paths; the large-block path stays out of
+  /// line.
   void *allocate(size_t Size) {
     assert(Size > 0 && "zero-size allocation");
     ++AllocCount;
@@ -56,12 +134,11 @@ public:
       FreeLists[Index] = Cell->Next;
       return Cell;
     }
-    if (BumpPtr + Rounded <= BumpEnd) {
-      void *Result = BumpPtr;
-      BumpPtr += Rounded;
-      return Result;
-    }
-    return allocateSlow(Rounded);
+    char *Result = BumpPtr;
+    if (Result + Rounded > BumpEnd)
+      regionExhausted();
+    BumpPtr = Result + Rounded;
+    return Result;
   }
 
   /// Returns a block previously obtained from allocate() with \p Size.
@@ -90,21 +167,65 @@ public:
     deallocate(Ptr, sizeof(T));
   }
 
-  /// Pre-reserves at least \p Bytes of contiguous bump space (an
-  /// input-size hint: one chunk allocation up front instead of a refill
-  /// per chunk during trace construction). The current chunk's remaining
-  /// tail is abandoned if it is too small, so call this before a large
-  /// allocation burst, not inside one. No effect on liveBytes().
+  /// Resolves a handle minted by this arena to a pointer (null for the
+  /// null handle). O(1): one shift and one add off the region base.
+  template <typename T> T *ptr(Handle<T> H) const {
+#ifdef CEAL_WIDE_TRACE
+    return H.Ptr;
+#else
+    if (!H.Bits)
+      return nullptr;
+    return reinterpret_cast<T *>(Base + uint64_t(H.Bits) * HandleGrain);
+#endif
+  }
+
+  /// Mints the handle for a block obtained from this arena's allocate().
+  /// O(1): a subtract and a shift. Null pointers mint the null handle.
+  template <typename T> Handle<T> handle(const T *P) const {
+#ifdef CEAL_WIDE_TRACE
+    return Handle<T>(const_cast<T *>(P));
+#else
+    if (!P)
+      return Handle<T>();
+    uintptr_t Off = reinterpret_cast<uintptr_t>(P) -
+                    reinterpret_cast<uintptr_t>(Base);
+    assert(Off >= HandleGrain && Off < RegionBytes &&
+           (Off % HandleGrain) == 0 && "pointer not from this arena");
+    return Handle<T>(static_cast<uint32_t>(Off / HandleGrain));
+#endif
+  }
+
+  /// True if \p Bits decodes to an address inside the bump-allocated part
+  /// of the region (auditors bounds-check every handle through this; it
+  /// accepts any in-bounds offset, not just live-block starts).
+  bool handleInBounds(uint32_t Bits) const {
+    return uint64_t(Bits) * HandleGrain <
+           static_cast<uint64_t>(BumpPtr - Base);
+  }
+
+  /// The region's base address (auditors only).
+  const void *regionBase() const { return Base; }
+  /// Total virtual bytes this arena's region spans.
+  size_t regionBytes() const { return RegionBytes; }
+  /// Bytes of the region consumed by the bump pointer so far (includes
+  /// blocks currently parked on freelists).
+  size_t bumpUsedBytes() const { return static_cast<size_t>(BumpPtr - Base); }
+
+  /// Pre-reserves bump space for \p Bytes of upcoming allocations. With a
+  /// single up-front region this is an overflow pre-check only — the
+  /// address space is already contiguous — kept as an API so callers can
+  /// fail fast before a burst rather than mid-trace.
   void reserve(size_t Bytes);
 
   /// Bytes currently handed out to clients.
   size_t liveBytes() const { return LiveBytes; }
 
-  /// How many liveBytes a block of \p Size accounts for: small sizes
-  /// round up to their 16-byte class, large ones are exact. Auditors use
-  /// this to reconcile external bookkeeping with liveBytes().
+  /// How many liveBytes a block of \p Size accounts for: all sizes round
+  /// up to the 8-byte grain, small ones to their size class (the same
+  /// thing — classes are grain-spaced). Auditors use this to reconcile
+  /// external bookkeeping with liveBytes().
   static size_t accountedSize(size_t Size) {
-    return Size > MaxSmallSize ? Size : classSize(classIndex(Size));
+    return (Size + HandleGrain - 1) & ~(HandleGrain - 1);
   }
 
   /// High-water mark of liveBytes() since construction (or resetStats()).
@@ -122,40 +243,32 @@ public:
     AllocCount = 0;
   }
 
-private:
-  static constexpr size_t Alignment = 16;
   static constexpr size_t MaxSmallSize = 512;
-  static constexpr size_t NumClasses = MaxSmallSize / Alignment;
-  static constexpr size_t ChunkSize = 1 << 20;
-  /// Chunk sizes double per refill up to this cap, so a trace of B bytes
-  /// takes O(log B) refills instead of B / ChunkSize.
-  static constexpr size_t MaxChunkSize = size_t(1) << 25;
+
+private:
+  static constexpr size_t NumClasses = MaxSmallSize / HandleGrain;
 
   struct FreeCell {
     FreeCell *Next;
   };
-  struct Chunk {
-    Chunk *Next;
-    // Payload follows.
-  };
 
   static size_t classIndex(size_t Size) {
     assert(Size > 0 && Size <= MaxSmallSize && "not a small size");
-    return (Size + Alignment - 1) / Alignment - 1;
+    return (Size + HandleGrain - 1) / HandleGrain - 1;
   }
-  static size_t classSize(size_t Index) { return (Index + 1) * Alignment; }
+  static size_t classSize(size_t Index) { return (Index + 1) * HandleGrain; }
 
-  void *allocateSlow(size_t RoundedSize);
   void *allocateLarge(size_t Size);
   void deallocateLarge(void *Ptr, size_t Size);
-  /// Installs a fresh chunk with \p PayloadBytes of bump space.
-  void newChunk(size_t PayloadBytes);
+  [[noreturn]] void regionExhausted() const;
 
-  Chunk *Chunks = nullptr;
+  char *Base = nullptr;
   char *BumpPtr = nullptr;
   char *BumpEnd = nullptr;
-  size_t NextChunkBytes = ChunkSize;
+  size_t RegionBytes = 0;
   FreeCell *FreeLists[NumClasses] = {};
+  /// Freelists for recycled large blocks, keyed by grain-rounded size.
+  std::unordered_map<size_t, FreeCell *> LargeFree;
 
   size_t LiveBytes = 0;
   size_t MaxLiveBytes = 0;

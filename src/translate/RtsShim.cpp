@@ -3,14 +3,16 @@
 // Closure layout used for compiled C functions (cf. interp/Vm.cpp, which
 // uses the same scheme for interpreted functions):
 //
-//   args[0]  substitution slot — Runtime::read / Runtime::allocate write
-//            the read value / block address here;
-//   args[1]  the C function pointer;
-//   args[2]  its arity;
-//   args[3]  the index of the parameter that receives args[0]
-//            (~0 if none);
-//   args[4+] the parameter words (the substitution position holds a 0
+//   args[0]  the C function pointer;
+//   args[1]  its arity;
+//   args[2]  the index of the parameter that receives the substitution
+//            value (~0 if none);
+//   args[3+] the parameter words (the substitution position holds a 0
 //            placeholder so memo keys stay stable).
+//
+// The substitution value itself (read value, block address) has no frame
+// slot: the runtime hands it to the invoker in the trampoline's
+// substitution register (the ClosureFn Subst parameter).
 //
 //===----------------------------------------------------------------------===//
 
@@ -96,24 +98,24 @@ Closure *callCFunction(void *Fn, const Word *W, size_t N) {
 }
 
 /// The trampoline entry for shim closures.
-Closure *shimInvoker(Runtime &, Closure *C) {
+Closure *shimInvoker(Runtime &, Closure *C, Word Subst) {
   const Word *A = C->args();
-  void *Fn = fromWord<void *>(A[1]);
-  size_t N = static_cast<size_t>(A[2]);
-  Word SubstPos = A[3];
-  assert(C->NumArgs == N + 4 && "shim closure frame corrupt");
+  void *Fn = fromWord<void *>(A[0]);
+  size_t N = static_cast<size_t>(A[1]);
+  Word SubstPos = A[2];
+  assert(C->numArgs() == N + 3 && "shim closure frame corrupt");
   // Initializers of modifiables are handled in the shim itself: the
-  // block address arrives in the substitution slot.
+  // block address arrives in the substitution register.
   if (Fn == reinterpret_cast<void *>(&modref_init)) {
-    new (fromWord<void *>(A[0])) Modref();
+    new (fromWord<void *>(Subst)) Modref();
     return nullptr;
   }
   Word W[shim::MaxCArity];
   assert(N <= shim::MaxCArity && "compiled function arity exceeds limit");
   for (size_t I = 0; I < N; ++I)
-    W[I] = A[4 + I];
+    W[I] = A[3 + I];
   if (SubstPos != NoSubst)
-    W[SubstPos] = A[0];
+    W[SubstPos] = Subst;
   return callCFunction(Fn, W, N);
 }
 
@@ -124,13 +126,12 @@ Runtime *shim::currentRuntime() { return GlobalRT; }
 
 Closure *shim::makeEntryClosure(Runtime &RT, void *CFn,
                                 const std::vector<Word> &Args) {
-  std::vector<Word> Frame(4 + Args.size());
-  Frame[0] = 0;
-  Frame[1] = toWord(CFn);
-  Frame[2] = Args.size();
-  Frame[3] = NoSubst;
+  std::vector<Word> Frame(3 + Args.size());
+  Frame[0] = toWord(CFn);
+  Frame[1] = Args.size();
+  Frame[2] = NoSubst;
   for (size_t I = 0; I < Args.size(); ++I)
-    Frame[4 + I] = Args[I];
+    Frame[3 + I] = Args[I];
   return RT.makeRaw(&shimInvoker, Frame.data(), Frame.size());
 }
 
@@ -141,20 +142,19 @@ Closure *shim::makeEntryClosure(Runtime &RT, void *CFn,
 Closure *ceal_closure_make_words(void *Fn, int NumArgs,
                                  const intptr_t *Args) {
   Runtime &RT = rt();
-  std::vector<Word> Frame(4 + NumArgs);
-  Frame[0] = 0;
-  Frame[1] = toWord(Fn);
-  Frame[2] = static_cast<Word>(NumArgs);
-  Frame[3] = NoSubst;
+  std::vector<Word> Frame(3 + NumArgs);
+  Frame[0] = toWord(Fn);
+  Frame[1] = static_cast<Word>(NumArgs);
+  Frame[2] = NoSubst;
   for (int I = 0; I < NumArgs; ++I)
-    Frame[4 + I] = static_cast<Word>(Args[I]);
+    Frame[3 + I] = static_cast<Word>(Args[I]);
   return RT.makeRaw(&shimInvoker, Frame.data(), Frame.size());
 }
 
 Closure *ceal_closure_with_subst(Closure *C, int Pos) {
-  assert(Pos >= 0 && static_cast<Word>(Pos) < C->args()[2] &&
+  assert(Pos >= 0 && static_cast<Word>(Pos) < C->args()[1] &&
          "substitution position out of range");
-  C->args()[3] = static_cast<Word>(Pos);
+  C->args()[2] = static_cast<Word>(Pos);
   return C;
 }
 
@@ -178,8 +178,8 @@ void *allocate(size_t N, Closure *C) {
   // Blocks initialized by modref_init are modifiables and participate in
   // the runtime's trace collection accordingly.
   uint8_t Flags = 0;
-  if (C->NumArgs >= 2 &&
-      fromWord<void *>(C->args()[1]) ==
+  if (C->numArgs() >= 1 &&
+      fromWord<void *>(C->args()[0]) ==
           reinterpret_cast<void *>(&modref_init))
     Flags = AllocNode::FlagModref;
   return rt().allocate(N, C, Flags);

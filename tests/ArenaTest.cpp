@@ -22,19 +22,19 @@ TEST(Arena, AllocateAndReuse) {
 TEST(Arena, LiveByteAccounting) {
   Arena A;
   EXPECT_EQ(A.liveBytes(), 0u);
-  void *P = A.allocate(100); // Rounds to 112.
-  EXPECT_EQ(A.liveBytes(), 112u);
+  void *P = A.allocate(100); // Rounds to 104 (8-byte classes).
+  EXPECT_EQ(A.liveBytes(), 104u);
   void *Q = A.allocate(16);
-  EXPECT_EQ(A.liveBytes(), 128u);
+  EXPECT_EQ(A.liveBytes(), 120u);
   A.deallocate(P, 100);
   EXPECT_EQ(A.liveBytes(), 16u);
-  EXPECT_EQ(A.maxLiveBytes(), 128u);
+  EXPECT_EQ(A.maxLiveBytes(), 120u);
   A.deallocate(Q, 16);
   EXPECT_EQ(A.liveBytes(), 0u);
-  EXPECT_EQ(A.maxLiveBytes(), 128u);
+  EXPECT_EQ(A.maxLiveBytes(), 120u);
 }
 
-TEST(Arena, LargeBlocksBypassFreelists) {
+TEST(Arena, LargeBlocksAccountAndRecycle) {
   Arena A;
   void *P = A.allocate(1 << 16);
   ASSERT_NE(P, nullptr);
@@ -42,6 +42,11 @@ TEST(Arena, LargeBlocksBypassFreelists) {
   EXPECT_EQ(A.liveBytes(), size_t(1) << 16);
   A.deallocate(P, 1 << 16);
   EXPECT_EQ(A.liveBytes(), 0u);
+  // Large blocks stay inside the region and recycle by exact size, so
+  // user blocks holding interior trace structures keep stable addresses.
+  void *Q = A.allocate(1 << 16);
+  EXPECT_EQ(Q, P);
+  A.deallocate(Q, 1 << 16);
 }
 
 TEST(Arena, DistinctBlocksDoNotOverlap) {
@@ -84,6 +89,63 @@ TEST(Arena, ReserveIsIdempotentWhenSpaceRemains) {
   A.reserve(1 << 10); // Far below the remaining headroom.
   auto *Q = static_cast<char *>(A.allocate(64));
   EXPECT_EQ(Q, P + 64);
+}
+
+TEST(Arena, HandleRoundTrip) {
+  // Every block — small, class-boundary, large — must mint a non-null
+  // handle that resolves back to the same address; null round-trips too.
+  Arena A;
+  EXPECT_EQ(A.ptr(Handle<int>()), nullptr);
+  EXPECT_FALSE(A.handle<int>(nullptr));
+  std::vector<std::pair<int *, Handle<int>>> Minted;
+  for (size_t Size : {8u, 24u, 512u, 4096u}) {
+    auto *P = static_cast<int *>(A.allocate(Size));
+    Handle<int> H = A.handle(P);
+    ASSERT_TRUE(static_cast<bool>(H));
+    EXPECT_EQ(A.ptr(H), P);
+    Minted.push_back({P, H});
+  }
+  // Handles are stable identities: distinct blocks, distinct handles.
+  for (size_t I = 0; I < Minted.size(); ++I)
+    for (size_t J = I + 1; J < Minted.size(); ++J)
+      EXPECT_NE(Minted[I].second, Minted[J].second);
+}
+
+#ifndef CEAL_WIDE_TRACE
+TEST(Arena, HandleBoundsTrackBumpFrontier) {
+  Arena A;
+  auto *P = static_cast<char *>(A.allocate(64));
+  Handle<char> H = A.handle(P);
+  EXPECT_TRUE(A.handleInBounds(H.Bits));
+  // An offset past everything ever bump-allocated must be rejected —
+  // this is the auditor's decode-time check against corrupt handles.
+  EXPECT_FALSE(A.handleInBounds(
+      static_cast<uint32_t>(A.bumpUsedBytes() / Arena::HandleGrain + 8)));
+  A.deallocate(P, 64);
+}
+#endif
+
+TEST(ArenaDeathTest, RegionOverflowIsACheckedFailure) {
+  // Minting past the configured handle space must die with the fatal
+  // check, not wrap the bump pointer into reused offsets.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Arena A(size_t(1) << 16); // 64 KB region: ~16 blocks of 4 KB.
+        for (int I = 0; I < 32; ++I)
+          A.allocate(4096);
+      },
+      "region exhausted");
+}
+
+TEST(ArenaDeathTest, ReserveBeyondRegionFailsFast) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Arena A(size_t(1) << 16);
+        A.reserve(size_t(1) << 20);
+      },
+      "region exhausted");
 }
 
 TEST(Arena, RandomizedChurn) {

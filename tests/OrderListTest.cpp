@@ -39,9 +39,8 @@ TEST(OrderList, InsertAfterOrdersChain) {
 
 TEST(OrderList, PayloadIsPreserved) {
   OrderList L;
-  int X = 42;
-  OmNode *A = L.insertAfter(L.base(), &X);
-  EXPECT_EQ(A->Item, &X);
+  OmNode *A = L.insertAfter(L.base(), OmItem(42));
+  EXPECT_EQ(A->Item, OmItem(42));
 }
 
 TEST(OrderList, RemoveKeepsOrder) {

@@ -40,44 +40,49 @@ TEST(WordCodec, RoundTripsScalars) {
 
 namespace {
 struct FakeNode {
-  uint64_t MemoHash = 0;
-  FakeNode *MemoNext = nullptr;
-  FakeNode *MemoPrev = nullptr;
+  MemoLinks<FakeNode> Memo;
   int Tag = 0;
 };
 } // namespace
 
 TEST(MemoTable, InsertFindRemove) {
-  MemoTable<FakeNode> T;
-  std::vector<FakeNode> Nodes(500);
+  // Chain links are arena handles, so the nodes must live in the arena
+  // the table is bound to.
+  Arena A;
+  MemoTable<FakeNode> T(A);
+  std::vector<FakeNode *> Nodes(500);
   Rng R(5);
   for (int I = 0; I < 500; ++I) {
-    Nodes[I].MemoHash = R.below(64); // Deliberately collision-heavy.
-    Nodes[I].Tag = I;
-    T.insert(&Nodes[I]);
+    auto *N = new (A.allocate(sizeof(FakeNode))) FakeNode();
+    N->Memo.Hash = uint32_t(R.below(64)); // Deliberately collision-heavy.
+    N->Tag = I;
+    Nodes[I] = N;
+    T.insert(N);
   }
   EXPECT_EQ(T.size(), 500u);
   // Every node findable through its chain.
   for (int I = 0; I < 500; ++I) {
     bool Found = false;
-    for (FakeNode *N = T.chainHead(Nodes[I].MemoHash); N; N = N->MemoNext)
-      Found |= N == &Nodes[I];
+    for (FakeNode *N = T.chainHead(Nodes[I]->Memo.Hash); N; N = T.next(N))
+      Found |= N == Nodes[I];
     EXPECT_TRUE(Found) << I;
   }
   // Remove half, verify the rest remain reachable.
   for (int I = 0; I < 500; I += 2)
-    T.remove(&Nodes[I]);
+    T.remove(Nodes[I]);
   EXPECT_EQ(T.size(), 250u);
   for (int I = 1; I < 500; I += 2) {
     bool Found = false;
-    for (FakeNode *N = T.chainHead(Nodes[I].MemoHash); N; N = N->MemoNext)
-      Found |= N == &Nodes[I];
+    for (FakeNode *N = T.chainHead(Nodes[I]->Memo.Hash); N; N = T.next(N))
+      Found |= N == Nodes[I];
     EXPECT_TRUE(Found) << I;
   }
   for (int I = 0; I < 500; I += 2) {
-    for (FakeNode *N = T.chainHead(Nodes[I].MemoHash); N; N = N->MemoNext)
-      EXPECT_NE(N, &Nodes[I]);
+    for (FakeNode *N = T.chainHead(Nodes[I]->Memo.Hash); N; N = T.next(N))
+      EXPECT_NE(N, Nodes[I]);
   }
+  for (FakeNode *N : Nodes)
+    A.deallocate(N, sizeof(FakeNode));
 }
 
 //===----------------------------------------------------------------------===//

@@ -40,8 +40,9 @@ struct Fixture {
 
   /// The first traced read in some cell's use list.
   ReadNode *someRead() {
+    Arena &A = RT.arena();
     for (Cell *C : L.Cells)
-      for (Use *U = C->Tail->Head; U; U = U->NextUse)
+      for (Use *U = A.ptr(C->Tail->Head); U; U = A.ptr(U->NextUse))
         if (U->Kind == TraceKind::Read)
           return static_cast<ReadNode *>(U);
     return nullptr;
@@ -156,6 +157,22 @@ TEST(TraceAudit, FastPathTraceMatchesLegacyShape) {
   EXPECT_EQ(Shape(false), Shape(true));
 }
 
+TEST(TraceAudit, TraceShapeIsLayoutIndependent) {
+  // Golden trace-shape signature for a fixed workload (seeded Fixture,
+  // N = 64). The compressed and CEAL_WIDE_TRACE builds both run this
+  // test, so if either layout changes what gets traced — rather than
+  // just how the nodes are packed — one of the two builds diverges from
+  // the golden and fails. This is the cross-build analogue of
+  // FastPathTraceMatchesLegacyShape above.
+  Fixture F({}, 64);
+  TraceAudit::Report Rep = TraceAudit::inspect(F.RT);
+  ASSERT_TRUE(Rep.ok()) << Rep.summary();
+  EXPECT_EQ(Rep.Reads, 65u);
+  EXPECT_EQ(Rep.Writes, 65u);
+  EXPECT_EQ(Rep.Allocs, 128u);
+  EXPECT_EQ(Rep.Timestamps, 324u);
+}
+
 TEST(TraceAudit, OffLevelIgnoresEvenCorruptedState) {
   Fixture F; // Audit defaults to Off.
   ReadNode *R = F.someRead();
@@ -185,11 +202,28 @@ TEST(TraceAudit, DetectsUseListLinkCorruption) {
   Fixture F;
   ReadNode *R = F.someRead();
   ASSERT_NE(R, nullptr);
-  Use *Saved = R->PrevUse;
-  R->PrevUse = R; // Break the back-link.
+  Handle<Use> Saved = R->PrevUse;
+  // Break the back-link: point the read's PrevUse at itself.
+  R->PrevUse = F.RT.arena().handle(static_cast<Use *>(R));
   EXPECT_TRUE(reports(TraceAudit::inspect(F.RT), "uselist"));
   R->PrevUse = Saved;
 }
+
+#ifndef CEAL_WIDE_TRACE
+TEST(TraceAudit, DetectsOutOfBoundsHandle) {
+  // A trace edge whose handle decodes past the arena's bump frontier must
+  // be reported, not dereferenced (the compressed layouts make every edge
+  // a 32-bit offset, so a stray write can forge one cheaply).
+  Fixture F;
+  ReadNode *R = F.someRead();
+  ASSERT_NE(R, nullptr);
+  Handle<Use> Saved = R->PrevUse;
+  R->PrevUse = Handle<Use>(0x3fffffffu); // Far beyond the bump frontier.
+  EXPECT_TRUE(reports(TraceAudit::inspect(F.RT),
+                      "outside the trace arena"));
+  R->PrevUse = Saved;
+}
+#endif
 
 TEST(TraceAudit, DetectsDirtyFlagWithoutQueueEntry) {
   Fixture F;
@@ -207,11 +241,11 @@ TEST(TraceAudit, DetectsMemoHashCorruption) {
   Fixture F;
   ReadNode *R = F.someRead();
   ASSERT_NE(R, nullptr);
-  uint64_t Saved = R->MemoHash;
-  R->MemoHash ^= 0x8000; // Now chained in a bucket its hash denies, and
-                         // the stored hash no longer matches its key.
+  uint32_t Saved = R->Memo.Hash;
+  R->Memo.Hash ^= 0x8000; // Now chained in a bucket its hash denies, and
+                          // the stored hash no longer matches its key.
   EXPECT_TRUE(reports(TraceAudit::inspect(F.RT), "memo"));
-  R->MemoHash = Saved;
+  R->Memo.Hash = Saved;
 }
 
 TEST(TraceAudit, DetectsUntrackedArenaAllocationAsLeak) {
