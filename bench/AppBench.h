@@ -31,10 +31,14 @@
 #include "apps/ListApps.h"
 #include "apps/ListConv.h"
 #include "apps/TreeContraction.h"
+#include "runtime/Snapshot.h"
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <memory>
 #include <string>
+
+#include <unistd.h>
 
 namespace ceal {
 namespace bench {
@@ -56,11 +60,23 @@ struct Measurement {
   /// Per-kind live-byte accounting, captured after the update loop (the
   /// trace is back to its steady-state shape by then).
   MemoryStats Mem;
+  /// Trace-persistence accounting: the checkpoint's on-disk size and the
+  /// min-of-reps wall time of an mmap warm-start (Snapshot::mmapWarmStart
+  /// into a fresh runtime, including the mandatory load-time trace
+  /// validation). Zero when the driver could not checkpoint (e.g. the
+  /// temp file could not be created).
+  double WarmStartSeconds = 0;
+  size_t SnapshotBytes = 0;
 
   /// From-scratch overhead over the conventional baseline — the paper's
   /// Table 1 "Ovr." column (3-10x there; tracked in BENCH_*.json).
   double overhead() const { return SelfSeconds / ConvSeconds; }
   double speedup() const { return ConvSeconds / AvgUpdateSeconds; }
+  /// How much a warm start beats re-running the self-adjusting
+  /// construction — the payoff of persisting the trace.
+  double warmSpeedup() const {
+    return WarmStartSeconds > 0 ? SelfSeconds / WarmStartSeconds : 0;
+  }
 };
 
 inline std::vector<Word> randomWords(Rng &R, size_t N) {
@@ -68,6 +84,47 @@ inline std::vector<Word> randomWords(Rng &R, size_t N) {
   for (Word &W : V)
     W = R.below(1u << 30);
   return V;
+}
+
+/// Checkpoints \p RT, destroys it (snapshots are same-base, so the saved
+/// regions must be unmapped before a loader can claim them), and times
+/// Snapshot::mmapWarmStart into fresh runtimes, min over \p Reps. Runs
+/// last in each driver, after every timing and memory capture, so the
+/// extra churn cannot perturb them. Fills M.SnapshotBytes and
+/// M.WarmStartSeconds; leaves both zero on any save/load failure rather
+/// than failing the bench.
+inline void measureWarmStart(std::unique_ptr<Runtime> RT, Measurement &M,
+                             const Runtime::Config &Cfg, int Reps = 3) {
+  if (!Snapshot::readyToSave(*RT))
+    return;
+  char Path[] = "/tmp/ceal-bench-snap-XXXXXX";
+  int Fd = ::mkstemp(Path);
+  if (Fd < 0)
+    return;
+  ::close(Fd);
+  Snapshot::SaveResult SR = Snapshot::save(*RT, Path);
+  if (!SR.ok()) {
+    ::unlink(Path);
+    return;
+  }
+  RT.reset();
+  double Best = 1e99;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    Runtime Fresh(Cfg);
+    Timer T;
+    Snapshot::LoadResult LR = Snapshot::mmapWarmStart(Fresh, Path);
+    double Sec = T.seconds();
+    if (!LR.ok()) {
+      std::fprintf(stderr, "warm-start (%s): %s: %s\n", M.Name.c_str(),
+                   Snapshot::statusName(LR.St), LR.Diagnostic.c_str());
+      ::unlink(Path);
+      return;
+    }
+    Best = std::min(Best, Sec);
+  }
+  ::unlink(Path);
+  M.SnapshotBytes = size_t(SR.FileBytes);
+  M.WarmStartSeconds = Best;
 }
 
 //===----------------------------------------------------------------------===//
@@ -224,7 +281,10 @@ inline Measurement benchList(ListKind K, size_t N, size_t UpdateSamples,
     RepBest = std::min(RepBest, T.seconds());
   }
 
-  Runtime RT(Cfg);
+  // Heap-allocated so measureWarmStart can destroy the source runtime
+  // before timing loads against its checkpoint.
+  auto RTH = std::make_unique<Runtime>(Cfg);
+  Runtime &RT = *RTH;
   RT.reserveTrace(listExpectedOps(K, N));
   ListHandle L = buildList(RT, In);
   Modref *Dst = RT.modref();
@@ -253,6 +313,7 @@ inline Measurement benchList(ListKind K, size_t N, size_t UpdateSamples,
   M.Mem = RT.memoryStats();
   if (Cfg.EnableProfile)
     M.Prof = RT.profile();
+  measureWarmStart(std::move(RTH), M, Cfg);
   return M;
 }
 
@@ -273,7 +334,8 @@ inline Measurement benchGeometry(GeoKind K, size_t N, size_t UpdateSamples,
   M.N = N;
   Rng R(Seed);
 
-  Runtime RT(Cfg);
+  auto RTH = std::make_unique<Runtime>(Cfg);
+  Runtime &RT = *RTH;
   RT.reserveTrace(8 * N);
   std::vector<Point *> A = randomPoints(RT, R, K == GeoKind::Distance
                                                    ? N / 2
@@ -366,6 +428,7 @@ inline Measurement benchGeometry(GeoKind K, size_t N, size_t UpdateSamples,
   M.Mem = RT.memoryStats();
   if (Cfg.EnableProfile)
     M.Prof = RT.profile();
+  measureWarmStart(std::move(RTH), M, Cfg);
   return M;
 }
 
@@ -382,7 +445,8 @@ inline Measurement benchExpTrees(size_t NumLeaves, size_t UpdateSamples,
   M.N = NumLeaves;
   Rng R(Seed);
 
-  Runtime RT(Cfg);
+  auto RTH = std::make_unique<Runtime>(Cfg);
+  Runtime &RT = *RTH;
   RT.reserveTrace(8 * NumLeaves);
   ExpTree T = buildExpTree(RT, R, NumLeaves);
   {
@@ -435,6 +499,7 @@ inline Measurement benchExpTrees(size_t NumLeaves, size_t UpdateSamples,
   M.Mem = RT.memoryStats();
   if (Cfg.EnableProfile)
     M.Prof = RT.profile();
+  measureWarmStart(std::move(RTH), M, Cfg);
   return M;
 }
 
@@ -452,7 +517,8 @@ inline Measurement benchTreeContraction(size_t N, size_t UpdateSamples,
   M.N = N;
   Rng R(Seed);
 
-  Runtime RT(Cfg);
+  auto RTH = std::make_unique<Runtime>(Cfg);
+  Runtime &RT = *RTH;
   RT.reserveTrace(16 * N);
   TcForest F = buildRandomTree(RT, R, N);
   {
@@ -504,6 +570,7 @@ inline Measurement benchTreeContraction(size_t N, size_t UpdateSamples,
   M.Mem = RT.memoryStats();
   if (Cfg.EnableProfile)
     M.Prof = RT.profile();
+  measureWarmStart(std::move(RTH), M, Cfg);
   return M;
 }
 

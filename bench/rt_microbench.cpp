@@ -15,7 +15,10 @@
 //  * "update_bench" — average update times and from-scratch overheads
 //    (self_seconds / conv_seconds, the paper's Table 1 "Ovr." column) for
 //    the headline applications through the shared AppBench harness
-//    (--app-scale=F / --app-samples=K shrink it for smoke runs);
+//    (--app-scale=F / --app-samples=K shrink it for smoke runs), plus
+//    trace-persistence accounting per app: the checkpoint size
+//    (snapshot_bytes) and the mmap warm-start time (warm_start_seconds;
+//    scripts/check_warmstart.py gates warm_speedup on quickhull);
 //  * "profiles" — per app (map, plus quicksort, whose update speedup is
 //    an outlier needing a phase breakdown on record), a
 //    "construction_profile" of the from-scratch run (run_core time, OM /
@@ -285,7 +288,10 @@ void writeUpdateBench(std::ostream &Out, double Scale, size_t Samples) {
         << ", \"avg_update_seconds\": " << M.AvgUpdateSeconds
         << ", \"speedup\": " << M.speedup()
         << ", \"fromscratch_overhead\": " << M.overhead()
-        << ", \"max_live_bytes\": " << M.MaxLiveBytes << "}"
+        << ", \"max_live_bytes\": " << M.MaxLiveBytes
+        << ",\n     \"warm_start_seconds\": " << M.WarmStartSeconds
+        << ", \"snapshot_bytes\": " << M.SnapshotBytes
+        << ", \"warm_speedup\": " << M.warmSpeedup() << "}"
         << (I + 1 < Rows.size() ? ",\n" : "\n");
   }
   Out << "  ],\n";

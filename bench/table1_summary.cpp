@@ -56,18 +56,20 @@ int main(int argc, char **argv) {
   Rows.push_back(benchGeometry(GeoKind::Distance, NSmall, Args.Samples, Cfg));
   Rows.push_back(benchTreeContraction(NSmall, Args.Samples, Cfg));
 
-  std::printf("%-12s %8s | %9s %9s %6s | %11s %9s | %9s\n", "Application",
-              "n", "Cnv.(s)", "Self.(s)", "O.H.", "Ave.Update", "Speedup",
-              "Max Live");
-  std::printf("%.*s\n", 96,
+  std::printf("%-12s %8s | %9s %9s %6s | %11s %9s | %9s | %9s %8s\n",
+              "Application", "n", "Cnv.(s)", "Self.(s)", "O.H.", "Ave.Update",
+              "Speedup", "Max Live", "Warm(s)", "Snap");
+  std::printf("%.*s\n", 117,
               "-----------------------------------------------------------"
-              "-------------------------------------");
+              "-----------------------------------------------------------");
   double OhSum = 0, SpSum = 0;
   for (const Measurement &M : Rows) {
-    std::printf("%-12s %8s | %9.4f %9.4f %6.1f | %11.3e %9.2e | %9s\n",
+    std::printf("%-12s %8s | %9.4f %9.4f %6.1f | %11.3e %9.2e | %9s | "
+                "%9.5f %8s\n",
                 M.Name.c_str(), fmtCount(M.N).c_str(), M.ConvSeconds,
                 M.SelfSeconds, M.overhead(), M.AvgUpdateSeconds, M.speedup(),
-                fmtBytes(M.MaxLiveBytes).c_str());
+                fmtBytes(M.MaxLiveBytes).c_str(), M.WarmStartSeconds,
+                fmtBytes(M.SnapshotBytes).c_str());
     OhSum += M.overhead();
     SpSum += M.speedup();
   }
@@ -88,6 +90,9 @@ int main(int argc, char **argv) {
            << ", \"avg_update_seconds\": " << M.AvgUpdateSeconds
            << ", \"speedup\": " << M.speedup()
            << ", \"max_live_bytes\": " << M.MaxLiveBytes
+           << ",\n     \"warm_start_seconds\": " << M.WarmStartSeconds
+           << ", \"snapshot_bytes\": " << M.SnapshotBytes
+           << ", \"warm_speedup\": " << M.warmSpeedup()
            << ",\n     \"memory\": ";
       M.Mem.writeJson(Json);
       if (M.HasProfile) {

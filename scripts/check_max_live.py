@@ -22,6 +22,13 @@ Usage:
 
 With --baseline, per-app baselines come from the other run's
 update_bench rows instead of the embedded table (A/B comparisons).
+
+The rows may also carry trace-persistence fields (snapshot_bytes,
+warm_start_seconds; see bench/AppBench.h). snapshot_bytes is
+deterministic like max-live, so in --baseline mode it is gated with the
+same tolerance when both runs report it; the embedded table predates
+the field and only prints it. warm_start_seconds is wall time and is
+gated separately by check_warmstart.py, never here.
 """
 
 import json
@@ -82,12 +89,34 @@ def main(argv):
         limit = base * (1 + TOLERANCE)
         ratio = live / base if base else float("inf")
         status = "ok" if live <= limit else "FAIL"
+        snap = row.get("snapshot_bytes", 0)
+        snap_note = f"  snapshot_bytes={snap:12d}" if snap else ""
         print(f"{app:10s} max_live_bytes={live:12d}  "
-              f"baseline={base:12d}  ratio={ratio:5.2f}  {status}")
+              f"baseline={base:12d}  ratio={ratio:5.2f}  {status}{snap_note}")
         if live > limit:
             failures.append(
                 f"{app}: max_live_bytes {live} exceeds baseline {base} "
                 f"by {100 * (ratio - 1):.1f}% (> {100 * TOLERANCE:.0f}%)")
+
+    # A/B mode only: snapshot_bytes is as deterministic as max-live, so
+    # when both runs report it, gate it the same way.
+    if baseline_path:
+        for app, row in sorted(base_rows.items()):
+            base_snap = row.get("snapshot_bytes", 0)
+            cur = rows.get(app)
+            snap = cur.get("snapshot_bytes", 0) if cur else 0
+            if not base_snap or not snap:
+                continue
+            limit = base_snap * (1 + TOLERANCE)
+            ratio = snap / base_snap
+            status = "ok" if snap <= limit else "FAIL"
+            print(f"{app:10s} snapshot_bytes={snap:12d}  "
+                  f"baseline={base_snap:12d}  ratio={ratio:5.2f}  {status}")
+            if snap > limit:
+                failures.append(
+                    f"{app}: snapshot_bytes {snap} exceeds baseline "
+                    f"{base_snap} by {100 * (ratio - 1):.1f}% "
+                    f"(> {100 * TOLERANCE:.0f}%)")
 
     if failures:
         print("\n" + "\n".join(failures), file=sys.stderr)

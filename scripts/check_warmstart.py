@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Gate the payoff of trace persistence: warm-start must beat rebuild.
+
+Reads a BENCH_rt.json (or BENCH_table1.json) produced by a bench run
+and checks that loading a checkpointed trace via Snapshot::mmapWarmStart
+is at least --min-ratio times faster than the self-adjusting
+from-scratch construction it replaces (self_seconds /
+warm_start_seconds). The default gate is quickhull only — the app the
+warm-start story was built for (its 300x-odd from-scratch overhead is
+the cost a reload amortizes away) and the most stable ratio at smoke
+scale; the other apps' ratios are printed for the record. The bench
+measures the default (trusted-file) warm start, which verifies the
+header and metadata sections but skips the O(trace) content checksums
+and validator — that skip is the whole payoff; a verified warm start
+costs about as much as rebuilding (see EXPERIMENTS.md "Warm-start
+accounting"), so a ratio collapse here usually means an O(trace) pass
+crept back into the fast path.
+
+A zero/missing warm_start_seconds means the driver could not checkpoint
+(save refused or a load failed) — that fails the gated app loudly
+rather than passing vacuously.
+
+Usage:
+    check_warmstart.py [BENCH_rt.json] [--min-ratio R] [--apps a,b,...]
+"""
+
+import json
+import sys
+
+MIN_RATIO = 5.0
+GATED_APPS = ["quickhull"]
+
+
+def main(argv):
+    path = "BENCH_rt.json"
+    min_ratio = MIN_RATIO
+    gated = list(GATED_APPS)
+    args = argv[1:]
+    while args:
+        a = args.pop(0)
+        if a == "--min-ratio":
+            min_ratio = float(args.pop(0))
+        elif a == "--apps":
+            gated = [s for s in args.pop(0).split(",") if s]
+        else:
+            path = a
+
+    with open(path) as f:
+        bench = json.load(f)
+    rows = bench.get("update_bench") or bench.get("rows") or []
+    by_name = {row["name"]: row for row in rows}
+
+    failures = []
+    for name in sorted(by_name):
+        row = by_name[name]
+        self_s = row.get("self_seconds", 0)
+        warm_s = row.get("warm_start_seconds", 0)
+        is_gated = name in gated
+        if not warm_s:
+            print(f"{name:10s} no warm-start measurement"
+                  f"{'  (gated)' if is_gated else ''}")
+            if is_gated:
+                failures.append(f"{name}: warm_start_seconds missing or zero "
+                                f"(checkpoint save/load failed in the bench)")
+            continue
+        ratio = self_s / warm_s
+        status = ("ok" if ratio >= min_ratio else "FAIL") if is_gated \
+            else "info"
+        print(f"{name:10s} self={self_s:.5f}s  warm={warm_s:.5f}s  "
+              f"ratio={ratio:7.1f}x  {status}")
+        if is_gated and ratio < min_ratio:
+            failures.append(
+                f"{name}: warm-start only {ratio:.1f}x faster than "
+                f"from-scratch (gate: >= {min_ratio:.1f}x)")
+
+    for name in gated:
+        if name not in by_name:
+            failures.append(f"{name}: no bench row in {path}")
+
+    if failures:
+        print("\n" + "\n".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

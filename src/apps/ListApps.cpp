@@ -118,10 +118,20 @@ VCell *allocVCell(Runtime &RT, Modref *Val, Modref *Tail) {
       RT.alloc<&vcellInit>(sizeof(VCell), Val, Tail));
 }
 
+/// A cell's identity for coin flips: its arena region offset, not its
+/// raw address, so the contraction structure — and with it the whole
+/// trace shape — is reproducible across runtimes at different region
+/// bases (the snapshot round-trip oracle relies on this).
+uint64_t cellIdentity(Runtime &RT, const void *Cell) {
+  return static_cast<uint64_t>(
+      reinterpret_cast<const char *>(Cell) -
+      static_cast<const char *>(RT.arena().regionBase()));
+}
+
 /// True if \p N starts a new run in \p Round. A pure function of the
 /// cell's identity, so decisions are reproducible across re-executions.
-bool runBoundary(const VCell *N, Word Round) {
-  return hashPair(reinterpret_cast<uintptr_t>(N), Round) & 1;
+bool runBoundary(Runtime &RT, const VCell *N, Word Round) {
+  return hashPair(cellIdentity(RT, N), Round) & 1;
 }
 
 /// Converts the input list into a VCell list (values behind modifiables).
@@ -149,7 +159,7 @@ Closure *runJoin(Runtime &RT, Word V, Word Acc, VCell *N, VCell *F,
 
 Closure *runNext(Runtime &RT, VCell *N, Word Acc, VCell *F, Modref *Dst,
                  CombineFn Fn, Word Env, Word Round) {
-  if (!N || runBoundary(N, Round)) {
+  if (!N || runBoundary(RT, N, Round)) {
     // The run that started at F ends here; emit its combined value.
     Modref *OVal = RT.coreModref(F, Round, 13);
     Modref *OTail = RT.coreModref(F, Round, 14);
@@ -316,7 +326,7 @@ Closure *splitGot(Runtime &RT, Cell *C, Modref *DA, Modref *DB, Word Level);
 
 Closure *splitStep(Runtime &RT, Cell *C, Modref *DA, Modref *DB, Word Level) {
   bool GoesRight =
-      hashPair(reinterpret_cast<uintptr_t>(C), Level * 2 + 0x517) & 1;
+      hashPair(cellIdentity(RT, C), Level * 2 + 0x517) & 1;
   Modref *OutTail = RT.coreModref(C, Level, 5);
   Cell *Out = allocCell(RT, C->Head, OutTail);
   if (GoesRight) {

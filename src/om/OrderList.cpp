@@ -9,7 +9,11 @@
 
 using namespace ceal;
 
-OrderList::OrderList() {
+OrderList::OrderList() { rebuildEmpty(); }
+
+void OrderList::rebuildEmpty() {
+  FillLimit = GroupLimit;
+  AppendActive = false;
   auto *G = Allocator.create<OmGroup>();
   G->Prev = G->Next = nullptr;
   G->Label = GroupLabelSpace / 2;

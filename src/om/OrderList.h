@@ -204,6 +204,15 @@ private:
   /// The trace sanitizer walks groups/nodes directly so it can *report*
   /// violations (verifyInvariants aborts on the first one).
   friend class TraceAudit;
+  /// The snapshot subsystem serializes and restores the list's scalar
+  /// state (base/first-group pointers, size, policy) around an arena
+  /// remap (see runtime/Snapshot).
+  friend class Snapshot;
+
+  /// (Re)creates the pristine one-node list inside the current region;
+  /// the constructor's body, also used to recover a usable empty list
+  /// after a failed snapshot claim remapped the arena.
+  void rebuildEmpty();
 
   static constexpr uint32_t GroupLimit = 64;
   static constexpr uint32_t GroupTarget = 32;

@@ -144,6 +144,10 @@ public:
   size_t bucketFor(uint64_t Hash) const { return bucketIndex(Hash); }
 
 private:
+  /// The snapshot subsystem serializes and restores the bucket array and
+  /// count directly (chain links live inside the nodes themselves).
+  friend class Snapshot;
+
   size_t bucketIndex(uint64_t Hash) const {
     // Bucket counts stay well under 2^32, so bucketing by the stored
     // 32-bit hash and by the full 64-bit hash agree.

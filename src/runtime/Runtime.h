@@ -35,6 +35,7 @@
 #include "support/Check.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace ceal {
@@ -322,8 +323,17 @@ public:
   /// the meta phase (between runCore/propagate calls).
   void auditNow(const char *Where = "checkpoint") const;
 
+  /// True when the runtime is at a checkpointable quiescent point: meta
+  /// phase, no pending invalidations, every construction-time deferral
+  /// flushed. Snapshot::save (runtime/Snapshot.h) requires this and
+  /// reports BadState otherwise; \p Why receives the reason on false.
+  bool readyForCheckpoint(std::string *Why = nullptr) const;
+
 private:
   friend class TraceAudit;
+  /// Trace persistence (runtime/Snapshot): serializes and restores the
+  /// runtime's scalar state around the arenas' same-base remap.
+  friend class Snapshot;
   template <typename... Keys>
   static Closure *modrefInit(Runtime &, void *Block, Keys...) {
     new (Block) Modref();

@@ -185,6 +185,38 @@ static_assert(sizeof(WriteNode) <= 48, "WriteNode outgrew its size class");
 static_assert(sizeof(AllocNode) <= 64, "AllocNode outgrew its size class");
 #endif
 
+/// A fingerprint of the trace's in-memory layout, derived from the
+/// static_asserted node sizes above plus the handle width and grain. Two
+/// builds agree on this value exactly when a trace region serialized by
+/// one is byte-compatible with the other, so the snapshot loader
+/// (runtime/Snapshot) embeds it in the checkpoint header and rejects any
+/// mismatch — in particular, a CEAL_WIDE_TRACE build can never load a
+/// compressed-trace checkpoint or vice versa.
+inline uint64_t traceLayoutFingerprint() {
+  uint64_t H = 0x4345414c00000001ULL; // format root: 'CEAL', revision 1
+  auto Mix = [&H](uint64_t W) { H = hashMixWord(H, W); };
+#ifdef CEAL_WIDE_TRACE
+  Mix(2);
+#else
+  Mix(1);
+#endif
+  Mix(sizeof(void *));
+  Mix(Arena::HandleGrain);
+  Mix(sizeof(Handle<int>));
+  Mix(sizeof(OmItem));
+  Mix(sizeof(OmNode));
+  Mix(sizeof(OmGroup));
+  Mix(sizeof(Closure));
+  Mix(sizeof(TraceNode));
+  Mix(sizeof(Use));
+  Mix(sizeof(ReadNode));
+  Mix(sizeof(WriteNode));
+  Mix(sizeof(AllocNode));
+  Mix(sizeof(Modref));
+  Mix(sizeof(MemoLinks<ReadNode>));
+  return H;
+}
+
 /// Tagging scheme for OmNode::Item (an OmItem — see om/OrderList.h). A
 /// trace node's start timestamp carries the node's Mem-arena handle; a
 /// read's end timestamp carries the read's handle with the tag bit set so

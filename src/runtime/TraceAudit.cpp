@@ -488,6 +488,452 @@ struct TraceAudit::Impl {
   }
 };
 
+//===--------------------------------------------------------------------===//
+// Load-mode validation (validateLoaded)
+//
+// A freshly loaded snapshot passed every checksum, but checksums only prove
+// the file arrived intact — a crafted file checksums perfectly. This
+// validator is the gate between "bytes in the arenas" and "trace the
+// propagation machinery may follow": one linear sweep that treats every
+// pointer, handle, and length as untrusted, bounds- and alignment-checks
+// it against the serialized frontier before the first dereference, and
+// stops at the first violation. It deliberately avoids the hash maps and
+// cross-walks of inspect() — its cost is what bounds an mmap warm start.
+//
+// A per-grain mark array over the trace arena stands in for inspect()'s
+// node sets: stamped-node marks catch double stamping, and memo-seen
+// marks catch chain cycles and duplicate indexing, all O(1) per node.
+//===--------------------------------------------------------------------===//
+
+struct TraceAudit::LoadImpl {
+  const Runtime &RT;
+  TraceAudit::Report &Rep;
+
+  const char *MemBase, *OmBase;
+  uint64_t MemUsed, OmUsed;
+
+  // One byte per trace-arena grain.
+  static constexpr uint8_t MarkStamped = 1;
+  static constexpr uint8_t MarkReadMemo = 2;
+  static constexpr uint8_t MarkAllocMemo = 4;
+  std::vector<uint8_t> Mark;
+
+  // Collected by the order walk / trace walk.
+  size_t GroupCount = 0;
+  bool CursorSeen = false, TraceEndSeen = false;
+  size_t NReads = 0, NWrites = 0, NAllocs = 0;
+  size_t TraceBytes = 0;
+
+  LoadImpl(const Runtime &R, TraceAudit::Report &Out)
+      : RT(R), Rep(Out),
+        MemBase(static_cast<const char *>(RT.Mem.regionBase())),
+        OmBase(static_cast<const char *>(RT.Om.Allocator.regionBase())),
+        MemUsed(RT.Mem.bumpUsedBytes()),
+        OmUsed(RT.Om.Allocator.bumpUsedBytes()),
+        Mark(MemUsed / Arena::HandleGrain, 0) {}
+
+  /// Records the (single) violation; always false so checks read as
+  /// `return fail(...)`.
+  bool fail(const char *Fmt, ...) __attribute__((format(printf, 2, 3))) {
+    va_list Args;
+    va_start(Args, Fmt);
+    Rep.Violations.push_back("load: " + formatv(Fmt, Args));
+    va_end(Args);
+    return false;
+  }
+
+  /// Wrap-safe region offset: anything below the base becomes huge and
+  /// fails the bounds test instead of looking small.
+  static uint64_t rawOff(const void *Base, const void *P) {
+    return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(P) -
+                                 reinterpret_cast<uintptr_t>(Base));
+  }
+
+  bool extentOk(uint64_t Off, uint64_t Need, uint64_t Used) const {
+    return Off >= Arena::HandleGrain && Off % Arena::HandleGrain == 0 &&
+           Need <= Used && Off <= Used - Need;
+  }
+  bool memOk(uint64_t Off, uint64_t Need) const {
+    return extentOk(Off, Need, MemUsed);
+  }
+  bool omOk(uint64_t Off, uint64_t Need) const {
+    return extentOk(Off, Need, OmUsed);
+  }
+
+  /// Trace-arena handle -> region offset (0 for null), without resolving.
+  template <typename T> uint64_t hoff(Handle<T> H) const {
+#ifdef CEAL_WIDE_TRACE
+    return H.Ptr ? rawOff(MemBase, H.Ptr) : 0;
+#else
+    return uint64_t(H.Bits) * Arena::HandleGrain;
+#endif
+  }
+  uint64_t omHoff(Handle<OmNode> H) const {
+#ifdef CEAL_WIDE_TRACE
+    return H.Ptr ? rawOff(OmBase, H.Ptr) : 0;
+#else
+    return uint64_t(H.Bits) * Arena::HandleGrain;
+#endif
+  }
+
+  template <typename T> const T *memAt(uint64_t Off) const {
+    return reinterpret_cast<const T *>(MemBase + Off);
+  }
+
+  bool run() {
+    if (RT.CurPhase != Runtime::Phase::Meta)
+      return fail("runtime not in the meta phase");
+    if (!RT.Heap.empty() || !RT.PendingReads.empty() ||
+        !RT.DeferredFrees.empty() || !RT.PendingReadMemo.empty() ||
+        !RT.PendingAllocMemo.empty())
+      return fail("restored runtime carries pending work (corrupt scalar "
+                  "state)");
+    if (RT.Om.inAppendMode())
+      return fail("restored order list is in append mode");
+    return checkOrder() && walkTrace() && checkMemos() && checkAccounting();
+  }
+
+  //===------------------------------------------------------------===//
+  // Order-maintenance chain: every group and node pointer is validated
+  // before its first dereference, so the later passes may walk the node
+  // chain freely.
+  //===------------------------------------------------------------===//
+
+  bool checkOrder() {
+    const OrderList &Om = RT.Om;
+    uint64_t BaseOff = rawOff(OmBase, Om.Base);
+    if (!omOk(BaseOff, sizeof(OmNode)))
+      return fail("order-list base pointer outside the serialized arena");
+    uint64_t FirstGOff = rawOff(OmBase, Om.FirstGroup);
+    if (!omOk(FirstGOff, sizeof(OmGroup)))
+      return fail("first-group pointer outside the serialized arena");
+    if (Om.FirstGroup->First != Om.Base)
+      return fail("first group does not start at the base timestamp");
+    if (Om.Base->Prev != nullptr)
+      return fail("base timestamp has a predecessor");
+
+    size_t SeenNodes = 0;
+    const OmNode *Expected = Om.Base;
+    const OmGroup *PrevG = nullptr;
+    for (const OmGroup *G = Om.FirstGroup; G; G = G->Next) {
+      if (!omOk(rawOff(OmBase, G), sizeof(OmGroup)))
+        return fail("group pointer outside the serialized arena");
+      if (++GroupCount > Om.Size + 1)
+        return fail("group chain longer than the node count allows "
+                    "(cycle)");
+      if (G->Prev != PrevG)
+        return fail("group back-link broken");
+      if (PrevG && G->Label <= PrevG->Label)
+        return fail("group labels not strictly increasing");
+      if (G->Count == 0)
+        return fail("empty group in the chain");
+      if (G->First != Expected)
+        return fail("group First out of sync with the node chain");
+      const OmNode *N = Expected;
+      uint64_t PrevLabel = 0;
+      for (uint32_t I = 0; I < G->Count; ++I) {
+        if (!N)
+          return fail("group Count overruns the node chain");
+        if (!omOk(rawOff(OmBase, N), sizeof(OmNode)))
+          return fail("timestamp pointer outside the serialized arena");
+        if (++SeenNodes > Om.Size)
+          return fail("node chain longer than the recorded size (cycle)");
+        if (N->Group != G)
+          return fail("timestamp points at the wrong group");
+        if (I > 0 && N->Label <= PrevLabel)
+          return fail("timestamp labels not strictly increasing in group");
+        if (N->Next && N->Next->Prev != N)
+          return fail("timestamp back-link broken");
+        if (N == RT.Cursor)
+          CursorSeen = true;
+        if (N == RT.TraceEnd)
+          TraceEndSeen = true;
+        PrevLabel = N->Label;
+        Expected = N->Next;
+        N = N->Next;
+      }
+      PrevG = G;
+    }
+    if (Expected != nullptr)
+      return fail("trailing timestamps beyond the last group");
+    if (SeenNodes != Om.Size)
+      return fail("walked %zu timestamps but the list records %zu",
+                  SeenNodes, Om.Size);
+    // The restored cursor and trace end must be *members* — a crafted
+    // offset naming a freed in-bounds node would otherwise slip through.
+    if (!CursorSeen)
+      return fail("restored cursor is not a member of the order list");
+    if (!TraceEndSeen)
+      return fail("restored trace end is not a member of the order list");
+    Rep.Timestamps = Om.Size;
+    return true;
+  }
+
+  //===------------------------------------------------------------===//
+  // Trace walk: the timestamp chain is safe now; every trace-arena
+  // reference hanging off it is not, yet.
+  //===------------------------------------------------------------===//
+
+  bool checkClosure(uint64_t Off, const char *What) {
+    if (!memOk(Off, sizeof(Closure)))
+      return fail("%s closure outside the serialized arena", What);
+    const Closure *C = memAt<Closure>(Off);
+    if (!memOk(Off, Closure::byteSize(C->numArgs())))
+      return fail("%s closure frame overruns the serialized arena", What);
+    if (!C->ownedByTrace())
+      return fail("%s closure not marked trace-owned", What);
+    return true;
+  }
+
+  /// Validates one use-list link field: null, or a Use-sized extent whose
+  /// opposite link points straight back.
+  bool checkUseLink(uint64_t TargetOff, uint64_t SelfOff, bool TargetPrev,
+                    const char *What) {
+    if (!TargetOff)
+      return true;
+    if (!memOk(TargetOff, sizeof(Use)))
+      return fail("%s link outside the serialized arena", What);
+    const Use *T = memAt<Use>(TargetOff);
+    uint64_t Back = hoff(TargetPrev ? T->PrevUse : T->NextUse);
+    if (Back != SelfOff)
+      return fail("%s link not mirrored by its target", What);
+    return true;
+  }
+
+  bool stamp(uint64_t Off) {
+    uint8_t &M = Mark[Off / Arena::HandleGrain];
+    if (M & MarkStamped)
+      return fail("trace node at offset %llu stamped at two timestamps",
+                  (unsigned long long)Off);
+    M |= MarkStamped;
+    return true;
+  }
+
+  bool walkTrace() {
+    const size_t Box = RT.Cfg.BoxBytesPerNode;
+    std::vector<uint64_t> OpenReads;
+    const OmNode *Last = RT.Om.base();
+    for (const OmNode *N = RT.Om.base()->Next; N; N = N->Next) {
+      Last = N;
+      OmItem Item = N->Item;
+      if (!Item)
+        return fail("non-base timestamp with no payload");
+#ifdef CEAL_WIDE_TRACE
+      uint64_t Off = rawOff(MemBase, reinterpret_cast<const void *>(
+                                         Item & ~uintptr_t(1)));
+#else
+      uint64_t Off = uint64_t(Item & ~OmItemEndBit) * Arena::HandleGrain;
+#endif
+      if (isEndItem(Item)) {
+        if (!memOk(Off, sizeof(ReadNode)))
+          return fail("end-marker payload outside the serialized arena");
+        const ReadNode *R = memAt<ReadNode>(Off);
+        if (R->Kind != TraceKind::Read)
+          return fail("end marker names a non-read node");
+        if (omHoff(R->End) != rawOff(OmBase, N))
+          return fail("end marker not pointed back at by its read");
+        if (OpenReads.empty() || OpenReads.back() != Off)
+          return fail("read intervals not properly nested");
+        OpenReads.pop_back();
+        continue;
+      }
+      if (!memOk(Off, sizeof(TraceNode)))
+        return fail("timestamp payload outside the serialized arena");
+      const TraceNode *T = memAt<TraceNode>(Off);
+      if (omHoff(T->Start) != rawOff(OmBase, N))
+        return fail("node's Start does not point back at its timestamp");
+      switch (T->Kind) {
+      case TraceKind::Read: {
+        if (!memOk(Off, sizeof(ReadNode)))
+          return fail("read node overruns the serialized arena");
+        if (!stamp(Off))
+          return false;
+        const ReadNode *R = memAt<ReadNode>(Off);
+        uint64_t RefOff = hoff(R->Ref);
+        if (!RefOff || !memOk(RefOff, sizeof(Modref)))
+          return fail("read's modifiable outside the serialized arena");
+        uint64_t CloOff = hoff(R->Clo);
+        if (!CloOff || !checkClosure(CloOff, "read"))
+          return CloOff ? false : fail("read with a null closure");
+        if (!R->End)
+          return fail("read interval never closed");
+        if (R->isDirty() || R->HeapIndex != -1)
+          return fail("read restored dirty or queued (snapshots are "
+                      "quiescent)");
+        uint64_t GovOff = hoff(R->Gov);
+        if (GovOff) {
+          if (!memOk(GovOff, sizeof(WriteNode)))
+            return fail("governing-write cache outside the serialized "
+                        "arena");
+          if (memAt<WriteNode>(GovOff)->Kind != TraceKind::Write)
+            return fail("governing-write cache names a non-write node");
+        }
+        if (!checkUseLink(hoff(R->NextUse), Off, /*TargetPrev=*/true,
+                          "read's next-use") ||
+            !checkUseLink(hoff(R->PrevUse), Off, /*TargetPrev=*/false,
+                          "read's prev-use"))
+          return false;
+        OpenReads.push_back(Off);
+        ++NReads;
+        TraceBytes += Arena::accountedSize(sizeof(ReadNode) + Box) +
+                      Arena::accountedSize(
+                          memAt<Closure>(CloOff)->byteSize());
+        break;
+      }
+      case TraceKind::Write: {
+        if (!memOk(Off, sizeof(WriteNode)))
+          return fail("write node overruns the serialized arena");
+        if (!stamp(Off))
+          return false;
+        const WriteNode *W = memAt<WriteNode>(Off);
+        uint64_t RefOff = hoff(W->Ref);
+        if (!RefOff || !memOk(RefOff, sizeof(Modref)))
+          return fail("write's modifiable outside the serialized arena");
+        if (!checkUseLink(hoff(W->NextUse), Off, /*TargetPrev=*/true,
+                          "write's next-use") ||
+            !checkUseLink(hoff(W->PrevUse), Off, /*TargetPrev=*/false,
+                          "write's prev-use"))
+          return false;
+        ++NWrites;
+        TraceBytes += Arena::accountedSize(sizeof(WriteNode) + Box);
+        break;
+      }
+      case TraceKind::Alloc: {
+        if (!memOk(Off, sizeof(AllocNode)))
+          return fail("alloc node overruns the serialized arena");
+        if (!stamp(Off))
+          return false;
+        const AllocNode *A = memAt<AllocNode>(Off);
+        uint64_t InitOff = hoff(A->Init);
+        if (!InitOff || !checkClosure(InitOff, "alloc"))
+          return InitOff ? false : fail("alloc with a null initializer");
+        uint64_t BlockOff = hoff(A->Block);
+        if (A->Size == 0)
+          return fail("alloc node with a zero-sized block");
+        if (!BlockOff || !memOk(BlockOff, A->Size))
+          return fail("alloc block outside the serialized arena");
+        ++NAllocs;
+        TraceBytes += Arena::accountedSize(sizeof(AllocNode) + Box) +
+                      Arena::accountedSize(
+                          memAt<Closure>(InitOff)->byteSize()) +
+                      Arena::accountedSize(A->Size);
+        break;
+      }
+      default:
+        return fail("trace node with invalid kind %u at offset %llu",
+                    unsigned(T->Kind), (unsigned long long)Off);
+      }
+    }
+    if (!OpenReads.empty())
+      return fail("%zu read interval(s) missing their end markers",
+                  OpenReads.size());
+    if (RT.TraceEnd != Last)
+      return fail("restored trace end is not the maximum timestamp");
+    Rep.Reads = NReads;
+    Rep.Writes = NWrites;
+    Rep.Allocs = NAllocs;
+    Rep.TraceBytes = TraceBytes;
+    return true;
+  }
+
+  //===------------------------------------------------------------===//
+  // Memo indexes: every chained entry must be a node the trace walk just
+  // stamped (so its fields are already validated), appear exactly once,
+  // sit in the bucket its hash selects, and the tables must index the
+  // trace bijectively.
+  //===------------------------------------------------------------===//
+
+  template <typename NodeT, typename HashFn>
+  bool checkMemoTable(const MemoTable<NodeT> &Table, const char *Name,
+                      TraceKind WantKind, uint8_t SeenBit, size_t WantCount,
+                      HashFn RecomputeHash) {
+    size_t Buckets = Table.bucketCount();
+    if (Buckets < 64 || (Buckets & (Buckets - 1)) != 0)
+      return fail("%s memo bucket count %zu invalid", Name, Buckets);
+    size_t Seen = 0;
+    for (size_t B = 0; B < Buckets; ++B) {
+      uint64_t PrevOff = 0;
+      // bucketHead resolves the handle to an address without
+      // dereferencing it; fold it back to an offset for the bounds check.
+      const NodeT *Head = Table.bucketHead(B);
+      uint64_t Off = Head ? rawOff(MemBase, Head) : 0;
+      while (Off) {
+        if (!memOk(Off, sizeof(NodeT)))
+          return fail("%s memo entry outside the serialized arena", Name);
+        const NodeT *E = memAt<NodeT>(Off);
+        if (E->Kind != WantKind)
+          return fail("%s memo entry is not a %s node", Name, Name);
+        uint8_t &M = Mark[Off / Arena::HandleGrain];
+        if (!(M & MarkStamped))
+          return fail("%s memo entry is not a stamped trace node", Name);
+        if (M & SeenBit)
+          return fail("%s memo entry chained twice (cycle or duplicate)",
+                      Name);
+        M |= SeenBit;
+        if (Table.bucketFor(E->Memo.Hash) != B)
+          return fail("%s memo entry chained in the wrong bucket", Name);
+        if (hoff(E->Memo.Prev) != PrevOff)
+          return fail("%s memo chain back-link broken", Name);
+        if (static_cast<uint32_t>(RecomputeHash(E)) != E->Memo.Hash)
+          return fail("%s memo entry's stored hash does not match its key",
+                      Name);
+        if (++Seen > Table.size())
+          return fail("%s memo chains exceed the recorded count", Name);
+        PrevOff = Off;
+        Off = hoff(E->Memo.Next);
+      }
+    }
+    if (Seen != Table.size())
+      return fail("%s memo records %zu entries but chains hold %zu", Name,
+                  Table.size(), Seen);
+    if (Seen != WantCount)
+      return fail("%s memo indexes %zu entries but the trace has %zu",
+                  Name, Seen, WantCount);
+    return true;
+  }
+
+  bool checkMemos() {
+    return checkMemoTable(RT.ReadMemo, "read", TraceKind::Read, MarkReadMemo,
+                          NReads,
+                          [&](const ReadNode *R) {
+                            return RT.readMemoHash(RT.Mem.ptr(R->Ref),
+                                                   RT.Mem.ptr(R->Clo));
+                          }) &&
+           checkMemoTable(RT.AllocMemo, "alloc", TraceKind::Alloc,
+                          MarkAllocMemo, NAllocs, [&](const AllocNode *A) {
+                            return RT.allocMemoHash(RT.Mem.ptr(A->Init),
+                                                    A->Size);
+                          });
+  }
+
+  //===------------------------------------------------------------===//
+  // Accounting: the restored counters must reconcile with what the walk
+  // actually found, in both arenas.
+  //===------------------------------------------------------------===//
+
+  bool checkAccounting() {
+    size_t Expected = TraceBytes + RT.MetaBytes;
+    if (Expected != RT.Mem.liveBytes())
+      return fail("trace arena records %zu live bytes but the trace "
+                  "reaches %zu",
+                  RT.Mem.liveBytes(), Expected);
+    size_t OmExpected =
+        RT.Om.Size * Arena::accountedSize(sizeof(OmNode)) +
+        GroupCount * Arena::accountedSize(sizeof(OmGroup));
+    if (OmExpected != RT.Om.Allocator.liveBytes())
+      return fail("order arena records %zu live bytes but its structures "
+                  "account for %zu",
+                  RT.Om.Allocator.liveBytes(), OmExpected);
+    return true;
+  }
+};
+
+TraceAudit::Report TraceAudit::validateLoaded(const Runtime &RT) {
+  Report Rep;
+  LoadImpl(RT, Rep).run();
+  return Rep;
+}
+
 TraceAudit::Report TraceAudit::inspect(const Runtime &RT) {
   Report Rep;
   Impl(RT, Rep).run();

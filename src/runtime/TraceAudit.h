@@ -80,10 +80,24 @@ public:
   /// call this. \p Where names the checkpoint for the failure banner.
   static void enforce(const Runtime &RT, const char *Where);
 
+  /// Load-mode validation: a single linear sweep over a runtime freshly
+  /// restored from a snapshot (runtime/Snapshot), treating every handle,
+  /// pointer, and length as untrusted — each one is bounds- and
+  /// alignment-checked against the serialized arena extents *before* any
+  /// dereference, and validation stops at the first violation (a located
+  /// diagnostic) rather than walking on through garbage. Mandatory on
+  /// both snapshot load paths; deliberately cheaper than inspect() (no
+  /// hash maps, no quadratic cross-checks) because it is what keeps an
+  /// mmap warm start faster than re-running the core from scratch.
+  static Report validateLoaded(const Runtime &RT);
+
 private:
   /// The walker; nested so it inherits this class's friendship with
   /// Runtime and OrderList.
   struct Impl;
+  /// The load-mode validator (validateLoaded); nested for the same
+  /// friendship inheritance.
+  struct LoadImpl;
 };
 
 } // namespace ceal

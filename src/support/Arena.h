@@ -217,6 +217,28 @@ public:
   /// fail fast before a burst rather than mid-trace.
   void reserve(size_t Bytes);
 
+  //===--------------------------------------------------------------===//
+  // Snapshot plumbing (runtime/Snapshot). Not for general use.
+  //===--------------------------------------------------------------===//
+
+  /// Releases this arena's region and claims a fresh *anonymous* region at
+  /// exactly [\p WantBase, \p WantBase + \p WantBytes) — the same-base
+  /// remap a snapshot load needs so that every raw pointer serialized
+  /// inside the region stays valid verbatim. The claim is atomic
+  /// (MAP_FIXED_NOREPLACE): if any part of the target range is already
+  /// mapped, nothing is clobbered, the arena re-acquires an empty region
+  /// at an arbitrary base, and this returns false. On success the arena is
+  /// empty (bump at one grain, freelists clear, stats zeroed) at the fixed
+  /// base.
+  bool remapTo(char *WantBase, size_t WantBytes);
+
+  /// Maps \p Bytes of \p Fd starting at the page-aligned \p FileOffset
+  /// copy-on-write (MAP_PRIVATE) over the start of the region, replacing
+  /// the anonymous pages there; the rest of the region stays anonymous.
+  /// The mmap warm-start path uses this to adopt a snapshot's arena image
+  /// without copying it. Returns false on mmap failure.
+  bool mapFilePrefix(int Fd, uint64_t FileOffset, size_t Bytes);
+
   /// Bytes currently handed out to clients.
   size_t liveBytes() const { return LiveBytes; }
 
@@ -246,6 +268,10 @@ public:
   static constexpr size_t MaxSmallSize = 512;
 
 private:
+  /// The snapshot subsystem serializes and restores the scalar state
+  /// (bump frontier, freelist heads, statistics) directly.
+  friend class Snapshot;
+
   static constexpr size_t NumClasses = MaxSmallSize / HandleGrain;
 
   struct FreeCell {

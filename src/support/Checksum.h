@@ -1,0 +1,93 @@
+//===- support/Checksum.h - Streaming 64-bit content checksum --*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A streaming 64-bit checksum for the snapshot format (runtime/Snapshot).
+/// Not cryptographic — it guards against I/O truncation, bit rot, and
+/// fuzzer-grade corruption, where what matters is that (a) every byte of
+/// input perturbs the digest, (b) the digest is independent of how the
+/// input was split across update() calls, and (c) the total length is
+/// mixed in, so a truncated-then-zero-padded stream cannot collide with
+/// the original.
+///
+/// The word mixer is the same xorshift-multiply used by the memo indexes
+/// (runtime/MemoTable.h hashMixWord), restated here so the support layer
+/// does not depend on the runtime layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_SUPPORT_CHECKSUM_H
+#define CEAL_SUPPORT_CHECKSUM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace ceal {
+
+class Checksum64 {
+public:
+  /// Feeds \p Len bytes; digests are invariant under re-chunking.
+  void update(const void *Data, size_t Len) {
+    const auto *P = static_cast<const unsigned char *>(Data);
+    Total += Len;
+    // Top up the carry buffer to a full word first.
+    while (CarryLen != 0 && CarryLen < 8 && Len != 0) {
+      Carry |= uint64_t(*P++) << (8 * CarryLen++);
+      --Len;
+    }
+    if (CarryLen == 8) {
+      mix(Carry);
+      Carry = 0;
+      CarryLen = 0;
+    }
+    while (Len >= 8) {
+      uint64_t W;
+      std::memcpy(&W, P, 8);
+      mix(W);
+      P += 8;
+      Len -= 8;
+    }
+    while (Len != 0) {
+      Carry |= uint64_t(*P++) << (8 * CarryLen++);
+      --Len;
+    }
+  }
+
+  /// The digest of everything fed so far (does not consume the state, so
+  /// callers may checksum a prefix and keep streaming).
+  uint64_t digest() const {
+    uint64_t H = State;
+    H = mixInto(H, Carry);
+    H = mixInto(H, Total);
+    return H;
+  }
+
+  /// One-shot convenience.
+  static uint64_t of(const void *Data, size_t Len) {
+    Checksum64 C;
+    C.update(Data, Len);
+    return C.digest();
+  }
+
+private:
+  static uint64_t mixInto(uint64_t H, uint64_t W) {
+    H ^= W + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+    H *= 0xff51afd7ed558ccdULL;
+    H ^= H >> 33;
+    return H;
+  }
+  void mix(uint64_t W) { State = mixInto(State, W); }
+
+  uint64_t State = 0x4345414c53554d30ULL; // arbitrary nonzero seed
+  uint64_t Total = 0;
+  uint64_t Carry = 0;
+  unsigned CarryLen = 0;
+};
+
+} // namespace ceal
+
+#endif // CEAL_SUPPORT_CHECKSUM_H

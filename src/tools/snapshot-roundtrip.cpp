@@ -1,0 +1,222 @@
+//===- tools/snapshot-roundtrip.cpp - Cross-process persistence gate ------===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// The cross-process half of the snapshot test story: `save` builds a
+// deterministic list computation (map + reverse over a seeded input),
+// checkpoints it with the mutator's handles as roots, and exits; `load`
+// — typically a *different process*, same binary — restores the
+// checkpoint, reconstructs the mutator from the returned roots, then
+// drives thirty seeded detach/reattach edits through propagation,
+// verifying every output against a conventional recomputation with the
+// trace sanitizer on.
+//
+// Snapshots are position-dependent (region bases and code addresses must
+// coincide), so both ends run under `setarch -R` (ASLR off) in CI.
+//
+// Exit codes: 0 success; 2 verification failure; 3 AddressUnavailable
+// (environment cannot honor the base claim — CI treats this as a skip);
+// 4 CodeMoved (ASLR not actually disabled); 5 any other error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/ListApps.h"
+#include "runtime/Runtime.h"
+#include "runtime/Snapshot.h"
+#include "runtime/TraceAudit.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace ceal;
+
+namespace {
+
+constexpr uint64_t BaseSeed = 0x5eedcea15a9f00dULL;
+constexpr size_t InputWords = 48;
+constexpr int EditSteps = 30;
+
+Word mapPaper(Word X, Word) { return X / 3 + X / 7 + X / 9; }
+
+Runtime::Config toolConfig() {
+  Runtime::Config C;
+  C.Audit = AuditLevel::EveryPropagation;
+  return C;
+}
+
+std::vector<Word> seededInput() {
+  Rng R(BaseSeed);
+  std::vector<Word> In(InputWords);
+  for (Word &W : In)
+    W = R.below(1000000);
+  return In;
+}
+
+/// The LIFO detach/reattach discipline from the oracle harness, inlined
+/// so the tool only depends on src/. Reattachment always undoes the most
+/// recent detach, so a reattached cell's stored tail is still correct.
+struct Editor {
+  apps::ListHandle L;
+  std::vector<bool> Attached;
+  std::vector<size_t> DetachStack;
+
+  void randomEdit(Runtime &RT, Rng &R) {
+    bool CanReattach = !DetachStack.empty();
+    if ((!CanReattach || R.flip()) && DetachStack.size() < L.Cells.size()) {
+      std::vector<size_t> Eligible;
+      for (size_t I = 0; I < L.Cells.size(); ++I)
+        if (Attached[I] && (I == 0 || Attached[I - 1]))
+          Eligible.push_back(I);
+      if (!Eligible.empty()) {
+        size_t Index = Eligible[R.below(Eligible.size())];
+        apps::detachCell(RT, L, Index);
+        Attached[Index] = false;
+        DetachStack.push_back(Index);
+        return;
+      }
+    }
+    if (CanReattach) {
+      size_t Index = DetachStack.back();
+      DetachStack.pop_back();
+      apps::reattachCell(RT, L, Index);
+      Attached[Index] = true;
+    }
+  }
+};
+
+std::vector<Word> expectedOutput(Runtime &RT, Modref *Head) {
+  std::vector<Word> Cur = apps::readList(RT, Head);
+  std::vector<Word> Out;
+  for (Word W : Cur)
+    Out.push_back(mapPaper(W, 0));
+  Out.insert(Out.end(), Cur.rbegin(), Cur.rend());
+  return Out;
+}
+
+std::vector<Word> actualOutput(Runtime &RT, Modref *DstMap, Modref *DstRev) {
+  std::vector<Word> Out = apps::readList(RT, DstMap);
+  std::vector<Word> Rev = apps::readList(RT, DstRev);
+  Out.insert(Out.end(), Rev.begin(), Rev.end());
+  return Out;
+}
+
+int runSave(const std::string &Path) {
+  Runtime RT(toolConfig());
+  apps::ListHandle L = apps::buildList(RT, seededInput());
+  Modref *DstMap = RT.modref();
+  Modref *DstRev = RT.modref();
+  RT.runCore<&apps::mapCore>(L.Head, DstMap, &mapPaper, Word(0));
+  RT.runCore<&apps::reverseCore>(L.Head, DstRev);
+
+  if (actualOutput(RT, DstMap, DstRev) != expectedOutput(RT, L.Head)) {
+    std::fprintf(stderr, "save: fresh run output mismatch\n");
+    return 2;
+  }
+
+  Snapshot::SaveOptions Opt;
+  Opt.Roots.push_back(L.Head);
+  Opt.Roots.push_back(DstMap);
+  Opt.Roots.push_back(DstRev);
+  for (apps::Cell *C : L.Cells)
+    Opt.Roots.push_back(C);
+
+  Snapshot::SaveResult SR = Snapshot::save(RT, Path, Opt);
+  if (!SR.ok()) {
+    std::fprintf(stderr, "save: %s: %s\n", Snapshot::statusName(SR.St),
+                 SR.Diagnostic.c_str());
+    return 5;
+  }
+  std::printf("saved %llu bytes, digest %016llx\n",
+              (unsigned long long)SR.FileBytes,
+              (unsigned long long)Snapshot::traceShapeDigest(RT));
+  return 0;
+}
+
+int runLoad(const std::string &Path, bool UseMmap) {
+  Runtime RT(toolConfig());
+  // The checkpoint crossed a process boundary (and in CI, a job-artifact
+  // boundary), so the mmap side runs fully verified rather than on the
+  // trusted-file fast path.
+  Snapshot::WarmStartOptions Verified;
+  Verified.VerifyTrace = true;
+  Snapshot::LoadResult LR = UseMmap
+                                ? Snapshot::mmapWarmStart(RT, Path, Verified)
+                                : Snapshot::load(RT, Path);
+  if (!LR.ok()) {
+    std::fprintf(stderr, "load: %s: %s\n", Snapshot::statusName(LR.St),
+                 LR.Diagnostic.c_str());
+    if (LR.St == Snapshot::Status::AddressUnavailable)
+      return 3;
+    if (LR.St == Snapshot::Status::CodeMoved)
+      return 4;
+    return 5;
+  }
+  if (LR.Roots.size() != 3 + InputWords) {
+    std::fprintf(stderr, "load: expected %zu roots, got %zu\n",
+                 3 + InputWords, LR.Roots.size());
+    return 2;
+  }
+
+  Editor E;
+  E.L.Head = static_cast<Modref *>(LR.Roots[0]);
+  Modref *DstMap = static_cast<Modref *>(LR.Roots[1]);
+  Modref *DstRev = static_cast<Modref *>(LR.Roots[2]);
+  for (size_t I = 3; I < LR.Roots.size(); ++I)
+    E.L.Cells.push_back(static_cast<apps::Cell *>(LR.Roots[I]));
+  E.Attached.assign(E.L.Cells.size(), true); // Checkpoint taken pre-edit.
+
+  std::printf("loaded (%s), digest %016llx\n", UseMmap ? "mmap" : "copy",
+              (unsigned long long)Snapshot::traceShapeDigest(RT));
+
+  if (actualOutput(RT, DstMap, DstRev) != expectedOutput(RT, E.L.Head)) {
+    std::fprintf(stderr, "load: restored output mismatch\n");
+    return 2;
+  }
+
+  for (int Step = 0; Step < EditSteps; ++Step) {
+    uint64_t StepSeed = BaseSeed + uint64_t(Step) + 1;
+    Rng R(splitMix64(StepSeed));
+    E.randomEdit(RT, R);
+    RT.propagate();
+    TraceAudit::Report Audit = TraceAudit::inspect(RT);
+    if (!Audit.ok()) {
+      std::fprintf(stderr, "load: audit failed at step %d:\n%s\n", Step,
+                   Audit.summary().c_str());
+      return 2;
+    }
+    if (actualOutput(RT, DstMap, DstRev) != expectedOutput(RT, E.L.Head)) {
+      std::fprintf(stderr, "load: output mismatch at step %d\n", Step);
+      return 2;
+    }
+  }
+  std::printf("propagated %d edits against the restored trace: ok\n",
+              EditSteps);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  bool UseMmap = false;
+  for (auto It = Args.begin(); It != Args.end();)
+    if (*It == "--mmap") {
+      UseMmap = true;
+      It = Args.erase(It);
+    } else {
+      ++It;
+    }
+  if (Args.size() != 2 || (Args[0] != "save" && Args[0] != "load")) {
+    std::fprintf(stderr,
+                 "usage: snapshot-roundtrip save <file>\n"
+                 "       snapshot-roundtrip load [--mmap] <file>\n");
+    return 5;
+  }
+  return Args[0] == "save" ? runSave(Args[1]) : runLoad(Args[1], UseMmap);
+}

@@ -1,0 +1,55 @@
+//===- tests/SnapshotOracleTest.cpp - Snapshot round-trip oracle ----------===//
+//
+// The checkpoint/restore acceptance suite: every benchmark app runs
+// seeded change sequences through the snapshot harness, which replays
+// each sequence to a rotating split point, checkpoints, destroys the
+// runtime, restores the file into a fresh one (rotating between the
+// copying load and the mmap warm start), and finishes the sequence there
+// — asserting after every step that the reloaded runtime's trace-shape
+// digest and output are identical to a continuously-running oracle's,
+// and that the conventional recomputation still agrees.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tests/support/OracleModels.h"
+#include "tests/support/SnapshotHarness.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace ceal;
+using namespace ceal::harness;
+
+namespace {
+
+template <typename ModelT, typename... Args>
+ModelFactory factory(Args... As) {
+  return [=] { return std::make_unique<ModelT>(As...); };
+}
+
+} // namespace
+
+TEST(SnapshotOracle, ListPrimitives) {
+  EXPECT_EQ(runSnapshotHarness(factory<ListModel>()), "");
+}
+
+TEST(SnapshotOracle, ExpressionTrees) {
+  EXPECT_EQ(runSnapshotHarness(factory<ExpTreeModel>()), "");
+}
+
+TEST(SnapshotOracle, TreeContraction) {
+  EXPECT_EQ(runSnapshotHarness(factory<TreeContractionModel>()), "");
+}
+
+TEST(SnapshotOracle, Quickhull) {
+  EXPECT_EQ(runSnapshotHarness(factory<QuickhullModel>()), "");
+}
+
+TEST(SnapshotOracle, Diameter) {
+  EXPECT_EQ(runSnapshotHarness(factory<DiameterModel>()), "");
+}
+
+TEST(SnapshotOracle, Distance) {
+  EXPECT_EQ(runSnapshotHarness(factory<DistanceModel>()), "");
+}

@@ -1,0 +1,553 @@
+//===- tests/SnapshotTest.cpp - Snapshot format and loader hardening ------===//
+//
+// The snapshot subsystem's unit suite: round trips over both load paths
+// (copying load and mmap warm start), the trace-shape digest, root
+// persistence, and — the bulk — the corruption-hardened load path: every
+// documented failure mode is provoked with a targeted patch of a valid
+// checkpoint image and must come back as its own Status code with the
+// runtime left usable. A 64-case seeded corruption smoke (the tier-1
+// slice of the full fuzz suite) closes the file.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/ListApps.h"
+#include "runtime/Runtime.h"
+#include "runtime/Snapshot.h"
+#include "runtime/TraceAudit.h"
+#include "tests/support/OracleModels.h"
+#include "tests/support/SnapshotCorruption.h"
+#include "tests/support/SnapshotHarness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace ceal;
+using namespace ceal::harness;
+
+namespace {
+
+using St = Snapshot::Status;
+
+Word mapPaper(Word X, Word) { return X / 3 + X / 7 + X / 9; }
+
+Runtime::Config testConfig() {
+  Runtime::Config C;
+  C.Audit = AuditLevel::EveryPropagation;
+  return C;
+}
+
+/// A checkpoint of a small map-over-list computation, its source runtime
+/// already destroyed (so a loader can claim the recorded bases), plus
+/// everything a test needs to patch and replay it.
+struct Checkpoint {
+  TempFile Tmp;
+  std::vector<uint8_t> Bytes;
+  std::vector<const void *> SavedRoots;
+  uint64_t SavedDigest = 0;
+  std::vector<Word> Input;
+};
+
+void makeCheckpoint(Checkpoint &C, size_t N = 24) {
+  for (size_t I = 0; I < N; ++I)
+    C.Input.push_back((I * 2654435761u) % 1000);
+  Runtime RT(testConfig());
+  apps::ListHandle L = apps::buildList(RT, C.Input);
+  Modref *Dst = RT.modref();
+  RT.runCore<&apps::mapCore>(L.Head, Dst, &mapPaper, Word(0));
+  Snapshot::SaveOptions Opt;
+  Opt.Roots = {L.Head, Dst};
+  Snapshot::SaveResult SR = Snapshot::save(RT, C.Tmp.Path, Opt);
+  EXPECT_TRUE(SR.ok()) << Snapshot::statusName(SR.St) << ": "
+                       << SR.Diagnostic;
+  C.Bytes = slurpFile(C.Tmp.Path);
+  EXPECT_EQ(C.Bytes.size(), SR.FileBytes);
+  C.SavedRoots = Opt.Roots;
+  C.SavedDigest = Snapshot::traceShapeDigest(RT);
+}
+
+/// Writes \p B over the checkpoint's temp file and loads it into a fresh
+/// runtime; returns the status (and optionally the diagnostic). The mmap
+/// side runs fully verified — the negative-path guarantees belong to the
+/// verified loaders (the fast warm start trusts the arena payload by
+/// contract; see WarmStartOptions).
+St tryLoad(Checkpoint &C, const std::vector<uint8_t> &B, bool UseMmap = false,
+           std::string *Diag = nullptr) {
+  EXPECT_TRUE(spitFile(C.Tmp.Path, B));
+  Runtime RT(testConfig());
+  Snapshot::WarmStartOptions Verified;
+  Verified.VerifyTrace = true;
+  Snapshot::LoadResult LR = UseMmap
+                                ? Snapshot::mmapWarmStart(RT, C.Tmp.Path,
+                                                          Verified)
+                                : Snapshot::load(RT, C.Tmp.Path);
+  if (Diag)
+    *Diag = LR.Diagnostic;
+  return LR.St;
+}
+
+/// Patches a u64 field at absolute file offset \p Off.
+void pokeU64(std::vector<uint8_t> &B, size_t Off, uint64_t V) {
+  ASSERT_LE(Off + 8, B.size());
+  std::memcpy(B.data() + Off, &V, 8);
+}
+
+uint64_t peekU64(const std::vector<uint8_t> &B, size_t Off) {
+  uint64_t V = 0;
+  std::memcpy(&V, B.data() + Off, 8);
+  return V;
+}
+
+/// Absolute file offset of a MetaFixed field (the META section payload
+/// starts with the 8-byte kind preamble).
+size_t metaOff(std::vector<uint8_t> &B, size_t FieldOff) {
+  return static_cast<size_t>(headerOf(B)->Sections[0].Offset) + 8 + FieldOff;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Round trips
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Saves, destroys the source runtime, reloads on the given path, and
+/// checks digest, roots, output, and continued propagation.
+void roundTrip(bool UseMmap) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  Runtime RT(testConfig());
+  Snapshot::LoadResult LR = UseMmap ? Snapshot::mmapWarmStart(RT, C.Tmp.Path)
+                                    : Snapshot::load(RT, C.Tmp.Path);
+  ASSERT_TRUE(LR.ok()) << Snapshot::statusName(LR.St) << ": "
+                       << LR.Diagnostic;
+
+  // Same addresses, same shape, same output.
+  ASSERT_EQ(LR.Roots.size(), C.SavedRoots.size());
+  for (size_t I = 0; I < LR.Roots.size(); ++I)
+    EXPECT_EQ(LR.Roots[I], C.SavedRoots[I]);
+  EXPECT_EQ(Snapshot::traceShapeDigest(RT), C.SavedDigest);
+  EXPECT_TRUE(TraceAudit::inspect(RT).ok());
+
+  Modref *Head = static_cast<Modref *>(LR.Roots[0]);
+  Modref *Dst = static_cast<Modref *>(LR.Roots[1]);
+  std::vector<Word> Want;
+  for (Word W : C.Input)
+    Want.push_back(mapPaper(W, 0));
+  EXPECT_EQ(apps::readList(RT, Dst), Want);
+
+  // The restored trace must still propagate. The simplest structural
+  // edit that exercises it without the harness: detach the head cell by
+  // writing its tail into Head.
+  apps::Cell *HeadCell = reinterpret_cast<apps::Cell *>(RT.deref(Head));
+  ASSERT_NE(HeadCell, nullptr);
+  RT.modify(Head, RT.deref(HeadCell->Tail));
+  RT.propagate();
+  EXPECT_TRUE(TraceAudit::inspect(RT).ok());
+  Want.erase(Want.begin());
+  EXPECT_EQ(apps::readList(RT, Dst), Want);
+}
+
+} // namespace
+
+TEST(Snapshot, RoundTripCopyLoad) { roundTrip(false); }
+TEST(Snapshot, RoundTripMmapWarmStart) { roundTrip(true); }
+
+TEST(Snapshot, EmptyRuntimeRoundTrip) {
+  TempFile Tmp;
+  {
+    Runtime RT(testConfig());
+    Snapshot::SaveResult SR = Snapshot::save(RT, Tmp.Path);
+    ASSERT_TRUE(SR.ok()) << SR.Diagnostic;
+  }
+  Runtime RT(testConfig());
+  Snapshot::LoadResult LR = Snapshot::load(RT, Tmp.Path);
+  ASSERT_TRUE(LR.ok()) << Snapshot::statusName(LR.St) << ": "
+                       << LR.Diagnostic;
+  // The restored pristine runtime must still run a computation.
+  apps::ListHandle L = apps::buildList(RT, {1, 2, 3});
+  Modref *Dst = RT.modref();
+  RT.runCore<&apps::mapCore>(L.Head, Dst, &mapPaper, Word(0));
+  EXPECT_EQ(apps::readList(RT, Dst).size(), 3u);
+}
+
+TEST(Snapshot, DigestIsDeterministicAndShapeSensitive) {
+  auto DigestOf = [](size_t N) {
+    Runtime RT(testConfig());
+    std::vector<Word> In;
+    for (size_t I = 0; I < N; ++I)
+      In.push_back(I * 7);
+    apps::ListHandle L = apps::buildList(RT, In);
+    Modref *Dst = RT.modref();
+    RT.runCore<&apps::mapCore>(L.Head, Dst, &mapPaper, Word(0));
+    return Snapshot::traceShapeDigest(RT);
+  };
+  EXPECT_EQ(DigestOf(16), DigestOf(16));
+  EXPECT_NE(DigestOf(16), DigestOf(17));
+}
+
+TEST(Snapshot, ReadyToSaveReportsWhy) {
+  Runtime RT(testConfig());
+  std::string Why;
+  EXPECT_TRUE(Snapshot::readyToSave(RT, &Why)) << Why;
+}
+
+//===----------------------------------------------------------------------===//
+// Save-side failures
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshot, SaveRejectsBadRoots) {
+  Runtime RT(testConfig());
+  apps::ListHandle L = apps::buildList(RT, {1, 2, 3});
+  Modref *Dst = RT.modref();
+  RT.runCore<&apps::mapCore>(L.Head, Dst, &mapPaper, Word(0));
+  TempFile Tmp;
+
+  Snapshot::SaveOptions Null;
+  Null.Roots = {nullptr};
+  EXPECT_EQ(Snapshot::save(RT, Tmp.Path, Null).St, St::BadState);
+
+  int Stack = 0;
+  Snapshot::SaveOptions Foreign;
+  Foreign.Roots = {&Stack};
+  EXPECT_EQ(Snapshot::save(RT, Tmp.Path, Foreign).St, St::BadState);
+}
+
+TEST(Snapshot, SaveReportsIoError) {
+  Runtime RT(testConfig());
+  Snapshot::SaveResult SR =
+      Snapshot::save(RT, "/nonexistent-dir/ceal-snapshot");
+  EXPECT_EQ(SR.St, St::IoError);
+  EXPECT_FALSE(SR.Diagnostic.empty());
+}
+
+TEST(Snapshot, LoadIntoNonPristineRuntimeIsBadState) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  Runtime RT(testConfig());
+  apps::ListHandle L = apps::buildList(RT, {4, 5});
+  Modref *Dst = RT.modref();
+  RT.runCore<&apps::mapCore>(L.Head, Dst, &mapPaper, Word(0));
+  EXPECT_EQ(Snapshot::load(RT, C.Tmp.Path).St, St::BadState);
+}
+
+//===----------------------------------------------------------------------===//
+// Negative paths: every failure mode is its own Status
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshot, LoadReportsIoError) {
+  Runtime RT(testConfig());
+  EXPECT_EQ(Snapshot::load(RT, "/nonexistent-dir/ceal-snapshot").St,
+            St::IoError);
+}
+
+TEST(Snapshot, ZeroLengthFileIsTruncated) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  EXPECT_EQ(tryLoad(C, {}), St::Truncated);
+}
+
+TEST(Snapshot, ShortTailIsTruncated) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  B.resize(B.size() - 7);
+  EXPECT_EQ(tryLoad(C, B), St::Truncated);
+}
+
+TEST(Snapshot, WrongMagicIsBadMagic) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  headerOf(B)->MagicWord = 0x00c0ffee00c0ffeeULL;
+  resealHeader(B);
+  EXPECT_EQ(tryLoad(C, B), St::BadMagic);
+}
+
+TEST(Snapshot, ByteswappedMagicIsBadEndian) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  uint64_t M = headerOf(B)->MagicWord, Sw = 0;
+  for (int I = 0; I < 8; ++I)
+    Sw = (Sw << 8) | ((M >> (8 * I)) & 0xff);
+  headerOf(B)->MagicWord = Sw;
+  EXPECT_EQ(tryLoad(C, B), St::BadEndian);
+}
+
+TEST(Snapshot, EndianTagMismatchIsBadEndian) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  headerOf(B)->Endian = 0x04030201;
+  resealHeader(B);
+  EXPECT_EQ(tryLoad(C, B), St::BadEndian);
+}
+
+TEST(Snapshot, FutureVersionIsBadVersion) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  headerOf(B)->Version = Snapshot::FormatVersion + 1;
+  resealHeader(B);
+  EXPECT_EQ(tryLoad(C, B), St::BadVersion);
+}
+
+TEST(Snapshot, LayoutFingerprintMismatchIsBadLayout) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  headerOf(B)->LayoutFingerprint ^= 1;
+  resealHeader(B);
+  EXPECT_EQ(tryLoad(C, B), St::BadLayout);
+}
+
+TEST(Snapshot, HeaderCorruptionIsBadHeader) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  B[sizeof(Snapshot::FileHeader) + 17] ^= 0x40; // header-block padding
+  EXPECT_EQ(tryLoad(C, B), St::BadHeader);
+}
+
+TEST(Snapshot, TrailingGarbageIsBadSectionTable) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  B.insert(B.end(), 8, uint8_t(0xAB));
+  EXPECT_EQ(tryLoad(C, B), St::BadSectionTable);
+}
+
+TEST(Snapshot, InflatedSectionLengthIsBadSectionTable) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  headerOf(B)->Sections[0].Length += 8;
+  resealHeader(B);
+  EXPECT_EQ(tryLoad(C, B), St::BadSectionTable);
+}
+
+TEST(Snapshot, PayloadCorruptionIsBadChecksum) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  B[static_cast<size_t>(headerOf(B)->Sections[0].Offset) + 9] ^= 0x01;
+  EXPECT_EQ(tryLoad(C, B), St::BadChecksum);
+}
+
+TEST(Snapshot, MemoPayloadSwapIsBadSectionKind) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  Snapshot::FileHeader *H = headerOf(B);
+  ASSERT_EQ(H->Sections[1].Length, H->Sections[2].Length)
+      << "memo sections expected symmetric at this scale";
+  std::vector<uint8_t> Tmp(
+      B.begin() + static_cast<ptrdiff_t>(H->Sections[1].Offset),
+      B.begin() +
+          static_cast<ptrdiff_t>(H->Sections[1].Offset +
+                                 H->Sections[1].Length));
+  std::memmove(B.data() + H->Sections[1].Offset,
+               B.data() + H->Sections[2].Offset, H->Sections[2].Length);
+  std::memcpy(B.data() + H->Sections[2].Offset, Tmp.data(), Tmp.size());
+  std::swap(H->Sections[1].Checksum, H->Sections[2].Checksum);
+  resealHeader(B);
+  EXPECT_EQ(tryLoad(C, B), St::BadSectionKind);
+}
+
+TEST(Snapshot, ZeroOmSizeIsBadMeta) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  pokeU64(B, metaOff(B, offsetof(Snapshot::MetaFixed, OmSize)), 0);
+  resealSection(B, 0);
+  resealHeader(B);
+  EXPECT_EQ(tryLoad(C, B), St::BadMeta);
+}
+
+TEST(Snapshot, CursorPastArenaIsHandleOutOfBounds) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  uint64_t Past = headerOf(B)->OmBumpUsed + 1024;
+  pokeU64(B, metaOff(B, offsetof(Snapshot::MetaFixed, CursorOff)), Past);
+  resealSection(B, 0);
+  resealHeader(B);
+  EXPECT_EQ(tryLoad(C, B), St::HandleOutOfBounds);
+}
+
+TEST(Snapshot, MovedAnchorIsCodeMoved) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  headerOf(B)->AnchorAddr += 0x10000;
+  resealHeader(B);
+  EXPECT_EQ(tryLoad(C, B), St::CodeMoved);
+}
+
+TEST(Snapshot, BoxBytesMismatchIsConfigMismatch) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  Runtime::Config Cfg = testConfig();
+  Cfg.BoxBytesPerNode += 8;
+  Runtime RT(Cfg);
+  EXPECT_EQ(Snapshot::load(RT, C.Tmp.Path).St, St::ConfigMismatch);
+}
+
+TEST(Snapshot, BrokenAccountingIsAuditFailed) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  uint64_t Off = metaOff(B, offsetof(Snapshot::MetaFixed, MetaBytes));
+  pokeU64(B, Off, peekU64(B, Off) + 8);
+  resealSection(B, 0);
+  resealHeader(B);
+  std::string Diag;
+  EXPECT_EQ(tryLoad(C, B, /*UseMmap=*/false, &Diag), St::AuditFailed);
+  EXPECT_FALSE(Diag.empty());
+}
+
+TEST(Snapshot, FailedLoadLeavesRuntimeUsable) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  // A post-claim failure (AuditFailed) is the hard case: the loader has
+  // already replaced the arena regions and must restore a pristine,
+  // usable runtime.
+  std::vector<uint8_t> B = C.Bytes;
+  uint64_t Off = metaOff(B, offsetof(Snapshot::MetaFixed, MetaBytes));
+  pokeU64(B, Off, peekU64(B, Off) + 8);
+  resealSection(B, 0);
+  resealHeader(B);
+  TempFile Bad;
+  ASSERT_TRUE(spitFile(Bad.Path, B));
+
+  Runtime RT(testConfig());
+  Snapshot::LoadResult LR = Snapshot::load(RT, Bad.Path);
+  ASSERT_EQ(LR.St, St::AuditFailed) << LR.Diagnostic;
+  EXPECT_TRUE(LR.Roots.empty());
+
+  // Still pristine: a good checkpoint must now load into the same
+  // runtime and produce the right output.
+  ASSERT_TRUE(spitFile(C.Tmp.Path, C.Bytes));
+  Snapshot::LoadResult Good = Snapshot::load(RT, C.Tmp.Path);
+  ASSERT_TRUE(Good.ok()) << Snapshot::statusName(Good.St) << ": "
+                         << Good.Diagnostic;
+  Modref *Dst = static_cast<Modref *>(Good.Roots[1]);
+  std::vector<Word> Want;
+  for (Word W : C.Input)
+    Want.push_back(mapPaper(W, 0));
+  EXPECT_EQ(apps::readList(RT, Dst), Want);
+}
+
+//===----------------------------------------------------------------------===//
+// Fast warm start: the trusted-file contract
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Loads \p B on the *default* (trusted-file) mmap warm start.
+St tryFastMmap(Checkpoint &C, const std::vector<uint8_t> &B) {
+  EXPECT_TRUE(spitFile(C.Tmp.Path, B));
+  Runtime RT(testConfig());
+  return Snapshot::mmapWarmStart(RT, C.Tmp.Path).St;
+}
+
+} // namespace
+
+TEST(Snapshot, FastWarmStartStillChecksStructure) {
+  // The fast path skips arena *content* verification only; the header,
+  // META, memo-index and root sections plus every offset the loader
+  // installs stay fully checked, so structural corruption comes back
+  // with the same codes as on the verified paths.
+  Checkpoint C;
+  makeCheckpoint(C);
+
+  std::vector<uint8_t> B = C.Bytes;
+  B.resize(B.size() - 7);
+  EXPECT_EQ(tryFastMmap(C, B), St::Truncated);
+
+  B = C.Bytes;
+  headerOf(B)->MagicWord = 0x00c0ffee00c0ffeeULL;
+  resealHeader(B);
+  EXPECT_EQ(tryFastMmap(C, B), St::BadMagic);
+
+  B = C.Bytes;
+  B[sizeof(Snapshot::FileHeader) + 17] ^= 0x40; // header-block padding
+  EXPECT_EQ(tryFastMmap(C, B), St::BadHeader);
+
+  B = C.Bytes;
+  B[static_cast<size_t>(headerOf(B)->Sections[0].Offset) + 9] ^= 0x01;
+  EXPECT_EQ(tryFastMmap(C, B), St::BadChecksum);
+
+  B = C.Bytes;
+  uint64_t Past = headerOf(B)->OmBumpUsed + 1024;
+  pokeU64(B, metaOff(B, offsetof(Snapshot::MetaFixed, CursorOff)), Past);
+  resealSection(B, 0);
+  resealHeader(B);
+  EXPECT_EQ(tryFastMmap(C, B), St::HandleOutOfBounds);
+}
+
+TEST(Snapshot, FastWarmStartTrustsArenaPayload) {
+  // The flip side of the contract: a byte flip inside the mapped arena
+  // payload is exactly what the fast path does NOT check (that skip is
+  // the O(metadata) payoff) and exactly what VerifyTrace catches. The
+  // patched byte sits in the MEM section's trailing page padding —
+  // covered by the section checksum, but past the bump cursor, so
+  // nothing ever reads it and the fast-loaded runtime stays correct.
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  Snapshot::FileHeader *H = headerOf(B);
+  const size_t IMem = 4;
+  ASSERT_LT(H->MemBumpUsed, H->Sections[IMem].Length)
+      << "checkpoint expected to carry MEM tail padding at this scale";
+  B[static_cast<size_t>(H->Sections[IMem].Offset + H->MemBumpUsed)] ^= 0x01;
+
+  // Both verified paths reject it as content corruption...
+  EXPECT_EQ(tryLoad(C, B, /*UseMmap=*/false), St::BadChecksum);
+  EXPECT_EQ(tryLoad(C, B, /*UseMmap=*/true), St::BadChecksum);
+
+  // ...and the trusted fast path accepts it and still runs.
+  ASSERT_TRUE(spitFile(C.Tmp.Path, B));
+  Runtime RT(testConfig());
+  Snapshot::LoadResult LR = Snapshot::mmapWarmStart(RT, C.Tmp.Path);
+  ASSERT_TRUE(LR.ok()) << Snapshot::statusName(LR.St) << ": "
+                       << LR.Diagnostic;
+  EXPECT_EQ(Snapshot::traceShapeDigest(RT), C.SavedDigest);
+  Modref *Dst = static_cast<Modref *>(LR.Roots[1]);
+  std::vector<Word> Want;
+  for (Word W : C.Input)
+    Want.push_back(mapPaper(W, 0));
+  EXPECT_EQ(apps::readList(RT, Dst), Want);
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption smoke (tier-1 slice of the fuzz suite)
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshot, CorruptionSmoke64) {
+  Checkpoint C;
+  makeCheckpoint(C);
+  for (uint64_t Seed = 0; Seed < 64; ++Seed) {
+    std::string Desc;
+    std::vector<uint8_t> Mutant = mutateSnapshot(C.Bytes, Seed, &Desc);
+    std::string Diag;
+    St S = tryLoad(C, Mutant, /*UseMmap=*/(Seed & 1) != 0, &Diag);
+    EXPECT_NE(S, St::Ok) << "seed " << Seed << " (" << Desc
+                         << ") loaded successfully";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// In-process harness smoke (the full matrix lives in SnapshotOracleTest)
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshot, ListHarnessSmoke) {
+  SnapshotHarnessOptions Opt;
+  Opt.Sequences = 3;
+  Opt.Changes = 4;
+  EXPECT_EQ(runSnapshotHarness(
+                [] { return std::make_unique<ListModel>(8, 24); }, Opt),
+            "");
+}

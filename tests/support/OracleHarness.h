@@ -64,6 +64,15 @@ public:
   /// The expected output, recomputed from scratch conventionally from the
   /// current (edited) input.
   virtual std::vector<Word> expected(Runtime &RT) = 0;
+
+  /// A copy of this model's *mutator* state (what expected() computes
+  /// from), independent of any Runtime. The snapshot round-trip harness
+  /// clones the continuously-running model at the checkpoint so the
+  /// reloaded runtime gets a model whose bookkeeping matches the restored
+  /// trace. Models whose state is memberwise-copyable implement this with
+  /// their copy constructor; the default (null) opts the model out of
+  /// snapshot harness runs.
+  virtual std::unique_ptr<AppModel> clone() const { return nullptr; }
 };
 
 using ModelFactory = std::function<std::unique_ptr<AppModel>()>;

@@ -155,6 +155,10 @@ public:
     return Out;
   }
 
+  std::unique_ptr<AppModel> clone() const override {
+    return std::make_unique<ListModel>(*this);
+  }
+
 private:
   static void appendList(std::vector<Word> &Out, const std::vector<Word> &L) {
     Out.push_back(L.size());
@@ -189,6 +193,10 @@ public:
     // The core evaluates the same operation tree in the same association
     // order, so the doubles are bitwise identical.
     return {toWord(apps::evalExpConventional(RT, Tree.Root))};
+  }
+
+  std::unique_ptr<AppModel> clone() const override {
+    return std::make_unique<ExpTreeModel>(*this);
   }
 
 private:
@@ -236,6 +244,10 @@ public:
 
   std::vector<Word> expected(Runtime &) override {
     return {apps::tcContractConventional(Forest.Adj)};
+  }
+
+  std::unique_ptr<AppModel> clone() const override {
+    return std::make_unique<TreeContractionModel>(*this);
   }
 
 private:
@@ -294,6 +306,10 @@ public:
     return Out;
   }
 
+  std::unique_ptr<AppModel> clone() const override {
+    return std::make_unique<QuickhullModel>(*this);
+  }
+
 private:
   ListEditor Edit;
   Modref *Dst = nullptr;
@@ -313,6 +329,10 @@ public:
 
   std::vector<Word> expected(Runtime &RT) override {
     return {toWord(apps::conv::diameter2(activePoints(RT, Edit)))};
+  }
+
+  std::unique_ptr<AppModel> clone() const override {
+    return std::make_unique<DiameterModel>(*this);
   }
 
 private:
@@ -339,6 +359,10 @@ public:
   std::vector<Word> expected(Runtime &RT) override {
     return {toWord(apps::conv::distance2(activePoints(RT, EditA),
                                          activePoints(RT, EditB)))};
+  }
+
+  std::unique_ptr<AppModel> clone() const override {
+    return std::make_unique<DistanceModel>(*this);
   }
 
 private:

@@ -1,0 +1,194 @@
+//===- tests/support/SnapshotCorruption.h - Snapshot fuzz engine -*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The corruption engine behind the snapshot fuzz suites: seeded
+/// mutations of a valid checkpoint file that are *guaranteed detectable*
+/// — every strategy either breaks a checksum it does not repair, or
+/// repairs the checksums and breaks an invariant the loader (or the
+/// load-time trace validator) provably checks. The property under test:
+/// the loader returns a diagnostic error on every mutant, and never
+/// crashes or trips a sanitizer.
+///
+/// Strategies (selected by seed):
+///   0. bit flip anywhere in the file (full-byte checksum coverage
+///      catches it wherever it lands);
+///   1. truncation to any shorter length;
+///   2. section length-field inflation with the header resealed (breaks
+///      section-table contiguity);
+///   3. checksum-preserving payload swap of the two memo sections, their
+///      table checksums swapped and the header resealed (the section
+///      kind preambles catch it);
+///   4. orphaning a non-empty memo bucket with both checksums resealed
+///      (the load validator's membership count catches it).
+///
+/// Tests can also use the reseal helpers directly to build targeted
+/// negative-path inputs (patch a field, reseal, expect a specific
+/// Status).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_TESTS_SUPPORT_SNAPSHOTCORRUPTION_H
+#define CEAL_TESTS_SUPPORT_SNAPSHOTCORRUPTION_H
+
+#include "runtime/Snapshot.h"
+#include "support/Checksum.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ceal {
+namespace harness {
+
+inline std::vector<uint8_t> slurpFile(const std::string &Path) {
+  std::vector<uint8_t> B;
+  if (std::FILE *F = std::fopen(Path.c_str(), "rb")) {
+    std::fseek(F, 0, SEEK_END);
+    long N = std::ftell(F);
+    std::fseek(F, 0, SEEK_SET);
+    B.resize(N > 0 ? static_cast<size_t>(N) : 0);
+    if (!B.empty() && std::fread(B.data(), 1, B.size(), F) != B.size())
+      B.clear();
+    std::fclose(F);
+  }
+  return B;
+}
+
+inline bool spitFile(const std::string &Path, const std::vector<uint8_t> &B) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = B.empty() || std::fwrite(B.data(), 1, B.size(), F) == B.size();
+  return (std::fclose(F) == 0) && Ok;
+}
+
+/// A mutable view of the header inside a file image.
+inline Snapshot::FileHeader *headerOf(std::vector<uint8_t> &B) {
+  return B.size() >= sizeof(Snapshot::FileHeader)
+             ? reinterpret_cast<Snapshot::FileHeader *>(B.data())
+             : nullptr;
+}
+
+/// Recomputes the header-block checksum (whole 4096-byte block, checksum
+/// field zeroed) after a header patch.
+inline void resealHeader(std::vector<uint8_t> &B) {
+  Snapshot::FileHeader *H = headerOf(B);
+  if (!H || B.size() < Snapshot::HeaderBytes)
+    return;
+  H->HeaderChecksum = 0;
+  H->HeaderChecksum = Checksum64::of(B.data(), Snapshot::HeaderBytes);
+}
+
+/// Recomputes section \p Index's table checksum after a payload patch.
+/// Does not reseal the header; call resealHeader() after.
+inline void resealSection(std::vector<uint8_t> &B, size_t Index) {
+  Snapshot::FileHeader *H = headerOf(B);
+  if (!H || Index >= Snapshot::NumSections)
+    return;
+  Snapshot::SectionEntry &E = H->Sections[Index];
+  if (E.Offset + E.Length <= B.size())
+    E.Checksum = Checksum64::of(B.data() + E.Offset, E.Length);
+}
+
+/// One seeded, guaranteed-detectable mutation of a valid snapshot image.
+/// Returns the mutant and a one-line description for failure messages.
+inline std::vector<uint8_t> mutateSnapshot(std::vector<uint8_t> B,
+                                           uint64_t Seed,
+                                           std::string *Desc = nullptr) {
+  uint64_t State = Seed ^ 0xc0bb1e5ULL;
+  Rng R(splitMix64(State));
+  Snapshot::FileHeader *H = headerOf(B);
+  auto Describe = [&](const std::string &S) {
+    if (Desc)
+      *Desc = S;
+  };
+  unsigned Strategy = H ? unsigned(R.below(5)) : 0;
+  switch (Strategy) {
+  case 1: { // Truncation (any cut strictly shorter than the file).
+    size_t Cut = R.below(B.size());
+    Describe("truncate to " + std::to_string(Cut) + " bytes");
+    B.resize(Cut);
+    return B;
+  }
+  case 2: { // Length-field inflation, header resealed.
+    size_t Index = R.below(Snapshot::NumSections);
+    uint64_t Delta = 8 * (1 + R.below(64));
+    Describe("inflate section " + std::to_string(Index) + " length by " +
+             std::to_string(Delta));
+    H->Sections[Index].Length += Delta;
+    resealHeader(B);
+    return B;
+  }
+  case 3: { // Checksum-preserving payload swap of the memo sections.
+    Snapshot::SectionEntry &RE = H->Sections[1]; // MEMO_READ
+    Snapshot::SectionEntry &AE = H->Sections[2]; // MEMO_ALLOC
+    if (RE.Length == AE.Length && AE.Offset + AE.Length <= B.size()) {
+      Describe("swap memo payloads, swap their checksums, reseal header");
+      std::vector<uint8_t> Tmp(B.begin() + static_cast<ptrdiff_t>(RE.Offset),
+                               B.begin() +
+                                   static_cast<ptrdiff_t>(RE.Offset +
+                                                          RE.Length));
+      std::memmove(B.data() + RE.Offset, B.data() + AE.Offset, AE.Length);
+      std::memcpy(B.data() + AE.Offset, Tmp.data(), Tmp.size());
+      std::swap(RE.Checksum, AE.Checksum);
+      resealHeader(B);
+      return B;
+    }
+    break; // Unequal lengths: fall through to a bit flip.
+  }
+  case 4: { // Orphan a non-empty memo bucket, both checksums resealed.
+    size_t Index = 1 + R.below(2); // MEMO_READ or MEMO_ALLOC
+    Snapshot::SectionEntry &E = H->Sections[Index];
+    // Payload: 8-byte preamble, 8-byte bucket count, then the bucket
+    // head offsets.
+    if (E.Offset + 16 <= B.size()) {
+      uint64_t Buckets;
+      std::memcpy(&Buckets, B.data() + E.Offset + 8, 8);
+      std::vector<size_t> NonEmpty;
+      for (uint64_t I = 0; I < Buckets; ++I) {
+        size_t At = E.Offset + 16 + I * 8;
+        if (At + 8 > B.size() || At + 8 > E.Offset + E.Length)
+          break;
+        uint64_t Head;
+        std::memcpy(&Head, B.data() + At, 8);
+        if (Head != 0)
+          NonEmpty.push_back(At);
+      }
+      if (!NonEmpty.empty()) {
+        size_t At = NonEmpty[R.below(NonEmpty.size())];
+        Describe("orphan memo bucket at file offset " + std::to_string(At) +
+                 ", reseal section " + std::to_string(Index) + " + header");
+        uint64_t Zero = 0;
+        std::memcpy(B.data() + At, &Zero, 8);
+        resealSection(B, Index);
+        resealHeader(B);
+        return B;
+      }
+    }
+    break; // No non-empty bucket: fall through to a bit flip.
+  }
+  default:
+    break;
+  }
+  // Strategy 0 and every fallback: flip one bit anywhere. Every file byte
+  // is covered by the header-block checksum or a section checksum, and
+  // none is resealed here.
+  size_t Byte = R.below(B.size());
+  unsigned Bit = unsigned(R.below(8));
+  Describe("flip bit " + std::to_string(Bit) + " of byte " +
+           std::to_string(Byte));
+  B[Byte] ^= uint8_t(1u << Bit);
+  return B;
+}
+
+} // namespace harness
+} // namespace ceal
+
+#endif // CEAL_TESTS_SUPPORT_SNAPSHOTCORRUPTION_H
