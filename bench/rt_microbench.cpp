@@ -5,7 +5,7 @@
 // insertion, closure creation, traced reads/writes, memo lookups, and
 // small change-propagation cycles.
 //
-// Before the timing loops run, main() writes BENCH_rt.json with three
+// Before the timing loops run, main() writes BENCH_rt.json with four
 // sections CI tracks PR over PR:
 //
 //  * "closure_env" — a deterministic closure-environment census over the
@@ -24,7 +24,12 @@
 //    "construction_profile" of the from-scratch run (run_core time, OM /
 //    arena / memo / dispatch counters, deferred memo-build time) and a
 //    "propagation_profile" of the update loop (re-execute / revoke /
-//    memo-lookup / queue time, interval-size and use-scan histograms).
+//    memo-lookup / queue time, interval-size and use-scan histograms);
+//  * "parallel_safety" — the determinacy-race audit (runtime/RaceCheck)
+//    over the headline apps: batched-edit propagations partitioned into
+//    OM-timestamp interval groups, with per-app conflict counts, the
+//    detector-off vs. detector-on loop times, and the partitionability
+//    verdict (scripts/check_parallel_safety.py gates on this section).
 //
 //===----------------------------------------------------------------------===//
 
@@ -334,15 +339,54 @@ void writeUpdateBench(std::ostream &Out, double Scale, size_t Samples) {
   Out << "  ]";
 }
 
+/// The determinacy-race audit over the seven headline apps: batched-edit
+/// propagations partitioned into OM-timestamp interval groups
+/// (runtime/RaceCheck), detector off vs. on on the same trace. CI's
+/// check_parallel_safety.py gates on the conflict counts and the
+/// detector-off/on ratio; docs/PARALLEL_SAFETY.md is regenerated from
+/// this section.
+void writeParallelSafety(std::ostream &Out, double Scale, size_t Samples) {
+  using namespace bench;
+  auto Scaled = [&](size_t Base) {
+    return std::max<size_t>(16, size_t(double(Base) * Scale));
+  };
+  // Each round is two propagations (batch + inverse batch); scale the
+  // round count off the update-sample knob so smoke runs stay fast.
+  size_t Rounds = std::max<size_t>(4, Samples / 8);
+  std::vector<ParallelSafetyRow> Rows;
+  Rows.push_back(parallelSafetyList(ListKind::Filter, Scaled(100000), Rounds));
+  Rows.push_back(parallelSafetyList(ListKind::Map, Scaled(100000), Rounds));
+  Rows.push_back(
+      parallelSafetyList(ListKind::Minimum, Scaled(100000), Rounds));
+  Rows.push_back(
+      parallelSafetyList(ListKind::Quicksort, Scaled(10000), Rounds));
+  Rows.push_back(parallelSafetyExpTrees(Scaled(100000), Rounds));
+  Rows.push_back(
+      parallelSafetyGeometry(GeoKind::Quickhull, Scaled(20000), Rounds));
+  Rows.push_back(parallelSafetyTreeContraction(Scaled(20000), Rounds));
+
+  Runtime::Config Defaults;
+  Out << "  \"parallel_safety\": {\n    \"detector_intervals\": "
+      << Defaults.RaceCheckIntervals << ",\n    \"apps\": [\n";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    Out << "    ";
+    Rows[I].writeJson(Out);
+    Out << (I + 1 < Rows.size() ? ",\n" : "\n");
+  }
+  Out << "    ]\n  }";
+}
+
 void writeBenchJson(const char *Path, double Scale, size_t Samples) {
   std::ofstream Out(Path);
   Out << "{\n";
   writeClosureCensus(Out);
   Out << ",\n";
   writeUpdateBench(Out, Scale, Samples);
+  Out << ",\n";
+  writeParallelSafety(Out, Scale, Samples);
   Out << "\n}\n";
-  std::printf("wrote closure census, update bench, and phase profiles "
-              "to %s\n",
+  std::printf("wrote closure census, update bench, phase profiles, and "
+              "parallel-safety audit to %s\n",
               Path);
 }
 

@@ -48,10 +48,29 @@ BASELINES = {
 TOLERANCE = 0.10
 
 
-def rows_by_name(path):
-    with open(path) as f:
-        bench = json.load(f)
-    return {row["name"]: row for row in bench.get("update_bench", [])}
+def rows_by_name(path, failures):
+    """update_bench rows keyed by app name. Malformed input (unreadable
+    file, bad JSON, missing section, row without a name) lands in
+    `failures` as a located message instead of a raw traceback."""
+    try:
+        with open(path) as f:
+            bench = json.load(f)
+    except OSError as e:
+        failures.append(f"{path}: cannot read: {e}")
+        return {}
+    except json.JSONDecodeError as e:
+        failures.append(f"{path}: not valid JSON: {e}")
+        return {}
+    if "update_bench" not in bench:
+        failures.append(f"{path}: no update_bench section")
+        return {}
+    rows = {}
+    for i, row in enumerate(bench["update_bench"]):
+        if not isinstance(row, dict) or "name" not in row:
+            failures.append(f"{path}: update_bench row {i} has no name field")
+            continue
+        rows[row["name"]] = row
+    return rows
 
 
 def main(argv):
@@ -65,18 +84,22 @@ def main(argv):
         else:
             path = a
 
-    rows = rows_by_name(path)
+    failures = []
+    rows = rows_by_name(path, failures)
+    base_rows = {}
     if baseline_path:
-        base_rows = rows_by_name(baseline_path)
-        baselines = {
-            name: row["max_live_bytes"]
-            for name, row in base_rows.items()
-            if "max_live_bytes" in row
-        }
+        base_rows = rows_by_name(baseline_path, failures)
+        baselines = {}
+        for name, row in sorted(base_rows.items()):
+            if "max_live_bytes" not in row:
+                failures.append(
+                    f"{name}: baseline row in {baseline_path} lacks "
+                    f"max_live_bytes")
+                continue
+            baselines[name] = row["max_live_bytes"]
     else:
         baselines = BASELINES
 
-    failures = []
     for app, base in sorted(baselines.items()):
         row = rows.get(app)
         if row is None:
@@ -84,7 +107,7 @@ def main(argv):
             continue
         live = row.get("max_live_bytes")
         if live is None:
-            failures.append(f"{app}: row lacks max_live_bytes")
+            failures.append(f"{app}: row in {path} lacks max_live_bytes")
             continue
         limit = base * (1 + TOLERANCE)
         ratio = live / base if base else float("inf")

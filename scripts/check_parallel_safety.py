@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Gate the parallel-safety verdicts of the interval race detector.
+
+Reads the "parallel_safety" section of a BENCH_rt.json (or
+BENCH_table1.json) produced by a bench run — one row per app, each the
+result of batched-edit propagations with runtime/RaceCheck partitioning
+the dirty set into OM-timestamp interval groups — and enforces the
+committed per-app expectations (docs/PARALLEL_SAFETY.md):
+
+ * Apps on the partitionable list must report zero conflicts. A new
+   WW/RW/cascade conflict on filter, map, minimum, quicksort, quickhull,
+   or rctree-opt means a code change introduced a cross-interval
+   dependence that used to not exist — the exact regression this
+   subsystem was built to catch.
+ * exptrees is the documented true positive (sibling leaf edits meet in
+   a shared ancestor's combine read) and must still CONFLICT: if it
+   comes back clean, the detector lost its teeth and every other
+   verdict is suspect.
+ * The detector must stay paid-for: detector-on loop time at most
+   --max-overhead times detector-off (default 3.0x — the committed
+   full-scale band is 0.8-1.6x and smoke scale has seen 2.4x, but the
+   off-loops are microseconds and CI container timing noise is real),
+   and detector-off rows must exist at all.
+
+Usage:
+    check_parallel_safety.py [BENCH_rt.json] [--max-overhead R]
+"""
+
+import json
+import sys
+
+MAX_OVERHEAD = 3.0
+
+# App -> expected partitionable verdict under the bench's batched,
+# spread-position edit schedule. Keep in sync with docs/PARALLEL_SAFETY.md.
+EXPECTED_PARTITIONABLE = {
+    "filter": True,
+    "map": True,
+    "minimum": True,
+    "quicksort": True,
+    "exptrees": False,
+    "quickhull": True,
+    "rctree-opt": True,
+}
+
+
+def main(argv):
+    path = "BENCH_rt.json"
+    max_overhead = MAX_OVERHEAD
+    args = argv[1:]
+    while args:
+        a = args.pop(0)
+        if a == "--max-overhead":
+            max_overhead = float(args.pop(0))
+        else:
+            path = a
+
+    with open(path) as f:
+        bench = json.load(f)
+    section = bench.get("parallel_safety") or {}
+    rows = section.get("apps") if isinstance(section, dict) else section
+    rows = rows or []
+    by_name = {row["name"]: row for row in rows}
+
+    failures = []
+    for name, row in sorted(by_name.items()):
+        conflicts = (row.get("ww_conflicts", 0) + row.get("rw_conflicts", 0)
+                     + row.get("cascade_conflicts", 0))
+        partitionable = row.get("partitionable", conflicts == 0)
+        off = row.get("detector_off_seconds", 0)
+        on = row.get("detector_on_seconds", 0)
+        overhead = on / off if off else float("inf")
+        expected = EXPECTED_PARTITIONABLE.get(name)
+        verdict = "parallel" if partitionable else "conflict"
+        print(f"{name:10s} intervals={row.get('max_intervals', 0):2d} "
+              f"clusters={row.get('max_clusters', 0):2d} "
+              f"conflicts={conflicts:6d} overhead={overhead:5.2f}x "
+              f"{verdict}")
+
+        if expected is None:
+            continue  # Unlisted app: informational only.
+        if expected and not partitionable:
+            failures.append(
+                f"{name}: expected partitionable, found {conflicts} "
+                f"conflicts (ww={row.get('ww_conflicts', 0)} "
+                f"rw={row.get('rw_conflicts', 0)} "
+                f"cascade={row.get('cascade_conflicts', 0)}) — a new "
+                f"cross-interval dependence crept in")
+        if not expected and partitionable:
+            failures.append(
+                f"{name}: expected the documented conflict, found none — "
+                f"the detector or the edit schedule went blind")
+        if not off or not on:
+            failures.append(f"{name}: missing detector timing "
+                            f"(off={off}, on={on})")
+        elif overhead > max_overhead:
+            failures.append(
+                f"{name}: detector overhead {overhead:.2f}x exceeds "
+                f"{max_overhead:.2f}x")
+
+    for name in EXPECTED_PARTITIONABLE:
+        if name not in by_name:
+            failures.append(f"{name}: no parallel_safety row in {path}")
+
+    if failures:
+        print("\n" + "\n".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

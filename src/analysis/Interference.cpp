@@ -1,0 +1,614 @@
+//===- analysis/Interference.cpp - Parallel-safety interference ------------===//
+
+#include "analysis/Interference.h"
+
+#include "analysis/ReachingDefs.h"
+
+#include <cassert>
+
+using namespace ceal;
+using namespace ceal::analysis;
+using namespace ceal::cl;
+
+//===----------------------------------------------------------------------===//
+// Names
+//===----------------------------------------------------------------------===//
+
+static std::string blockLabel(const Program &P, FuncId F, BlockId B) {
+  if (F < P.Funcs.size() && B < P.Funcs[F].Blocks.size()) {
+    const std::string &L = P.Funcs[F].Blocks[B].Label;
+    if (!L.empty())
+      return L;
+  }
+  return "#" + std::to_string(B);
+}
+
+std::string RegionClass::name(const Program &Prog) const {
+  switch (K) {
+  case Site:
+    return "site:" + Prog.Funcs[F].Name + ":" + blockLabel(Prog, F, B);
+  case Input:
+    return "in:" + Prog.Funcs[F].Name + ":" + Prog.Funcs[F].Vars[P].Name;
+  case Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+std::string EntryPoint::name(const Program &Prog) const {
+  if (!IsReadEntry)
+    return "fn:" + Prog.Funcs[F].Name;
+  return "read:" + Prog.Funcs[F].Name + ":" + blockLabel(Prog, F, EntryBlock);
+}
+
+const char *analysis::pairRelationName(PairRelation R) {
+  switch (R) {
+  case PairRelation::Disjoint:
+    return "disjoint";
+  case PairRelation::Ordered:
+    return "ordered";
+  case PairRelation::Conflicting:
+    return "conflicting";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Summary queries
+//===----------------------------------------------------------------------===//
+
+bool InterferenceSummary::overlaps(const BitVec &A, const BitVec &B) const {
+  if (A.none() || B.none())
+    return false;
+  if (A.test(UnknownClass) || B.test(UnknownClass))
+    return true;
+  BitVec T = A;
+  T.intersectWith(B);
+  return !T.none();
+}
+
+PairRelation InterferenceSummary::classify(const EntryPoint &X,
+                                           const EntryPoint &Y) const {
+  bool WW = overlaps(X.Writes, Y.Writes);
+  bool XReadsY = overlaps(X.Reads, Y.Writes);
+  bool YReadsX = overlaps(Y.Reads, X.Writes);
+  if (WW || (XReadsY && YReadsX))
+    return PairRelation::Conflicting;
+  if (XReadsY || YReadsX)
+    return PairRelation::Ordered;
+  return PairRelation::Disjoint;
+}
+
+//===----------------------------------------------------------------------===//
+// The analysis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A variable can carry a tracked region value iff its declared type has
+/// at least one level of indirection (modref* handles and t* block
+/// pointers alike; plain ints never name regions).
+bool trackable(const Function &F, VarId V) {
+  return V < F.Vars.size() && F.Vars[V].Ty.Indirection >= 1;
+}
+
+bool isAllocSite(const BasicBlock &B) {
+  return B.K == BasicBlock::Cmd &&
+         (B.C.K == Command::ModrefAlloc || B.C.K == Command::Alloc);
+}
+
+class Builder {
+public:
+  explicit Builder(const Program &P) : P(P) {}
+
+  InterferenceSummary run() {
+    buildClasses();
+    seed();
+    solve();
+    return finalize();
+  }
+
+private:
+  //--- Domain construction ----------------------------------------------
+
+  void buildClasses() {
+    size_t N = P.Funcs.size();
+    InputOf.resize(N);
+    SiteOf.resize(N);
+    for (FuncId F = 0; F < N; ++F) {
+      const Function &Fn = P.Funcs[F];
+      InputOf[F].assign(Fn.NumParams, SIZE_MAX);
+      SiteOf[F].assign(Fn.Blocks.size(), SIZE_MAX);
+      for (VarId Pm = 0; Pm < Fn.NumParams; ++Pm)
+        if (trackable(Fn, Pm)) {
+          InputOf[F][Pm] = S.Classes.size();
+          S.Classes.push_back({RegionClass::Input, F, InvalidId, Pm});
+        }
+      for (BlockId B = 0; B < Fn.Blocks.size(); ++B)
+        if (isAllocSite(Fn.Blocks[B])) {
+          SiteOf[F][B] = S.Classes.size();
+          S.Classes.push_back({RegionClass::Site, F, B, InvalidId});
+        }
+    }
+    S.UnknownClass = S.Classes.size();
+    S.Classes.push_back({RegionClass::Unknown, InvalidId, InvalidId, InvalidId});
+    NC = S.Classes.size();
+  }
+
+  void seed() {
+    size_t N = P.Funcs.size();
+    S.Contents.assign(NC, BitVec(NC));
+    // Container collapse: everything reachable from an input is the
+    // input; unknown contains unknown.
+    for (size_t C = 0; C < NC; ++C)
+      if (S.Classes[C].K != RegionClass::Site)
+        S.Contents[C].set(C);
+
+    S.ParamBind.resize(N);
+    S.Funcs.resize(N);
+    Org.resize(N);
+    for (FuncId F = 0; F < N; ++F) {
+      const Function &Fn = P.Funcs[F];
+      S.ParamBind[F].assign(Fn.NumParams, BitVec(NC));
+      for (VarId Pm = 0; Pm < Fn.NumParams; ++Pm)
+        if (InputOf[F][Pm] != SIZE_MAX)
+          S.ParamBind[F][Pm].set(InputOf[F][Pm]);
+      FuncInterference &FI = S.Funcs[F];
+      FI.ParamReads = BitVec(Fn.NumParams);
+      FI.ParamWrites = BitVec(Fn.NumParams);
+      FI.ClassReads = BitVec(NC);
+      FI.ClassWrites = BitVec(NC);
+      Org[F].assign(Fn.Vars.size(), BitVec(Fn.NumParams + NC));
+      for (VarId Pm = 0; Pm < Fn.NumParams; ++Pm)
+        Org[F][Pm].set(Pm);
+    }
+  }
+
+  //--- Lattice helpers --------------------------------------------------
+
+  /// Resolves a local origin set of function F (param bits + class bits)
+  /// to global classes, mapping parameter bits through ParamBind.
+  BitVec globalize(FuncId F, const BitVec &Local) const {
+    size_t NumParams = P.Funcs[F].NumParams;
+    BitVec G(NC);
+    Local.forEach([&](size_t Bit) {
+      if (Bit < NumParams)
+        G.unionWith(S.ParamBind[F][Bit]);
+      else
+        G.set(Bit - NumParams);
+    });
+    return G;
+  }
+
+  /// Global classes of the value loaded *out of* the regions named by
+  /// \p Local: union of Contents over the globalized container classes.
+  BitVec loadClasses(FuncId F, const BitVec &Local) const {
+    BitVec Out(NC);
+    globalize(F, Local).forEach([&](size_t C) { Out.unionWith(S.Contents[C]); });
+    return Out;
+  }
+
+  BitVec toLocal(FuncId F, const BitVec &Global) const {
+    BitVec L(P.Funcs[F].NumParams + NC);
+    Global.forEach([&](size_t C) { L.set(P.Funcs[F].NumParams + C); });
+    return L;
+  }
+
+  void markOrigin(FuncId F, VarId V, size_t LocalBit) {
+    if (!Org[F][V].test(LocalBit)) {
+      Org[F][V].set(LocalBit);
+      Changed = true;
+    }
+  }
+
+  /// Records a read or write effect through variable \p V of F: symbolic
+  /// for own-parameter origins, direct for class origins, Unknown when
+  /// the target has no origin at all.
+  void addEffect(FuncId F, VarId V, bool Write) {
+    if (V >= Org[F].size())
+      return;
+    FuncInterference &FI = S.Funcs[F];
+    BitVec &Params = Write ? FI.ParamWrites : FI.ParamReads;
+    BitVec &Klass = Write ? FI.ClassWrites : FI.ClassReads;
+    size_t NumParams = P.Funcs[F].NumParams;
+    const BitVec &O = Org[F][V];
+    if (O.none()) {
+      if (!Klass.test(S.UnknownClass)) {
+        Klass.set(S.UnknownClass);
+        Changed = true;
+      }
+      return;
+    }
+    O.forEach([&](size_t Bit) {
+      BitVec &Dst = Bit < NumParams ? Params : Klass;
+      size_t B = Bit < NumParams ? Bit : Bit - NumParams;
+      if (!Dst.test(B)) {
+        Dst.set(B);
+        Changed = true;
+      }
+    });
+  }
+
+  /// Records that a value with classes \p Val may be stored inside every
+  /// region the container \p Ref (a variable of F) may name.
+  void flowContents(FuncId F, VarId Ref, const BitVec &ValClasses) {
+    if (ValClasses.none() || Ref >= Org[F].size())
+      return;
+    BitVec Containers = globalize(F, Org[F][Ref]);
+    if (Containers.none())
+      Containers.set(S.UnknownClass);
+    Containers.forEach(
+        [&](size_t C) { Changed |= S.Contents[C].unionWith(ValClasses); });
+  }
+
+  /// Classes of a pointer value read from variable \p V; Unknown when
+  /// the variable is trackable but class-less.
+  BitVec valueClasses(FuncId F, VarId V) const {
+    BitVec G = globalize(F, Org[F][V]);
+    if (G.none() && trackable(P.Funcs[F], V))
+      G.set(S.UnknownClass);
+    return G;
+  }
+
+  //--- Transfer ---------------------------------------------------------
+
+  /// Folds callee summary effects and bindings into caller F.
+  /// \p SiteClass is the alloc-site class bound to implicit leading
+  /// parameters (ArgOffset of them), SIZE_MAX otherwise.
+  void merge(FuncId F, FuncId Callee, const std::vector<VarId> &Args,
+             size_t ArgOffset, size_t SiteClass) {
+    if (Callee >= P.Funcs.size())
+      return; // Invalid reference; the verifier reports it.
+    FuncInterference &FI = S.Funcs[F];
+    const FuncInterference &CE = S.Funcs[Callee];
+    Changed |= FI.ClassReads.unionWith(CE.ClassReads);
+    Changed |= FI.ClassWrites.unionWith(CE.ClassWrites);
+    const Function &CF = P.Funcs[Callee];
+    for (size_t J = 0; J < CF.NumParams; ++J) {
+      if (J < ArgOffset) {
+        // The implicit alloc'd-block parameter: effects land on the
+        // site class, and the callee sees the site bound there.
+        size_t C = SiteClass == SIZE_MAX ? S.UnknownClass : SiteClass;
+        if (CE.ParamReads.test(J) && !FI.ClassReads.test(C)) {
+          FI.ClassReads.set(C);
+          Changed = true;
+        }
+        if (CE.ParamWrites.test(J) && !FI.ClassWrites.test(C)) {
+          FI.ClassWrites.set(C);
+          Changed = true;
+        }
+        if (!S.ParamBind[Callee][J].test(C)) {
+          S.ParamBind[Callee][J].set(C);
+          Changed = true;
+        }
+        continue;
+      }
+      size_t AI = J - ArgOffset;
+      if (AI >= Args.size() || Args[AI] >= Org[F].size())
+        continue; // Arity mismatch / bad ref; the verifier reports it.
+      VarId Arg = Args[AI];
+      if (CE.ParamReads.test(J))
+        addEffect(F, Arg, /*Write=*/false);
+      if (CE.ParamWrites.test(J))
+        addEffect(F, Arg, /*Write=*/true);
+      if (trackable(CF, static_cast<VarId>(J))) {
+        BitVec G = valueClasses(F, Arg);
+        Changed |= S.ParamBind[Callee][J].unionWith(G);
+      }
+    }
+  }
+
+  /// One flow-insensitive pass over function F.
+  void transfer(FuncId F) {
+    const Function &Fn = P.Funcs[F];
+    auto MergeJump = [&](const Jump &J) {
+      if (J.K == Jump::Tail)
+        merge(F, J.Fn, J.Args, 0, SIZE_MAX);
+    };
+    for (BlockId B = 0; B < Fn.Blocks.size(); ++B) {
+      const BasicBlock &BB = Fn.Blocks[B];
+      if (BB.K == BasicBlock::Cond) {
+        MergeJump(BB.J1);
+        MergeJump(BB.J2);
+        continue;
+      }
+      if (BB.K != BasicBlock::Cmd)
+        continue;
+      const Command &C = BB.C;
+      switch (C.K) {
+      case Command::Assign:
+        if (C.Dst >= Org[F].size())
+          break;
+        switch (C.E.K) {
+        case Expr::Var:
+          if (C.E.V < Org[F].size())
+            Changed |= Org[F][C.Dst].unionWith(Org[F][C.E.V]);
+          break;
+        case Expr::Index:
+          // A load: reads the container, yields its contents.
+          if (C.E.V < Org[F].size()) {
+            addEffect(F, C.E.V, /*Write=*/false);
+            if (trackable(Fn, C.Dst))
+              Changed |=
+                  Org[F][C.Dst].unionWith(toLocal(F, loadClasses(F, Org[F][C.E.V])));
+          }
+          break;
+        case Expr::Prim:
+          // Pointer arithmetic escapes the domain.
+          if (trackable(Fn, C.Dst))
+            markOrigin(F, C.Dst, Fn.NumParams + S.UnknownClass);
+          break;
+        case Expr::Const:
+          break; // Null/int constants name no region.
+        }
+        break;
+      case Command::Store:
+        // Writes the container's memory; a stored pointer value becomes
+        // part of the container's contents.
+        addEffect(F, C.Base, /*Write=*/true);
+        if (C.E.K == Expr::Var && C.E.V < Org[F].size() &&
+            trackable(Fn, C.E.V))
+          flowContents(F, C.Base, valueClasses(F, C.E.V));
+        else if (C.E.K == Expr::Index && C.E.V < Org[F].size()) {
+          addEffect(F, C.E.V, /*Write=*/false);
+          flowContents(F, C.Base, loadClasses(F, Org[F][C.E.V]));
+        }
+        break;
+      case Command::ModrefAlloc:
+        if (C.Dst < Org[F].size() && SiteOf[F][B] != SIZE_MAX)
+          markOrigin(F, C.Dst, Fn.NumParams + SiteOf[F][B]);
+        break;
+      case Command::Read:
+        addEffect(F, C.Src, /*Write=*/false);
+        if (C.Dst < Org[F].size() && C.Src < Org[F].size() &&
+            trackable(Fn, C.Dst))
+          Changed |=
+              Org[F][C.Dst].unionWith(toLocal(F, loadClasses(F, Org[F][C.Src])));
+        break;
+      case Command::Write:
+        addEffect(F, C.Ref, /*Write=*/true);
+        if (C.Val < Org[F].size() && trackable(Fn, C.Val))
+          flowContents(F, C.Ref, valueClasses(F, C.Val));
+        break;
+      case Command::Alloc:
+        if (C.Dst < Org[F].size() && SiteOf[F][B] != SIZE_MAX)
+          markOrigin(F, C.Dst, Fn.NumParams + SiteOf[F][B]);
+        merge(F, C.Fn, C.Args, /*ArgOffset=*/1, SiteOf[F][B]);
+        break;
+      case Command::Call:
+        merge(F, C.Fn, C.Args, 0, SIZE_MAX);
+        break;
+      case Command::Nop:
+        break;
+      }
+      MergeJump(BB.J);
+    }
+  }
+
+  void solve() {
+    // Everything is monotone over finite lattices (origins, contents,
+    // bindings, summaries only grow), so iterating to quiescence
+    // terminates at the least fixed point.
+    Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (FuncId F = 0; F < P.Funcs.size(); ++F)
+        transfer(F);
+    }
+  }
+
+  //--- Instantiation ----------------------------------------------------
+
+  /// The fully resolved (global) effect of one block, callees included.
+  void blockEffects(FuncId F, BlockId B, BitVec &Reads, BitVec &Writes) const {
+    const Function &Fn = P.Funcs[F];
+    auto AddGlobal = [&](BitVec &Set, VarId V) {
+      if (V >= Org[F].size())
+        return;
+      BitVec G = globalize(F, Org[F][V]);
+      if (G.none())
+        G.set(S.UnknownClass);
+      Set.unionWith(G);
+    };
+    auto MergeGlobal = [&](FuncId Callee, const std::vector<VarId> &Args,
+                           size_t ArgOffset, size_t SiteClass) {
+      if (Callee >= P.Funcs.size())
+        return;
+      const FuncInterference &CE = S.Funcs[Callee];
+      Reads.unionWith(CE.ClassReads);
+      Writes.unionWith(CE.ClassWrites);
+      for (size_t J = 0; J < P.Funcs[Callee].NumParams; ++J) {
+        if (J < ArgOffset) {
+          size_t C = SiteClass == SIZE_MAX ? S.UnknownClass : SiteClass;
+          if (CE.ParamReads.test(J))
+            Reads.set(C);
+          if (CE.ParamWrites.test(J))
+            Writes.set(C);
+          continue;
+        }
+        size_t AI = J - ArgOffset;
+        if (AI >= Args.size())
+          continue;
+        if (CE.ParamReads.test(J))
+          AddGlobal(Reads, Args[AI]);
+        if (CE.ParamWrites.test(J))
+          AddGlobal(Writes, Args[AI]);
+      }
+    };
+    auto DoJump = [&](const Jump &J) {
+      if (J.K == Jump::Tail)
+        MergeGlobal(J.Fn, J.Args, 0, SIZE_MAX);
+    };
+    const BasicBlock &BB = Fn.Blocks[B];
+    if (BB.K == BasicBlock::Cond) {
+      DoJump(BB.J1);
+      DoJump(BB.J2);
+      return;
+    }
+    if (BB.K != BasicBlock::Cmd)
+      return;
+    const Command &C = BB.C;
+    switch (C.K) {
+    case Command::Assign:
+      if (C.E.K == Expr::Index)
+        AddGlobal(Reads, C.E.V);
+      break;
+    case Command::Store:
+      AddGlobal(Writes, C.Base);
+      if (C.E.K == Expr::Index)
+        AddGlobal(Reads, C.E.V);
+      break;
+    case Command::Read:
+      AddGlobal(Reads, C.Src);
+      break;
+    case Command::Write:
+      AddGlobal(Writes, C.Ref);
+      break;
+    case Command::Alloc:
+      MergeGlobal(C.Fn, C.Args, 1, SiteOf[F][B]);
+      break;
+    case Command::Call:
+      MergeGlobal(C.Fn, C.Args, 0, SIZE_MAX);
+      break;
+    default:
+      break;
+    }
+    DoJump(BB.J);
+  }
+
+  /// Union of block effects over the blocks forward-reachable from
+  /// \p Entry within the function (intra-function gotos only; tails and
+  /// calls are already folded into block effects).
+  EntryPoint instantiate(FuncId F, BlockId Entry, bool IsRead,
+                         const BlockCfg &G) const {
+    EntryPoint E;
+    E.F = F;
+    E.EntryBlock = Entry;
+    E.IsReadEntry = IsRead;
+    E.Reads = BitVec(NC);
+    E.Writes = BitVec(NC);
+    std::vector<bool> Seen(P.Funcs[F].Blocks.size(), false);
+    std::vector<BlockId> Stack{Entry};
+    Seen[Entry] = true;
+    while (!Stack.empty()) {
+      BlockId B = Stack.back();
+      Stack.pop_back();
+      blockEffects(F, B, E.Reads, E.Writes);
+      for (BlockId Succ : G.Succs[B])
+        if (!Seen[Succ]) {
+          Seen[Succ] = true;
+          Stack.push_back(Succ);
+        }
+    }
+    return E;
+  }
+
+  /// Flow-sensitive origin set of \p V at the entry of \p B: the union,
+  /// over the definitions of V that actually reach B, of that
+  /// definition's one-step origins. Sharper than Org (which merges
+  /// mutually exclusive paths) and used only for write-site records —
+  /// the effect summaries stay flow-insensitive and conservative.
+  BitVec flowOrigins(FuncId F, const ReachingDefs &RD, BlockId B,
+                     VarId V) const {
+    const Function &Fn = P.Funcs[F];
+    BitVec L(Fn.NumParams + NC);
+    if (V >= Org[F].size())
+      return L;
+    if (V < Fn.NumParams && RD.maybeEntryValueAt(B, V))
+      L.set(V);
+    for (BlockId D = 0; D < Fn.Blocks.size(); ++D) {
+      if (!RD.In[B].test(D) || Fn.Blocks[D].K != BasicBlock::Cmd)
+        continue;
+      const Command &DC = Fn.Blocks[D].C;
+      bool Defines = (DC.K == Command::Assign || DC.K == Command::Read ||
+                      DC.K == Command::ModrefAlloc || DC.K == Command::Alloc) &&
+                     DC.Dst == V;
+      if (!Defines)
+        continue;
+      switch (DC.K) {
+      case Command::ModrefAlloc:
+      case Command::Alloc:
+        if (SiteOf[F][D] != SIZE_MAX)
+          L.set(Fn.NumParams + SiteOf[F][D]);
+        break;
+      case Command::Read:
+        if (DC.Src < Org[F].size() && trackable(Fn, V))
+          L.unionWith(toLocal(F, loadClasses(F, Org[F][DC.Src])));
+        break;
+      case Command::Assign:
+        switch (DC.E.K) {
+        case Expr::Var:
+          if (DC.E.V < Org[F].size())
+            L.unionWith(Org[F][DC.E.V]);
+          break;
+        case Expr::Index:
+          if (DC.E.V < Org[F].size() && trackable(Fn, V))
+            L.unionWith(toLocal(F, loadClasses(F, Org[F][DC.E.V])));
+          break;
+        case Expr::Prim:
+          if (trackable(Fn, V))
+            L.set(Fn.NumParams + S.UnknownClass);
+          break;
+        case Expr::Const:
+          break;
+        }
+        break;
+      default:
+        break;
+      }
+    }
+    return L;
+  }
+
+  InterferenceSummary finalize() {
+    for (FuncId F = 0; F < P.Funcs.size(); ++F) {
+      const Function &Fn = P.Funcs[F];
+      if (Fn.Blocks.empty())
+        continue;
+      // Write-site records for the linter (flow-sensitive targets).
+      ReachingDefs RD = computeReachingDefs(Fn);
+      for (BlockId B = 0; B < Fn.Blocks.size(); ++B) {
+        const BasicBlock &BB = Fn.Blocks[B];
+        if (BB.K != BasicBlock::Cmd || BB.C.K != Command::Write)
+          continue;
+        WriteSite W;
+        W.Block = B;
+        W.Ref = BB.C.Ref;
+        W.Local = flowOrigins(F, RD, B, BB.C.Ref);
+        W.Global = globalize(F, W.Local);
+        if (W.Global.none())
+          W.Global.set(S.UnknownClass);
+        S.Funcs[F].Writes.push_back(std::move(W));
+      }
+      // Entry points: the function entry plus every read continuation
+      // (propagation re-enters at the read block itself).
+      if (Fn.Blocks.empty())
+        continue;
+      BlockCfg G = BlockCfg::build(Fn);
+      S.Entries.push_back(instantiate(F, 0, /*IsRead=*/false, G));
+      for (BlockId B = 0; B < Fn.Blocks.size(); ++B)
+        if (Fn.Blocks[B].K == BasicBlock::Cmd &&
+            Fn.Blocks[B].C.K == Command::Read)
+          S.Entries.push_back(instantiate(F, B, /*IsRead=*/true, G));
+    }
+    return std::move(S);
+  }
+
+  const Program &P;
+  InterferenceSummary S;
+  size_t NC = 0;
+  bool Changed = false;
+  /// Class index of each function's pointer params / alloc blocks
+  /// (SIZE_MAX where none).
+  std::vector<std::vector<size_t>> InputOf;
+  std::vector<std::vector<size_t>> SiteOf;
+  /// Per-function variable origins: NumParams symbolic bits, then one
+  /// bit per global class.
+  std::vector<std::vector<BitVec>> Org;
+};
+
+} // namespace
+
+InterferenceSummary analysis::computeInterference(const Program &P) {
+  return Builder(P).run();
+}

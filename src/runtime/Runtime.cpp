@@ -314,6 +314,8 @@ void Runtime::propagate() {
   assert(CurPhase == Phase::Meta && "propagate is a mutator operation");
   CurPhase = Phase::Propagating;
   ++S.Propagations;
+  if (Cfg.RaceCheck)
+    Race.beginPropagate(*this, Cfg.RaceCheckIntervals);
   {
     ProfileTimer Total(Prof, Prof.PropagateNs);
     for (;;) {
@@ -329,10 +331,14 @@ void Runtime::propagate() {
       if (!R->isDirty())
         continue;
       R->setDirty(false);
+      if (Race.Active)
+        Race.setCurrent(R);
       reexecute(R);
     }
     flushDeferredFrees();
   }
+  if (Race.Active)
+    Race.finishPropagate();
   CurPhase = Phase::Meta;
   if (Cfg.Audit == AuditLevel::EveryPropagation)
     auditNow("after propagate");
@@ -462,6 +468,8 @@ Closure *Runtime::read(Modref *M, Closure *C) {
       ++Prof.MemoLookups;
     if (Hit) {
       ++S.MemoReadHits;
+      if (Race.Active)
+        Race.onMemoHit();
       assert(!C->ownedByTrace() && "memo-spliced closure must be transient");
       freeClosure(C);
       revokeInterval(Cursor, Om.nodeAt(Hit->Start));
@@ -495,6 +503,8 @@ Closure *Runtime::read(Modref *M, Closure *C) {
   } else {
     PendingReadMemo.push_back(R);
   }
+  if (Race.Active)
+    Race.onRead(M, R);
   PendingReads.push_back(R);
   return C;
 }
@@ -503,6 +513,8 @@ void Runtime::write(Modref *M, Word V) {
   assert(CurPhase != Phase::Meta && "write is a core operation");
   __builtin_prefetch(M, 1); // See read(): cold until the use-list link.
   ++S.WritesTraced;
+  if (Race.Active)
+    Race.onWrite(M);
   WriteNode *W = newNode<WriteNode>();
   W->Ref = Mem.handle(M);
   W->Value = V;
@@ -642,6 +654,8 @@ void Runtime::invalidate(ReadNode *R) {
   if (R->isDirty())
     return;
   R->setDirty(true);
+  if (Race.Active)
+    Race.onInvalidate(R);
   heapPush(R);
 }
 
@@ -719,6 +733,8 @@ void Runtime::revokeInterval(OmNode *From, OmNode *To) {
 
 void Runtime::revokeRead(ReadNode *R) {
   ++S.NodesRevoked;
+  if (Race.Active)
+    Race.onRevokeRead(R);
   if (R->HeapIndex >= 0)
     heapRemove(R);
   ReadMemo.remove(R);

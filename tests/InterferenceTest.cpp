@@ -1,0 +1,260 @@
+//===- tests/InterferenceTest.cpp - Parallel-safety interference ----------===//
+//
+// Unit tests for computeInterference: region-class construction
+// (allocation sites, input structures, the unknown wildcard), parameter
+// binding through call sites, and the Disjoint / Ordered / Conflicting
+// classification of entry pairs that cl-lint's interference report and
+// the parallel-safety story are built on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Interference.h"
+#include "cl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ceal;
+using namespace ceal::analysis;
+using namespace ceal::cl;
+
+namespace {
+
+struct Built {
+  Program Prog;
+  InterferenceSummary S;
+};
+
+Built build(const char *Src) {
+  auto R = parseProgram(Src);
+  EXPECT_TRUE(R) << R.Error;
+  Built B;
+  B.Prog = std::move(*R.Prog);
+  B.S = computeInterference(B.Prog);
+  return B;
+}
+
+const EntryPoint &entry(const Built &B, const std::string &Name) {
+  for (const EntryPoint &E : B.S.Entries)
+    if (E.name(B.Prog) == Name)
+      return E;
+  ADD_FAILURE() << "no entry named " << Name;
+  static EntryPoint None;
+  return None;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Region classes
+//===----------------------------------------------------------------------===//
+
+TEST(Interference, ClassesCoverSitesInputsAndUnknown) {
+  Built B = build(R"(
+func mk(modref* out, int k) {
+  var modref* m; var int z;
+  e: m := modref(k); goto s;
+  s: z := 1; goto w;
+  w: write(m, z); goto f;
+  f: done;
+}
+)");
+  // One site (block 'e'), one input (param out; k is not a pointer),
+  // plus the trailing unknown class.
+  ASSERT_EQ(B.S.numClasses(), 3u);
+  EXPECT_EQ(B.S.UnknownClass, B.S.numClasses() - 1);
+  EXPECT_EQ(B.S.Classes.back().K, RegionClass::Unknown);
+  bool SawSite = false, SawInput = false;
+  for (const RegionClass &C : B.S.Classes) {
+    SawSite |= C.K == RegionClass::Site;
+    SawInput |= C.K == RegionClass::Input;
+  }
+  EXPECT_TRUE(SawSite);
+  EXPECT_TRUE(SawInput);
+  // Non-pointer parameter k has an empty binding set.
+  ASSERT_EQ(B.S.ParamBind[0].size(), 2u);
+  EXPECT_TRUE(B.S.ParamBind[0][1].none());
+  // The function writes its local site, not its input parameter's class.
+  const EntryPoint &E = entry(B, "fn:mk");
+  size_t SiteClass = SIZE_MAX;
+  for (size_t C = 0; C < B.S.numClasses(); ++C)
+    if (B.S.Classes[C].K == RegionClass::Site)
+      SiteClass = C;
+  ASSERT_NE(SiteClass, SIZE_MAX);
+  EXPECT_TRUE(E.Writes.test(SiteClass));
+}
+
+TEST(Interference, ReadContinuationsAreInstantiated) {
+  Built B = build(R"(
+func sumtwo(modref* a, modref* b, modref* out) {
+  var int x; var int y; var int s;
+  r1: x := read a; goto r2;
+  r2: y := read b; goto ad;
+  ad: s := add(x, y); goto w;
+  w: write(out, s); goto f;
+  f: done;
+}
+)");
+  // fn:sumtwo plus one read continuation per read block.
+  const EntryPoint &Fn = entry(B, "fn:sumtwo");
+  const EntryPoint &R2 = entry(B, "read:sumtwo:r2");
+  EXPECT_FALSE(Fn.IsReadEntry);
+  EXPECT_TRUE(R2.IsReadEntry);
+  // Re-entering at r2 no longer reads a, but still reads b and writes
+  // out.
+  size_t InA = SIZE_MAX, InB = SIZE_MAX, InOut = SIZE_MAX;
+  for (size_t C = 0; C < B.S.numClasses(); ++C) {
+    const RegionClass &RC = B.S.Classes[C];
+    if (RC.K != RegionClass::Input)
+      continue;
+    if (RC.P == 0)
+      InA = C;
+    else if (RC.P == 1)
+      InB = C;
+    else if (RC.P == 2)
+      InOut = C;
+  }
+  ASSERT_NE(InA, SIZE_MAX);
+  ASSERT_NE(InB, SIZE_MAX);
+  ASSERT_NE(InOut, SIZE_MAX);
+  EXPECT_TRUE(Fn.Reads.test(InA));
+  EXPECT_FALSE(R2.Reads.test(InA));
+  EXPECT_TRUE(R2.Reads.test(InB));
+  EXPECT_TRUE(R2.Writes.test(InOut));
+}
+
+//===----------------------------------------------------------------------===//
+// Entry-pair classification
+//===----------------------------------------------------------------------===//
+
+TEST(Interference, IndependentWritersAreDisjoint) {
+  Built B = build(R"(
+func wleft(modref* l) {
+  var int z;
+  e: z := 1; goto w;
+  w: write(l, z); goto f;
+  f: done;
+}
+func wright(modref* r) {
+  var int z;
+  e: z := 2; goto w;
+  w: write(r, z); goto f;
+  f: done;
+}
+)");
+  PairRelation Rel =
+      B.S.classify(entry(B, "fn:wleft"), entry(B, "fn:wright"));
+  EXPECT_EQ(Rel, PairRelation::Disjoint);
+}
+
+TEST(Interference, ReaderWriterOfSharedStructureAreOrdered) {
+  Built B = build(R"(
+func reader(modref* m) {
+  var int v;
+  e: v := read m; goto f;
+  f: done;
+}
+func writer(modref* m) {
+  var int z;
+  e: z := 1; goto w;
+  w: write(m, z); goto f;
+  f: done;
+}
+func driver(modref* s) {
+  e: call reader(s); goto c2;
+  c2: call writer(s); goto f;
+  f: done;
+}
+)");
+  // The driver binds the same structure to both: the pair overlaps in
+  // exactly one direction.
+  EXPECT_EQ(B.S.classify(entry(B, "fn:reader"), entry(B, "fn:writer")),
+            PairRelation::Ordered);
+  // Two readers never conflict.
+  EXPECT_EQ(B.S.classify(entry(B, "fn:reader"), entry(B, "fn:reader")),
+            PairRelation::Disjoint);
+}
+
+TEST(Interference, SharedWritersConflict) {
+  Built B = build(R"(
+func wa(modref* m) {
+  var int z;
+  e: z := 1; goto w;
+  w: write(m, z); goto f;
+  f: done;
+}
+func wb(modref* m) {
+  var int z;
+  e: z := 2; goto w;
+  w: write(m, z); goto f;
+  f: done;
+}
+func driver(modref* s) {
+  e: call wa(s); goto c2;
+  c2: call wb(s); goto f;
+  f: done;
+}
+)");
+  EXPECT_EQ(B.S.classify(entry(B, "fn:wa"), entry(B, "fn:wb")),
+            PairRelation::Conflicting);
+}
+
+TEST(Interference, UnknownOverlapsEverything) {
+  Built B = build(R"(
+func wild(int a, int b) {
+  var modref* t; var int z;
+  e: t := add(a, b); goto z1;
+  z1: z := 1; goto w;
+  w: write(t, z); goto f;
+  f: done;
+}
+func tame(modref* m) {
+  var int v;
+  e: v := read m; goto f;
+  f: done;
+}
+)");
+  const EntryPoint &Wild = entry(B, "fn:wild");
+  EXPECT_TRUE(Wild.Writes.test(B.S.UnknownClass));
+  // An unknown write is never disjoint from any non-empty effect set.
+  EXPECT_NE(B.S.classify(Wild, entry(B, "fn:tame")),
+            PairRelation::Disjoint);
+  // The write-site record carries the unknown bit cl-lint keys on.
+  ASSERT_EQ(B.S.Funcs[0].Writes.size(), 1u);
+  EXPECT_TRUE(B.S.Funcs[0].Writes[0].Global.test(B.S.UnknownClass));
+}
+
+TEST(Interference, TailRecursionBindsParamsAcrossCycle) {
+  // A list-walker that tails itself on the loaded tail: the recursive
+  // binding must stabilize (container-collapsed contents) and the walk
+  // must read its own input class.
+  Built B = build(R"(
+func walk(modref* l, modref* out) {
+  var int* c; var int v; var int i0;
+  var modref* t;
+  rd: c := read l; goto br;
+  br: if c then goto cons else goto nil;
+  nil: v := 0; goto wz;
+  wz: write(out, v); goto f;
+  f: done;
+  cons: i0 := 0; goto ld;
+  ld: t := c[i0]; goto rec;
+  rec: nop; tail walk(t, out);
+}
+)");
+  size_t InL = SIZE_MAX, InOut = SIZE_MAX;
+  for (size_t C = 0; C < B.S.numClasses(); ++C) {
+    const RegionClass &RC = B.S.Classes[C];
+    if (RC.K != RegionClass::Input)
+      continue;
+    (RC.P == 0 ? InL : InOut) = C;
+  }
+  ASSERT_NE(InL, SIZE_MAX);
+  ASSERT_NE(InOut, SIZE_MAX);
+  const EntryPoint &Fn = entry(B, "fn:walk");
+  EXPECT_TRUE(Fn.Reads.test(InL));
+  EXPECT_TRUE(Fn.Writes.test(InOut));
+  // Self-tail rebinds l to the list's contents — which collapse back to
+  // the input class, so the binding set stays small and the effect sets
+  // never mention classes of other functions.
+  EXPECT_TRUE(B.S.ParamBind[0][0].test(InL));
+}

@@ -1,0 +1,291 @@
+//===- tests/ModrefEffectsTest.cpp - Interprocedural effect summaries -----===//
+//
+// Fixed-point behavior of computeModrefEffects on the call-graph shapes
+// that historically break effect analyses:
+//
+//  * Mutually tail-recursive functions — effects must flow around the
+//    cycle in both directions (no under-approximation) and the solver
+//    must terminate (no divergence).
+//  * Argument-permuting cycles — a tail that swaps its arguments each
+//    iteration must saturate to the union, not oscillate.
+//  * Memoized call chains — Allocates and the writes-other effect of a
+//    keyed modref() allocation must survive through nested `call`s.
+//  * Alloc initializers — callee parameter effects map through the
+//    implicit leading block parameter (ArgOffset = 1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ModrefEffects.h"
+#include "cl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ceal;
+using namespace ceal::analysis;
+using namespace ceal::cl;
+
+namespace {
+
+std::vector<FuncEffects> effectsOf(const char *Src) {
+  auto R = parseProgram(Src);
+  EXPECT_TRUE(R) << R.Error;
+  if (!R)
+    return {};
+  return computeModrefEffects(*R.Prog);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Mutual recursion
+//===----------------------------------------------------------------------===//
+
+// ping reads s directly; pong writes d directly; each tails the other
+// with the same argument order. The fixed point must give BOTH functions
+// reads{s} and writes{d}: ping only learns its write effect from pong
+// (and vice versa), so a missing bit means the cycle was not iterated to
+// convergence.
+TEST(ModrefEffects, MutualRecursionPropagatesBothWays) {
+  auto FX = effectsOf(R"(
+func ping(modref* s, modref* d) {
+  var int x;
+  e: x := read s; tail pong(s, d);
+}
+func pong(modref* s, modref* d) {
+  var int y;
+  e: y := 1; goto w;
+  w: write(d, y); tail ping(s, d);
+}
+)");
+  ASSERT_EQ(FX.size(), 2u);
+  for (const FuncEffects &E : FX) {
+    EXPECT_TRUE(E.ReadsParams.test(0));
+    EXPECT_FALSE(E.ReadsParams.test(1));
+    EXPECT_TRUE(E.WritesParams.test(1));
+    EXPECT_FALSE(E.WritesParams.test(0));
+    EXPECT_FALSE(E.ReadsOther);
+    EXPECT_FALSE(E.WritesOther);
+    EXPECT_FALSE(E.Allocates);
+  }
+}
+
+// spin reads its first parameter and tails flip with the arguments
+// SWAPPED; flip tails spin in order. Each trip around the cycle moves
+// the read effect to the other parameter, so the only fixed point is
+// "reads both" — and the solver must reach it rather than oscillate.
+TEST(ModrefEffects, ArgumentPermutingCycleSaturates) {
+  auto FX = effectsOf(R"(
+func spin(modref* a, modref* b) {
+  var int x;
+  e: x := read a; tail flip(b, a);
+}
+func flip(modref* a, modref* b) {
+  e: nop; tail spin(a, b);
+}
+)");
+  ASSERT_EQ(FX.size(), 2u);
+  for (const FuncEffects &E : FX) {
+    EXPECT_TRUE(E.ReadsParams.test(0));
+    EXPECT_TRUE(E.ReadsParams.test(1));
+    EXPECT_TRUE(E.writesNothing());
+    EXPECT_FALSE(E.Allocates);
+  }
+}
+
+// A three-function cycle where only the innermost member touches a
+// modref: every member must still pick up the effect.
+TEST(ModrefEffects, ThreeCycleReachesEveryMember) {
+  auto FX = effectsOf(R"(
+func a3(modref* m) {
+  e: nop; tail b3(m);
+}
+func b3(modref* m) {
+  e: nop; tail c3(m);
+}
+func c3(modref* m) {
+  var int v; var int ok;
+  e: v := read m; goto t;
+  t: ok := gt(v, v); goto br;
+  br: if ok then goto rec else goto fin;
+  rec: nop; tail a3(m);
+  fin: done;
+}
+)");
+  ASSERT_EQ(FX.size(), 3u);
+  for (const FuncEffects &E : FX) {
+    EXPECT_TRUE(E.ReadsParams.test(0));
+    EXPECT_TRUE(E.writesNothing());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Memoized call chains
+//===----------------------------------------------------------------------===//
+
+// mkcell performs a keyed modref() allocation and writes the fresh cell.
+// The write of a local allocation must be reported as WritesOther (a
+// keyed allocation can memo-match a cell the caller holds during change
+// propagation), and both Allocates and WritesOther must survive through
+// two levels of `call`.
+TEST(ModrefEffects, MemoizedCallChainConservatism) {
+  auto FX = effectsOf(R"(
+func mkcell(modref* out, int k) {
+  var modref* m;
+  var int z;
+  e: m := modref(k); goto s;
+  s: z := 7; goto w;
+  w: write(m, z); goto pub;
+  pub: write(out, z); goto fin;
+  fin: done;
+}
+func mid(modref* out, int k) {
+  e: call mkcell(out, k); goto fin;
+  fin: done;
+}
+func chain(modref* sink, int key) {
+  e: call mid(sink, key); goto fin;
+  fin: done;
+}
+)");
+  ASSERT_EQ(FX.size(), 3u);
+  // Direct effects of mkcell.
+  EXPECT_TRUE(FX[0].Allocates);
+  EXPECT_TRUE(FX[0].WritesOther);
+  EXPECT_TRUE(FX[0].WritesParams.test(0));
+  EXPECT_FALSE(FX[0].ReadsOther);
+  EXPECT_TRUE(FX[0].readsNothing());
+  // Both call levels inherit the summary, with the out-parameter write
+  // re-mapped onto their own first parameter each time.
+  for (size_t F : {size_t(1), size_t(2)}) {
+    EXPECT_TRUE(FX[F].Allocates) << "func " << F;
+    EXPECT_TRUE(FX[F].WritesOther) << "func " << F;
+    EXPECT_TRUE(FX[F].WritesParams.test(0)) << "func " << F;
+    EXPECT_TRUE(FX[F].readsNothing()) << "func " << F;
+  }
+}
+
+// Memo keys are identity, not accesses: passing a modref as a modref()
+// key must not count as reading or writing it.
+TEST(ModrefEffects, MemoKeysAreNotAccesses) {
+  auto FX = effectsOf(R"(
+func keyed(modref* p, int i) {
+  var modref* m;
+  e: m := modref(p, i); goto fin;
+  fin: done;
+}
+)");
+  ASSERT_EQ(FX.size(), 1u);
+  EXPECT_TRUE(FX[0].Allocates);
+  EXPECT_TRUE(FX[0].readsNothing());
+  EXPECT_TRUE(FX[0].writesNothing());
+}
+
+//===----------------------------------------------------------------------===//
+// Alloc initializers
+//===----------------------------------------------------------------------===//
+
+// alloc(sz, init, args...) invokes init with the fresh block as an
+// implicit leading parameter (ArgOffset = 1). init3 reads its second
+// parameter (the caller's src) and stores into the block; the caller
+// must see ReadsParams{src} plus Allocates, and the block store must
+// contribute no modref effect.
+TEST(ModrefEffects, AllocInitializerMapsOffsetParams) {
+  auto FX = effectsOf(R"(
+func init3(int* blk, modref* src) {
+  var int v; var int i0;
+  e: v := read src; goto s;
+  s: i0 := 0; goto st;
+  st: blk[i0] := v; goto fin;
+  fin: done;
+}
+func build(modref* src, int sz) {
+  var int* p;
+  e: p := alloc(sz, init3, src); goto fin;
+  fin: done;
+}
+)");
+  ASSERT_EQ(FX.size(), 2u);
+  // init3 itself: reads param 1 only.
+  EXPECT_FALSE(FX[0].ReadsParams.test(0));
+  EXPECT_TRUE(FX[0].ReadsParams.test(1));
+  EXPECT_TRUE(FX[0].writesNothing());
+  EXPECT_FALSE(FX[0].Allocates);
+  // build: Allocates, and init3's src read mapped onto build's param 0.
+  EXPECT_TRUE(FX[1].Allocates);
+  EXPECT_TRUE(FX[1].ReadsParams.test(0));
+  EXPECT_FALSE(FX[1].ReadsParams.test(1));
+  EXPECT_FALSE(FX[1].ReadsOther);
+  EXPECT_TRUE(FX[1].writesNothing());
+}
+
+// A recursive initializer: the init function allocates a smaller block
+// with itself as initializer and writes a modref parameter. Exercises
+// the Alloc edge participating in a cycle.
+TEST(ModrefEffects, RecursiveAllocInitializer) {
+  auto FX = effectsOf(R"(
+func fill(int* blk, int n, modref* note) {
+  var int* q;
+  var int ok; var int i1; var int n2;
+  e: ok := gt(n, n); goto br;
+  br: if ok then goto rec else goto w;
+  rec: i1 := 1; goto dec;
+  dec: n2 := sub(n, i1); goto mk;
+  mk: q := alloc(n2, fill, n2, note); goto fin;
+  w: write(note, n); goto fin;
+  fin: done;
+}
+func top(int sz, modref* log) {
+  var int* p;
+  e: p := alloc(sz, fill, sz, log); goto fin;
+  fin: done;
+}
+)");
+  ASSERT_EQ(FX.size(), 2u);
+  EXPECT_TRUE(FX[0].Allocates);
+  EXPECT_TRUE(FX[0].WritesParams.test(2));
+  EXPECT_TRUE(FX[1].Allocates);
+  EXPECT_TRUE(FX[1].WritesParams.test(1));
+  EXPECT_FALSE(FX[1].WritesOther);
+  EXPECT_TRUE(FX[1].readsNothing());
+}
+
+//===----------------------------------------------------------------------===//
+// Purity and origin mixing
+//===----------------------------------------------------------------------===//
+
+TEST(ModrefEffects, PureArithmeticIsEffectFree) {
+  auto FX = effectsOf(R"(
+func pure(int a, int b) {
+  var int c;
+  e: c := add(a, b); goto fin;
+  fin: done;
+}
+)");
+  ASSERT_EQ(FX.size(), 1u);
+  EXPECT_TRUE(FX[0].readsNothing());
+  EXPECT_TRUE(FX[0].writesNothing());
+  EXPECT_FALSE(FX[0].Allocates);
+}
+
+// A modref loaded out of memory is an "other" origin: reading it must
+// set ReadsOther, not any parameter bit, even when a parameter modref is
+// also read through the same variable on another path (flow-insensitive
+// union of origins).
+TEST(ModrefEffects, MixedOriginVariableUnionsEffects) {
+  auto FX = effectsOf(R"(
+func pick(modref* p, int* mem, int which) {
+  var modref* t;
+  var int v; var int i0;
+  e: if which then goto fromp else goto fromm;
+  fromp: t := p; goto rd;
+  fromm: i0 := 0; goto ld;
+  ld: t := mem[i0]; goto rd;
+  rd: v := read t; goto fin;
+  fin: done;
+}
+)");
+  ASSERT_EQ(FX.size(), 1u);
+  EXPECT_TRUE(FX[0].ReadsParams.test(0));
+  EXPECT_TRUE(FX[0].ReadsOther);
+  EXPECT_TRUE(FX[0].writesNothing());
+}
