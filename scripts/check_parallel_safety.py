@@ -22,6 +22,11 @@ committed per-app expectations (docs/PARALLEL_SAFETY.md):
    off-loops are microseconds and CI container timing noise is real),
    and detector-off rows must exist at all.
 
+Exit status: 0 all gates pass; 1 a gate failed; 2 the bench file has no
+usable "parallel_safety" section (e.g. the bench was run before the
+section existed, or a truncated/partial JSON was committed) — reported
+with a diagnostic naming the file rather than a traceback.
+
 Usage:
     check_parallel_safety.py [BENCH_rt.json] [--max-overhead R]
 """
@@ -57,10 +62,19 @@ def main(argv):
 
     with open(path) as f:
         bench = json.load(f)
-    section = bench.get("parallel_safety") or {}
+    if "parallel_safety" not in bench:
+        print(f"{path}: no \"parallel_safety\" section — regenerate the "
+              f"bench JSON with a build that emits it (bench/rt_microbench) "
+              f"before gating on it", file=sys.stderr)
+        return 2
+    section = bench["parallel_safety"] or {}
     rows = section.get("apps") if isinstance(section, dict) else section
-    rows = rows or []
-    by_name = {row["name"]: row for row in rows}
+    if not rows:
+        print(f"{path}: \"parallel_safety\" section present but has no app "
+              f"rows — the emitting bench run was truncated or filtered",
+              file=sys.stderr)
+        return 2
+    by_name = {row["name"]: row for row in rows if "name" in row}
 
     failures = []
     for name, row in sorted(by_name.items()):

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Gate the parallel change-propagation scaling sweep.
+
+Reads the "parallel_propagate" section of a BENCH_rt.json (or
+BENCH_table1.json) — per app, the batched-edit update loop at 1, 2, and
+4 worker threads (bench/AppBench.h runParallelLoop) — and enforces:
+
+ * Correctness everywhere: every row's trace-shape digest must match the
+   app's 1-thread (sequential) row. A mismatch means a parallel phase
+   produced a trace a sequential propagation would not have — the
+   invariant runtime/ParallelPropagate is built on, and the one thing
+   that must hold regardless of the machine.
+ * Scaling, when the machine can show it: quickhull at 4 threads must
+   finish its loop at least --min-speedup times faster than at 1 thread
+   (default 1.2x at smoke scale). The gate only applies when the
+   recorded host_cpus is at least the row's thread count — on fewer
+   cores the "parallel" loop oversubscribes one core and its wall time
+   says nothing about scaling, so the speedup check is skipped with a
+   notice (exit 0): the digests above still certify correctness.
+
+Exit status: 0 all applicable gates pass (including the skipped-speedup
+case); 1 a gate failed; 2 the bench file has no usable
+"parallel_propagate" section — reported with a diagnostic naming the
+file rather than a traceback.
+
+Usage:
+    check_parallel_speedup.py [BENCH_rt.json] [--min-speedup R]
+"""
+
+import json
+import sys
+
+MIN_SPEEDUP = 1.2
+GATED_APP = "quickhull"
+GATED_THREADS = 4
+
+
+def main(argv):
+    path = "BENCH_rt.json"
+    min_speedup = MIN_SPEEDUP
+    args = argv[1:]
+    while args:
+        a = args.pop(0)
+        if a == "--min-speedup":
+            min_speedup = float(args.pop(0))
+        else:
+            path = a
+
+    with open(path) as f:
+        bench = json.load(f)
+    if "parallel_propagate" not in bench:
+        print(f"{path}: no \"parallel_propagate\" section — regenerate the "
+              f"bench JSON with a build that emits it (bench/rt_microbench) "
+              f"before gating on it", file=sys.stderr)
+        return 2
+    section = bench["parallel_propagate"] or {}
+    rows = section.get("apps") or []
+    if not rows:
+        print(f"{path}: \"parallel_propagate\" section present but has no "
+              f"app rows — the emitting bench run was truncated or filtered",
+              file=sys.stderr)
+        return 2
+    host_cpus = int(section.get("host_cpus", 0))
+
+    failures = []
+    base = {}  # app name -> 1-thread row
+    for row in rows:
+        if row.get("threads") == 1:
+            base[row["name"]] = row
+
+    for row in rows:
+        name = row["name"]
+        threads = row.get("threads", 1)
+        ok = row.get("digest_matches_sequential", False)
+        seq = base.get(name)
+        speed = (seq["update_loop_seconds"] / row["update_loop_seconds"]
+                 if seq and row.get("update_loop_seconds") else 0.0)
+        print(f"{name:10s} threads={threads} "
+              f"par-runs={row.get('parallel_runs', 0):4d} "
+              f"fallbacks={row.get('fallbacks', 0):4d} "
+              f"conflicts={row.get('conflicts', 0):4d} "
+              f"speedup={speed:5.2f}x "
+              f"digest={'match' if ok else 'MISMATCH'}")
+        if not ok:
+            failures.append(
+                f"{name} @ {threads} threads: trace-shape digest differs "
+                f"from the sequential run — a parallel phase changed the "
+                f"trace")
+        if name not in base:
+            failures.append(f"{name}: no 1-thread baseline row in {path}")
+
+    gated = [r for r in rows
+             if r["name"] == GATED_APP and r.get("threads") == GATED_THREADS]
+    if not gated:
+        failures.append(f"{GATED_APP}: no {GATED_THREADS}-thread row "
+                        f"in {path}")
+    elif host_cpus < GATED_THREADS:
+        print(f"speedup gate skipped: recorded host_cpus={host_cpus} < "
+              f"{GATED_THREADS} threads — wall times on an oversubscribed "
+              f"core do not measure scaling (digest checks above still "
+              f"apply)")
+    else:
+        row = gated[0]
+        seq = base.get(GATED_APP)
+        speed = (seq["update_loop_seconds"] / row["update_loop_seconds"]
+                 if seq and row.get("update_loop_seconds") else 0.0)
+        if speed < min_speedup:
+            failures.append(
+                f"{GATED_APP} @ {GATED_THREADS} threads: speedup "
+                f"{speed:.2f}x below the {min_speedup:.2f}x floor "
+                f"(host_cpus={host_cpus})")
+
+    if failures:
+        print("\n" + "\n".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

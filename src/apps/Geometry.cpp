@@ -110,6 +110,7 @@ Edge *allocEdge(Runtime &RT, const Point *A, const Point *B) {
 Closure *gcellInit(Runtime &, void *Block, Word Head, Modref *Tail) {
   auto *C = static_cast<Cell *>(Block);
   C->Head = Head;
+  C->Id = 0; // Unused here: this app's decisions never hash cell identity.
   C->Tail = Tail;
   return nullptr;
 }

@@ -34,15 +34,21 @@ namespace {
 // Shared cell initializer
 //===----------------------------------------------------------------------===//
 
-Closure *cellInit(Runtime &, void *Block, Word Head, Modref *Tail) {
+Closure *cellInit(Runtime &, void *Block, Word Head, Word Id, Modref *Tail) {
   auto *C = static_cast<Cell *>(Block);
   C->Head = Head;
+  C->Id = Id;
   C->Tail = Tail;
   return nullptr;
 }
 
-Cell *allocCell(Runtime &RT, Word Head, Modref *Tail) {
-  return static_cast<Cell *>(RT.alloc<&cellInit>(sizeof(Cell), Head, Tail));
+/// \p Id is the new cell's lineage identity (see Cell::Id): derived from
+/// the source cell's Id and the call-site tag, never from placement. It
+/// rides in the initializer arguments, so it is part of the memo key —
+/// harmless, since it is itself a function of the other key components.
+Cell *allocCell(Runtime &RT, Word Head, Word Id, Modref *Tail) {
+  return static_cast<Cell *>(
+      RT.alloc<&cellInit>(sizeof(Cell), Head, Id, Tail));
 }
 
 //===----------------------------------------------------------------------===//
@@ -56,7 +62,7 @@ Closure *mapGot(Runtime &RT, Cell *C, Modref *Dst, MapFn Fn, Word Env,
     return nullptr;
   }
   Modref *OutTail = RT.coreModref(C, Tag, 22);
-  Cell *Out = allocCell(RT, Fn(C->Head, Env), OutTail);
+  Cell *Out = allocCell(RT, Fn(C->Head, Env), hashPair(C->Id, 22), OutTail);
   RT.writeT(Dst, Out);
   return RT.readTail<&mapGot>(C->Tail, OutTail, Fn, Env, Tag);
 }
@@ -73,7 +79,7 @@ Closure *filterGot(Runtime &RT, Cell *C, Modref *Dst, PredFn Pred, Word Env,
   }
   if (Pred(C->Head, Env)) {
     Modref *OutTail = RT.coreModref(C, Tag, 21);
-    Cell *Out = allocCell(RT, C->Head, OutTail);
+    Cell *Out = allocCell(RT, C->Head, hashPair(C->Id, 21), OutTail);
     RT.writeT(Dst, Out);
     return RT.readTail<&filterGot>(C->Tail, OutTail, Pred, Env, Tag);
   }
@@ -90,7 +96,7 @@ Closure *reverseGot(Runtime &RT, Cell *C, Cell *Acc, Modref *Dst) {
     return nullptr;
   }
   Modref *OutTail = RT.coreModref(C, 20);
-  Cell *Out = allocCell(RT, C->Head, OutTail);
+  Cell *Out = allocCell(RT, C->Head, hashPair(C->Id, 20), OutTail);
   RT.writeT(OutTail, Acc);
   return RT.readTail<&reverseGot>(C->Tail, Out, Dst);
 }
@@ -102,36 +108,32 @@ Closure *reverseGot(Runtime &RT, Cell *C, Cell *Acc, Modref *Dst) {
 /// Round cells carry their value in a modifiable so that value changes
 /// flow through writes (and equality-cut when a combine is unaffected).
 struct VCell {
+  Word Id;      ///< Lineage identity for contraction coins (see Cell::Id).
   Modref *Val;  ///< Holds a Word.
   Modref *Tail; ///< Holds VCell *.
 };
 
-Closure *vcellInit(Runtime &, void *Block, Modref *Val, Modref *Tail) {
+Closure *vcellInit(Runtime &, void *Block, Word Id, Modref *Val,
+                   Modref *Tail) {
   auto *C = static_cast<VCell *>(Block);
+  C->Id = Id;
   C->Val = Val;
   C->Tail = Tail;
   return nullptr;
 }
 
-VCell *allocVCell(Runtime &RT, Modref *Val, Modref *Tail) {
+VCell *allocVCell(Runtime &RT, Word Id, Modref *Val, Modref *Tail) {
   return static_cast<VCell *>(
-      RT.alloc<&vcellInit>(sizeof(VCell), Val, Tail));
-}
-
-/// A cell's identity for coin flips: its arena region offset, not its
-/// raw address, so the contraction structure — and with it the whole
-/// trace shape — is reproducible across runtimes at different region
-/// bases (the snapshot round-trip oracle relies on this).
-uint64_t cellIdentity(Runtime &RT, const void *Cell) {
-  return static_cast<uint64_t>(
-      reinterpret_cast<const char *>(Cell) -
-      static_cast<const char *>(RT.arena().regionBase()));
+      RT.alloc<&vcellInit>(sizeof(VCell), Id, Val, Tail));
 }
 
 /// True if \p N starts a new run in \p Round. A pure function of the
-/// cell's identity, so decisions are reproducible across re-executions.
-bool runBoundary(Runtime &RT, const VCell *N, Word Round) {
-  return hashPair(cellIdentity(RT, N), Round) & 1;
+/// cell's lineage identity, so decisions are reproducible across
+/// re-executions, across runtimes, and across propagation modes (a cell
+/// placed in a parallel worker's shard chunk flips the same coin the
+/// sequentially placed cell would; region offsets would not be).
+bool runBoundary(const VCell *N, Word Round) {
+  return hashPair(N->Id, Round) & 1;
 }
 
 /// Converts the input list into a VCell list (values behind modifiables).
@@ -142,7 +144,7 @@ Closure *convGot(Runtime &RT, Cell *C, Modref *VDst, Word Tag) {
   }
   Modref *Val = RT.coreModref(C, Tag, 10);
   Modref *Tail = RT.coreModref(C, Tag, 11);
-  VCell *VC = allocVCell(RT, Val, Tail);
+  VCell *VC = allocVCell(RT, hashPair(C->Id, 40), Val, Tail);
   RT.write(Val, C->Head);
   RT.writeT(VDst, VC);
   return RT.readTail<&convGot>(C->Tail, Tail, Tag);
@@ -159,11 +161,14 @@ Closure *runJoin(Runtime &RT, Word V, Word Acc, VCell *N, VCell *F,
 
 Closure *runNext(Runtime &RT, VCell *N, Word Acc, VCell *F, Modref *Dst,
                  CombineFn Fn, Word Env, Word Round) {
-  if (!N || runBoundary(RT, N, Round)) {
-    // The run that started at F ends here; emit its combined value.
+  if (!N || runBoundary(N, Round)) {
+    // The run that started at F ends here; emit its combined value. The
+    // round cell inherits F's lineage, salted with the round so coins of
+    // successive rounds stay independent.
     Modref *OVal = RT.coreModref(F, Round, 13);
     Modref *OTail = RT.coreModref(F, Round, 14);
-    VCell *Out = allocVCell(RT, OVal, OTail);
+    VCell *Out = allocVCell(RT, hashPair(F->Id, Round * 2 + 0x9d1), OVal,
+                            OTail);
     RT.write(OVal, Acc);
     RT.writeT(Dst, Out);
     if (!N) {
@@ -239,12 +244,12 @@ Closure *partGot(Runtime &RT, Cell *C, Modref *DL, Modref *DG, Word Pivot,
   }
   if (Cmp(C->Head, Pivot) < 0) {
     Modref *OutTail = RT.coreModref(C, PivotCell, 0);
-    Cell *Out = allocCell(RT, C->Head, OutTail);
+    Cell *Out = allocCell(RT, C->Head, hashPair(C->Id, 30), OutTail);
     RT.writeT(DL, Out);
     return RT.readTail<&partGot>(C->Tail, OutTail, DG, Pivot, PivotCell, Cmp);
   }
   Modref *OutTail = RT.coreModref(C, PivotCell, 1);
-  Cell *Out = allocCell(RT, C->Head, OutTail);
+  Cell *Out = allocCell(RT, C->Head, hashPair(C->Id, 31), OutTail);
   RT.writeT(DG, Out);
   return RT.readTail<&partGot>(C->Tail, DL, OutTail, Pivot, PivotCell, Cmp);
 }
@@ -272,7 +277,7 @@ Closure *qsGot(Runtime &RT, Cell *C, Modref *Dst, Cell *Rest, CmpFn Cmp) {
   Modref *Geq = RT.coreModref(C, 3);
   RT.callFn<&partEnter>(C->Tail, Less, Geq, Pivot, C, Cmp);
   Modref *PivotTail = RT.coreModref(C, 4);
-  Cell *PivotOut = allocCell(RT, Pivot, PivotTail);
+  Cell *PivotOut = allocCell(RT, Pivot, hashPair(C->Id, 34), PivotTail);
   RT.callFn<&qsEnter>(Geq, PivotTail, Rest, Cmp);
   return RT.readTail<&qsGot>(Less, Dst, PivotOut, Cmp);
 }
@@ -302,12 +307,12 @@ Closure *mergeStep(Runtime &RT, Cell *A, Cell *B, Modref *Dst, CmpFn Cmp) {
   }
   if (Cmp(A->Head, B->Head) <= 0) {
     Modref *OutTail = RT.coreModref(A, 6);
-    Cell *Out = allocCell(RT, A->Head, OutTail);
+    Cell *Out = allocCell(RT, A->Head, hashPair(A->Id, 36), OutTail);
     RT.writeT(Dst, Out);
     return RT.readTail<&mergeNextA>(A->Tail, B, OutTail, Cmp);
   }
   Modref *OutTail = RT.coreModref(B, 7);
-  Cell *Out = allocCell(RT, B->Head, OutTail);
+  Cell *Out = allocCell(RT, B->Head, hashPair(B->Id, 37), OutTail);
   RT.writeT(Dst, Out);
   return RT.readTail<&mergeNextB>(B->Tail, A, OutTail, Cmp);
 }
@@ -325,10 +330,10 @@ Closure *mergeGotA(Runtime &RT, Cell *A, Modref *SB, Modref *Dst, CmpFn Cmp) {
 Closure *splitGot(Runtime &RT, Cell *C, Modref *DA, Modref *DB, Word Level);
 
 Closure *splitStep(Runtime &RT, Cell *C, Modref *DA, Modref *DB, Word Level) {
-  bool GoesRight =
-      hashPair(cellIdentity(RT, C), Level * 2 + 0x517) & 1;
+  bool GoesRight = hashPair(C->Id, Level * 2 + 0x517) & 1;
   Modref *OutTail = RT.coreModref(C, Level, 5);
-  Cell *Out = allocCell(RT, C->Head, OutTail);
+  Cell *Out = allocCell(RT, C->Head, hashPair(C->Id, Level * 2 + 0x518),
+                        OutTail);
   if (GoesRight) {
     RT.writeT(DB, Out);
     return RT.readTail<&splitGot>(C->Tail, DA, OutTail, Level);
@@ -361,7 +366,7 @@ Closure *msGot2(Runtime &RT, Cell *T, Cell *C, Modref *Dst, CmpFn Cmp,
   if (!T) {
     // Singleton list: already sorted.
     Modref *OutTail = RT.coreModref(C, Level, 8);
-    Cell *Out = allocCell(RT, C->Head, OutTail);
+    Cell *Out = allocCell(RT, C->Head, hashPair(C->Id, 38), OutTail);
     RT.writeT(OutTail, static_cast<Cell *>(nullptr));
     RT.writeT(Dst, Out);
     return nullptr;
@@ -435,6 +440,10 @@ ListHandle apps::buildList(Runtime &RT, const std::vector<Word> &Values) {
   for (Word V : Values) {
     auto *C = static_cast<Cell *>(RT.metaAlloc(sizeof(Cell)));
     C->Head = V;
+    // Lineage root: the cell's construction index. Deterministic given
+    // the input sequence, so every derived identity — and every coin —
+    // is a pure function of the input, independent of placement.
+    C->Id = hashPair(0x9e3779b97f4a7c15ULL, L.Cells.size());
     C->Tail = RT.modref<Cell *>(nullptr);
     RT.modifyT(Cur, C);
     L.Cells.push_back(C);

@@ -35,9 +35,19 @@ namespace apps {
 
 /// A modifiable list cell. Heads are plain words (an element change is a
 /// cell replacement); tails are modifiables so the mutator and change
-/// propagation can restructure the spine.
+/// propagation can restructure the spine. Id is the cell's identity for
+/// randomized decisions (contraction-run coins, mergesort split sides):
+/// input cells get it from the builder, derived cells hash it from their
+/// source cell's Id and the derivation site. An explicit lineage-based
+/// identity — rather than the cell's address or region offset — keeps
+/// every coin a pure function of the input structure, so the whole trace
+/// shape is reproducible across allocators; in particular, a parallel
+/// propagation phase (which places fresh blocks in per-worker shard
+/// chunks) must flip the same coins a sequential one would, or the
+/// parallel-vs-sequential trace oracle could never hold.
 struct Cell {
   Word Head;
+  Word Id;
   Modref *Tail; ///< Holds Cell *.
 };
 

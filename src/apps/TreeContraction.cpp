@@ -40,6 +40,7 @@ TcRec *allocRec(Runtime &RT, Word Id, Word Round, Word P, Word C0, Word C1) {
 Closure *tcCellInit(Runtime &, void *Block, Word Head, Modref *Tail) {
   auto *C = static_cast<Cell *>(Block);
   C->Head = Head;
+  C->Id = 0; // Unused here: this app's decisions never hash cell identity.
   C->Tail = Tail;
   return nullptr;
 }

@@ -1,0 +1,331 @@
+//===- runtime/ParallelPropagate.cpp - Parallel change propagation --------===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ParallelPropagate.h"
+
+#include "runtime/RaceCheck.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ceal;
+
+ParallelPropagate::ParallelPropagate(Runtime &R, unsigned Threads)
+    : RT(R),
+      NumThreads(std::clamp(Threads, 2u, PropagationProfile::MaxWorkers)) {
+  // Persistent pool: NumThreads - 1 parked workers plus the leader (the
+  // propagating thread itself runs group 0). Spawned once; a phase is two
+  // condvar handshakes, not thread churn.
+  Pool.reserve(NumThreads - 1);
+  for (unsigned Id = 1; Id < NumThreads; ++Id)
+    Pool.emplace_back([this, Id] { poolMain(Id); });
+}
+
+ParallelPropagate::~ParallelPropagate() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Shutdown = true;
+  }
+  Cv.notify_all();
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+void ParallelPropagate::poolMain(unsigned Id) {
+  uint64_t SeenSeq = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      Cv.wait(L, [&] { return Shutdown || PhaseSeq != SeenSeq; });
+      if (Shutdown)
+        return;
+      SeenSeq = PhaseSeq;
+      // Fewer groups than pool threads this phase: sit it out. Remaining
+      // counts only the ActiveWorkers ids, so no decrement here.
+      if (Id >= ActiveWorkers)
+        continue;
+    }
+    runWorker(Id);
+    finishWorker();
+  }
+}
+
+void ParallelPropagate::finishWorker() {
+  bool Done;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Done = --Remaining == 0;
+  }
+  if (Done)
+    DoneCv.notify_all();
+}
+
+void ParallelPropagate::runWorker(unsigned Id) {
+  Runtime::ExecState &E = States[Id];
+  // Route this thread's traced operations to its own strand and its
+  // arena allocations to its own shard for the duration of the phase.
+  Arena::ShardTls = static_cast<int>(Id);
+  Runtime::TlsBind = {&RT, &E};
+  const uint64_t T0 = Timer::nowNs();
+  for (;;) {
+    ReadNode *R = RT.heapPopMin(E);
+    if (!R)
+      break;
+    if (E.Prof.Enabled)
+      ++E.Prof.QueuePops;
+    // The dirty bit is the worker/invalidator handshake: a read can be
+    // re-marked between pop and clear (a foreign writer saw it dirty and
+    // skipped enqueueing); clearing first means any write that lands
+    // after the clear re-marks and forwards, so nothing is lost. A clean
+    // pop is a duplicate or an equality-cut leftover.
+    if (!R->isDirtyAtomic())
+      continue;
+    R->clearDirtyAtomic();
+    RT.reexecute(R);
+  }
+  BusyNs[Id] = Timer::nowNs() - T0;
+  Runtime::TlsBind = {nullptr, nullptr};
+  Arena::ShardTls = -1;
+}
+
+bool ParallelPropagate::tryRun() {
+  Runtime::ExecState &Main = RT.Main;
+  PropagationProfile &Prof = Main.Prof;
+  auto Refuse = [&] {
+    if (Prof.Enabled)
+      ++Prof.ParallelFallbacks;
+    return false;
+  };
+
+  // Static gates. Sticky: a previous phase saw a dynamic conflict — this
+  // workload couples its intervals (exptrees), stay sequential. The race
+  // detector and the simulated bounded heap are inherently sequential
+  // instruments; a recorded static-interference conflict from the last
+  // checked propagation demotes permanently, matching the detector's
+  // verdict semantics (docs/PARALLEL_SAFETY.md).
+  if (Sticky || RT.Cfg.RaceCheck || RT.Cfg.HeapLimitBytes != 0 ||
+      Main.Heap.size() < 2)
+    return Refuse();
+  if (RT.Race.report().conflictCount() > 0) {
+    Sticky = true;
+    return Refuse();
+  }
+
+  DirtyClustering C = RaceCheck::clusterDirty(RT);
+  if (C.NumClusters < 2)
+    return Refuse();
+  const unsigned K =
+      std::min({NumThreads, C.NumClusters, PropagationProfile::MaxWorkers});
+
+  // Contiguous balanced split of clusters into K groups (same rule as
+  // RaceCheck::beginPropagate), then per-group region bounds: Lo is the
+  // first read's start (Sorted is in start order), Hi the maximal end.
+  auto GroupOf = [&](uint32_t Cluster) {
+    return static_cast<unsigned>(uint64_t(Cluster) * K / C.NumClusters);
+  };
+  OmNode *Lo[PropagationProfile::MaxWorkers] = {};
+  OmNode *Hi[PropagationProfile::MaxWorkers] = {};
+  for (size_t I = 0; I < C.Sorted.size(); ++I) {
+    const unsigned G = GroupOf(C.ClusterOf[I]);
+    OmNode *Start = RT.Om.nodeAt(C.Sorted[I]->Start);
+    OmNode *End = RT.Om.nodeAt(C.Sorted[I]->End);
+    if (!Lo[G])
+      Lo[G] = Start;
+    if (!Hi[G] || OrderList::precedes(Hi[G], End))
+      Hi[G] = End;
+  }
+
+  // Certify the regions structurally: after isolation, no OM group spans
+  // a region boundary, so worker-local structural mutations (splits,
+  // relabels of own-region node labels) stay inside the owning region.
+  // Single-threaded — must precede arming.
+  for (unsigned G = 0; G < K; ++G) {
+    RT.Om.isolateBoundary(Lo[G]);
+    if (OmNode *After = Hi[G]->Next)
+      RT.Om.isolateBoundary(After);
+  }
+
+  // Redistribute the dirty heap into the per-worker queues. The main
+  // heap may hold duplicate entries; C.Sorted is deduplicated, so clear
+  // all membership first and push each read exactly once.
+  for (ReadNode *R : Main.Heap)
+    R->HeapIndex = -1;
+  Main.Heap.clear();
+  for (unsigned G = 0; G < K; ++G) {
+    Runtime::ExecState &E = States[G];
+    assert(E.Heap.empty() && E.PendingReads.empty() &&
+           E.DeferredFrees.empty() && E.PhaseReadMemo.empty() &&
+           E.PhaseAllocMemo.empty() && "worker strand not quiescent");
+    E.S = Runtime::Stats();
+    E.Prof.reset();
+    E.Prof.Enabled = Prof.Enabled;
+    E.PendingSubst = 0;
+    E.Cursor = nullptr;
+    E.IntervalEnd = nullptr;
+    E.SplicedFlag = false;
+    E.RegionLo = Lo[G];
+    E.RegionHi = Hi[G];
+    E.WorkerId = static_cast<int>(G);
+    BusyNs[G] = 0;
+  }
+  for (size_t I = 0; I < C.Sorted.size(); ++I)
+    RT.heapPush(States[GroupOf(C.ClusterOf[I])], C.Sorted[I]);
+
+  // Arm the concurrent substructures, release the pool, and work group 0
+  // on this thread.
+  Overflow.clear();
+  ForwardedCount = 0;
+  AnyForwarded = false;
+  RT.Mem.beginShards(K);
+  RT.Om.beginParallel(K);
+  RT.ReadMemo.setSharded(true);
+  RT.AllocMemo.setSharded(true);
+  RT.ParArmed = true;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ActiveWorkers = K;
+    Remaining = K;
+    ++PhaseSeq;
+  }
+  Cv.notify_all();
+  runWorker(0);
+  finishWorker();
+  const uint64_t J0 = Prof.Enabled ? Timer::nowNs() : 0;
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    DoneCv.wait(L, [&] { return Remaining == 0; });
+  }
+  if (Prof.Enabled)
+    Prof.JoinWaitNs += Timer::nowNs() - J0;
+
+  // Disarm (single-threaded again: the join above is the happens-before
+  // edge for everything the workers wrote).
+  RT.ParArmed = false;
+  RT.Om.endParallel();
+  RT.Mem.endShards();
+  RT.ReadMemo.setSharded(false);
+  RT.AllocMemo.setSharded(false);
+
+  // Merge the worker strands into Main. The parked memo inserts go in
+  // first, in worker-id order: the groups are disjoint and timestamp-
+  // ordered and each worker's pops were timestamp-monotone, so this
+  // concatenation is exactly the order a sequential propagation would
+  // have head-inserted them — every later probe walks identical bucket
+  // chains and steals identical candidates. Nulls are strand entries
+  // revoked before the join.
+  for (unsigned G = 0; G < K; ++G) {
+    Runtime::ExecState &E = States[G];
+    for (ReadNode *R : E.PhaseReadMemo) {
+      if (!R)
+        continue;
+      R->clearMemoDeferredAtomic();
+      RT.ReadMemo.insert(R);
+    }
+    E.PhaseReadMemo.clear();
+    for (AllocNode *A : E.PhaseAllocMemo) {
+      if (!A)
+        continue;
+      A->Flags &= ~TraceNode::FlagMemoDeferred;
+      RT.AllocMemo.insert(A);
+    }
+    E.PhaseAllocMemo.clear();
+  }
+  for (unsigned G = 0; G < K; ++G) {
+    Runtime::ExecState &E = States[G];
+    assert(E.Heap.empty() && "worker queue not drained at the join");
+    Main.S.merge(E.S);
+    if (Prof.Enabled)
+      Prof.mergeWorker(E.Prof, G, BusyNs[G]);
+    Main.DeferredFrees.insert(Main.DeferredFrees.end(),
+                              E.DeferredFrees.begin(), E.DeferredFrees.end());
+    E.DeferredFrees.clear();
+    E.RegionLo = nullptr;
+    E.RegionHi = nullptr;
+    E.WorkerId = -1;
+  }
+
+  // Re-queue forwarded work for the sequential drain in propagate();
+  // the entries are dirty and in no heap (forward() is only reachable
+  // for reads that failed the in-region test).
+  for (ReadNode *R : Overflow)
+    RT.heapPush(Main, R);
+  Overflow.clear();
+
+  if (Prof.Enabled) {
+    ++Prof.ParallelRuns;
+    Prof.ForwardedReads += ForwardedCount;
+    Prof.WorkersUsed = std::max<uint64_t>(Prof.WorkersUsed, K);
+  }
+  if (AnyForwarded) {
+    // A cross-GROUP effect surfaced at run time (one group's write
+    // invalidated a read placed in another group's region): the
+    // certified split was too coarse for this workload's dependence
+    // structure. Correctness is preserved (the drain handles the
+    // forwarded reads), but later propagations stop paying for phases
+    // that will conflict again. Forwards outside every region do not
+    // demote — see forward().
+    Sticky = true;
+    if (Prof.Enabled)
+      ++Prof.ParallelConflicts;
+  }
+  return true;
+}
+
+void ParallelPropagate::forward(ReadNode *R) {
+  // Classify before queuing. A forwarded read whose interval lies
+  // outside every certified region is benign spillover: sequential
+  // propagation would cascade-invalidate it exactly the same way, and
+  // the post-join drain re-executes it in timestamp order regardless of
+  // thread count. Only an interval touching ANOTHER group's region is
+  // evidence that the certified split undercut the workload's dependence
+  // structure (the next phase would couple the same groups again), so
+  // only that demotes to sticky-sequential. Open reads (End not yet
+  // stamped — mid-construction on some worker) cannot be placed and are
+  // conservatively conflicts. Region bounds are set before arming and
+  // cleared after the join, so reading them here is race-free; precedes
+  // is seqlock-safe while armed.
+  bool Conflict = true;
+  Handle<OmNode> EndH = R->endAcquire();
+  if (EndH) {
+    const int Self = RT.exec().WorkerId;
+    OmNode *Start = RT.Om.nodeAt(R->Start);
+    OmNode *End = RT.Om.nodeAt(EndH);
+    Conflict = false;
+    for (unsigned G = 0; G < ActiveWorkers; ++G) {
+      if (static_cast<int>(G) == Self)
+        continue;
+      const Runtime::ExecState &S = States[G];
+      if (!S.RegionLo)
+        continue;
+      if (!OrderList::precedes(End, S.RegionLo) &&
+          !OrderList::precedes(S.RegionHi, Start)) {
+        Conflict = true;
+        break;
+      }
+    }
+  }
+  SpinLockGuard L(OverflowLock);
+  Overflow.push_back(R);
+  ++ForwardedCount;
+  if (Conflict)
+    AnyForwarded = true;
+}
+
+void ParallelPropagate::revokedWhileQueued(ReadNode *R) {
+  // Same stripe as forward() (the owning modifiable's), so the scan
+  // cannot race a concurrent forward of the same read. Overflow stays
+  // tiny — any entry at all demotes the runtime to sequential — so the
+  // linear scan is fine.
+  SpinLockGuard L(OverflowLock);
+  for (size_t I = 0; I < Overflow.size(); ++I) {
+    if (Overflow[I] == R) {
+      Overflow[I] = Overflow.back();
+      Overflow.pop_back();
+      return;
+    }
+  }
+}

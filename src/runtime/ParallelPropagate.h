@@ -1,0 +1,121 @@
+//===- runtime/ParallelPropagate.h - Parallel change propagation -*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel change propagation over certified interval groups. At the
+/// start of propagate(), the pending dirty reads are clustered exactly as
+/// the determinacy-race detector would (RaceCheck::clusterDirty): sorted
+/// by start timestamp and merged into clusters of overlapping [Start,
+/// End] trace intervals. Clusters are disjoint timestamp ranges, so the
+/// re-executions they trigger build trace in disjoint regions of the
+/// order-maintenance list; the propagator splits the cluster sequence
+/// contiguously into up to Config::ParallelThreads groups and hands each
+/// group to a worker with its own priority queue, its own arena shard
+/// (support/Arena shard mode), and sharded memo-table access.
+///
+/// The certification is dynamic and conservative. Before the phase, each
+/// group's region bounds are isolated to order-list group boundaries
+/// (OrderList::isolateBoundary) so structural OM mutations cannot cross
+/// regions. During the phase, any effect that escapes its region — a
+/// write invalidating a reader outside the invalidator's bounds, or a
+/// reader whose interval is still open — is *forwarded* to a shared
+/// overflow list instead of being handled by the wrong worker. After the
+/// join, the sequential loop in propagate() drains the overflow (and any
+/// stragglers) to the usual fixpoint, and the phase marks the sticky
+/// fallback: a workload that demonstrably couples its intervals (the
+/// paper's exptrees) runs sequentially from then on. Output values and
+/// trace shape are therefore identical to a sequential propagation —
+/// enforced by the oracle harness digest comparison in the tests.
+///
+/// Kill switch: Config::ParallelPropagate defaults off, and the
+/// CEAL_PARALLEL_PROPAGATE environment variable overrides in either
+/// direction (see Runtime::Config).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_RUNTIME_PARALLELPROPAGATE_H
+#define CEAL_RUNTIME_PARALLELPROPAGATE_H
+
+#include "runtime/Runtime.h"
+#include "support/SpinLock.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ceal {
+
+/// The parallel propagator; owned by Runtime (present only when the
+/// feature is enabled) and driven from Runtime::propagate().
+class ParallelPropagate {
+public:
+  ParallelPropagate(Runtime &R, unsigned Threads);
+  ParallelPropagate(const ParallelPropagate &) = delete;
+  ParallelPropagate &operator=(const ParallelPropagate &) = delete;
+  ~ParallelPropagate();
+
+  /// Attempts one parallel phase over the current dirty set. Returns
+  /// false on refusal (nothing consumed: the dirty heap is untouched and
+  /// the sequential loop propagates as always); returns true after a
+  /// completed phase (worker state merged, overflow re-queued on the
+  /// main heap for the sequential drain).
+  bool tryRun();
+
+  /// Queues a cross-region (or open-interval) invalidation for the
+  /// post-join sequential drain. Called from Runtime::invalidate with
+  /// the owning modifiable's stripe held; \p R is dirty and in no
+  /// worker heap.
+  void forward(ReadNode *R);
+
+  /// Purges \p R from the overflow list (no-op if absent). Called from
+  /// Runtime::revokeRead under the same stripe forward() runs under, so
+  /// a revoked read can never leave a dangling overflow entry.
+  void revokedWhileQueued(ReadNode *R);
+
+  /// True once a phase observed a dynamic cross-region conflict (every
+  /// later propagation runs sequentially).
+  bool stickyFallback() const { return Sticky; }
+
+  unsigned threadCount() const { return NumThreads; }
+
+private:
+  void poolMain(unsigned Id);
+  void runWorker(unsigned Id);
+  void finishWorker();
+
+  Runtime &RT;
+  const unsigned NumThreads;
+
+  /// Per-worker execution strands (index = worker id; 0 is the leader).
+  Runtime::ExecState States[PropagationProfile::MaxWorkers];
+  uint64_t BusyNs[PropagationProfile::MaxWorkers] = {};
+
+  /// Phase handshake: the leader bumps PhaseSeq to release the parked
+  /// pool threads, runs group 0 itself, and waits for Remaining to hit
+  /// zero. Pool threads with id >= ActiveWorkers skip the phase.
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::condition_variable DoneCv;
+  uint64_t PhaseSeq = 0;
+  unsigned ActiveWorkers = 0;
+  unsigned Remaining = 0;
+  bool Shutdown = false;
+  std::vector<std::thread> Pool;
+
+  /// Cross-region invalidations parked for the post-join drain.
+  SpinLock OverflowLock;
+  std::vector<ReadNode *> Overflow;
+  uint64_t ForwardedCount = 0;
+  bool AnyForwarded = false;
+
+  bool Sticky = false;
+};
+
+} // namespace ceal
+
+#endif // CEAL_RUNTIME_PARALLELPROPAGATE_H

@@ -33,24 +33,25 @@ void RaceReport::writeJson(std::ostream &Out) const {
   Out << "]}";
 }
 
-/// Sorts the pending dirty reads by start timestamp, merges overlapping
-/// read intervals into clusters, and splits the cluster sequence
-/// contiguously into at most \p MaxIntervals groups. Reads whose trace
-/// intervals overlap re-execute as one region (intervals nest, so an
-/// inner dirty read is subsumed by the outer one's re-execution or
-/// handled inside it) and must share a group; disjoint clusters are the
-/// units a parallel propagator could distribute.
-void RaceCheck::beginPropagate(Runtime &RT, unsigned MaxIntervals) {
-  AccessMap.clear();
-  Owner.clear();
-  Rep = RaceReport();
-  Cur = 0;
-  Active = true;
-
-  std::vector<ReadNode *> Pending = RT.Heap;
-  Rep.InitialDirtyReads = Pending.size();
+/// Sorts the pending dirty reads by start timestamp and merges
+/// overlapping read intervals into clusters. Reads whose trace intervals
+/// overlap re-execute as one region (intervals nest, so an inner dirty
+/// read is subsumed by the outer one's re-execution or handled inside it)
+/// and must share a cluster; disjoint clusters are the units a parallel
+/// propagator can distribute. Duplicate heap entries (the heap tolerates
+/// them transiently — the second pop sees a clean read and skips) are
+/// removed first so a read never lands in two clusters or inflates the
+/// dirty count.
+DirtyClustering RaceCheck::clusterPending(Runtime &RT,
+                                          std::vector<ReadNode *> Pending) {
+  DirtyClustering C;
   if (Pending.empty())
-    return;
+    return C;
+  // Dedup by identity before the timestamp sort: heapLess ties on equal
+  // nodes, so duplicates would otherwise stay adjacent-but-distinct and
+  // double-count their interval in the overlap merge.
+  std::sort(Pending.begin(), Pending.end());
+  Pending.erase(std::unique(Pending.begin(), Pending.end()), Pending.end());
   std::sort(Pending.begin(), Pending.end(),
             [&RT](const ReadNode *A, const ReadNode *B) {
               return RT.heapLess(A, B);
@@ -59,30 +60,51 @@ void RaceCheck::beginPropagate(Runtime &RT, unsigned MaxIntervals) {
   // Cluster by interval overlap: in start order, a read whose start
   // precedes the running cluster end extends the cluster (nesting keeps
   // the end stable, but take the max defensively).
-  std::vector<uint32_t> ClusterOf(Pending.size());
+  C.ClusterOf.resize(Pending.size());
   OmNode *ClusterEnd = nullptr;
-  uint32_t NumClusters = 0;
   for (size_t I = 0; I < Pending.size(); ++I) {
     OmNode *Start = RT.Om.nodeAt(Pending[I]->Start);
     OmNode *End = RT.Om.nodeAt(Pending[I]->End);
     if (!ClusterEnd || !OrderList::precedes(Start, ClusterEnd)) {
-      ++NumClusters;
+      ++C.NumClusters;
       ClusterEnd = End;
     } else if (OrderList::precedes(ClusterEnd, End)) {
       ClusterEnd = End;
     }
-    ClusterOf[I] = NumClusters - 1;
+    C.ClusterOf[I] = C.NumClusters - 1;
   }
-  Rep.Clusters = NumClusters;
+  C.Sorted = std::move(Pending);
+  return C;
+}
+
+DirtyClustering RaceCheck::clusterDirty(Runtime &RT) {
+  return clusterPending(RT, RT.Main.Heap);
+}
+
+/// Partitions the pending dirty reads into at most \p MaxIntervals
+/// contiguous groups of overlap clusters (see clusterPending) and arms
+/// the hooks.
+void RaceCheck::beginPropagate(Runtime &RT, unsigned MaxIntervals) {
+  AccessMap.clear();
+  Owner.clear();
+  Rep = RaceReport();
+  Cur = 0;
+  Active = true;
+
+  DirtyClustering C = clusterDirty(RT);
+  Rep.InitialDirtyReads = C.Sorted.size();
+  if (C.Sorted.empty())
+    return;
+  Rep.Clusters = C.NumClusters;
 
   uint32_t K = std::min<uint32_t>(
-      NumClusters, std::max(1u, std::min(MaxIntervals, MaxIntervalBits)));
+      C.NumClusters, std::max(1u, std::min(MaxIntervals, MaxIntervalBits)));
   Rep.Intervals = K;
   // Contiguous balanced split: cluster c lands in group c*K/NumClusters,
   // preserving timestamp order within and across groups.
-  for (size_t I = 0; I < Pending.size(); ++I)
-    Owner[Pending[I]] =
-        static_cast<uint32_t>(uint64_t(ClusterOf[I]) * K / NumClusters);
+  for (size_t I = 0; I < C.Sorted.size(); ++I)
+    Owner[C.Sorted[I]] =
+        static_cast<uint32_t>(uint64_t(C.ClusterOf[I]) * K / C.NumClusters);
 }
 
 void RaceCheck::setCurrent(const ReadNode *R) {

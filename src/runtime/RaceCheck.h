@@ -127,10 +127,30 @@ struct RaceReport {
   void writeJson(std::ostream &Out) const;
 };
 
+/// The interval clustering shared by the race detector and the parallel
+/// propagator: the pending dirty reads in start-timestamp order, each
+/// tagged with the overlap cluster it belongs to. Clusters are disjoint
+/// timestamp ranges — the units a parallel propagator can distribute and
+/// the detector's conflict-partition granularity.
+struct DirtyClustering {
+  /// Deduplicated pending reads, sorted by start timestamp.
+  std::vector<ReadNode *> Sorted;
+  /// Cluster index per entry of Sorted (non-decreasing).
+  std::vector<uint32_t> ClusterOf;
+  uint32_t NumClusters = 0;
+};
+
 /// The detector; owned by Runtime, driven from propagate() and the
 /// traced-operation hot paths (all hooks behind the single Active bool).
 class RaceCheck {
 public:
+  /// Clusters \p Pending (any order, duplicates allowed — the dirty heap
+  /// can briefly hold duplicate entries, so they are removed first) into
+  /// overlap clusters of nesting [Start, End] trace intervals.
+  static DirtyClustering clusterPending(Runtime &RT,
+                                        std::vector<ReadNode *> Pending);
+  /// Clusters the runtime's current pending dirty set.
+  static DirtyClustering clusterDirty(Runtime &RT);
   /// True only while a checked propagation is running; every hook site
   /// in the runtime tests exactly this flag.
   bool Active = false;

@@ -29,20 +29,59 @@
 
 #include "runtime/Runtime.h"
 
+#include "runtime/ParallelPropagate.h"
 #include "runtime/TraceAudit.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 using namespace ceal;
 
+namespace {
+
+/// Striped locks serializing per-modifiable state during a parallel
+/// propagation phase (Runtime::ParArmed): one modifiable's stripe covers
+/// its use-list links, the governing-write caches and seen values of its
+/// readers, and the forwarding of its readers' invalidations. Process-wide
+/// and hashed by address; outside a phase every MaybeLockGuard below is
+/// one predictable branch.
+SpinLock ModrefLocks[512];
+
+SpinLock &modrefLock(const Modref *M) {
+  return ModrefLocks[(reinterpret_cast<uintptr_t>(M) >> 3) & 511];
+}
+
+} // namespace
+
 Runtime::Runtime(const Config &C) : Cfg(C) {
-  Cursor = Om.base();
-  TraceEnd = Cursor;
+  Main.Cursor = Om.base();
+  TraceEnd = Main.Cursor;
   GcAllocMark = 0;
-  Prof.Enabled = Cfg.EnableProfile;
+  Main.Prof.Enabled = Cfg.EnableProfile;
+  // Kill switch: the parallel propagator exists only when explicitly
+  // enabled, and CEAL_PARALLEL_PROPAGATE overrides the config in either
+  // direction (>= 2 enables with that thread count, 0/1 disables) so CI
+  // can sweep thread counts without rebuilding harnesses.
+  bool WantParallel = Cfg.ParallelPropagate;
+  unsigned Threads = Cfg.ParallelThreads;
+  if (const char *Env = std::getenv("CEAL_PARALLEL_PROPAGATE")) {
+    char *EnvEnd = nullptr;
+    long N = std::strtol(Env, &EnvEnd, 10);
+    if (EnvEnd != Env) {
+      WantParallel = N >= 2;
+      if (N >= 2)
+        Threads = static_cast<unsigned>(N);
+    }
+  }
+  if (WantParallel) {
+    Threads = std::clamp(Threads, 2u, PropagationProfile::MaxWorkers);
+    Cfg.ParallelPropagate = true;
+    Cfg.ParallelThreads = Threads;
+    Par = std::make_unique<ParallelPropagate>(*this, Threads);
+  }
 }
 
 Runtime::~Runtime() = default; // Arena reclaims all trace storage.
@@ -77,10 +116,11 @@ template <typename NodeT> void Runtime::destroyNode(NodeT *N) {
 void Runtime::freeClosure(Closure *C) { Mem.deallocate(C, C->byteSize()); }
 
 OmNode *Runtime::stampAfterCursor(OmItem Item) {
-  if (Prof.Enabled)
-    ++Prof.OmInserts;
-  Cursor = Om.insertAfter(Cursor, Item);
-  return Cursor;
+  ExecState &E = exec();
+  if (E.Prof.Enabled)
+    ++E.Prof.OmInserts;
+  E.Cursor = Om.insertAfter(E.Cursor, Item);
+  return E.Cursor;
 }
 
 /// insertUse specialized for construction: the cursor is the global
@@ -103,8 +143,9 @@ void Runtime::insertUseTail(Modref *M, Use *U) {
   M->Hint = HU;
   if (U->Kind == TraceKind::Read)
     static_cast<ReadNode *>(U)->Gov = writeGoverning(U);
-  if (Prof.Enabled)
-    Prof.UseScan.record(0);
+  ExecState &E = exec();
+  if (E.Prof.Enabled)
+    E.Prof.UseScan.record(0);
 }
 
 /// Inserts \p U into its modifiable's use list at the position given by
@@ -115,6 +156,7 @@ void Runtime::insertUseTail(Modref *M, Use *U) {
 /// O(uses after the position). Also seeds the governing-write cache from
 /// the predecessor.
 void Runtime::insertUse(Modref *M, Use *U) {
+  ExecState &E = exec();
   Use *T = Mem.ptr(M->Tail);
   OmNode *UStart = Om.nodeAt(U->Start);
   Handle<Use> HU = Mem.handle(U);
@@ -132,8 +174,8 @@ void Runtime::insertUse(Modref *M, Use *U) {
     M->Hint = HU;
     if (U->Kind == TraceKind::Read)
       static_cast<ReadNode *>(U)->Gov = writeGoverning(U);
-    if (Prof.Enabled)
-      Prof.UseScan.record(0);
+    if (E.Prof.Enabled)
+      E.Prof.UseScan.record(0);
     return;
   }
   uint64_t Steps = 0;
@@ -167,9 +209,9 @@ void Runtime::insertUse(Modref *M, Use *U) {
   else
     M->Tail = HU;
   M->Hint = HU;
-  S.UseScanSteps += Steps;
-  if (Prof.Enabled)
-    Prof.UseScan.record(Steps);
+  E.S.UseScanSteps += Steps;
+  if (E.Prof.Enabled)
+    E.Prof.UseScan.record(Steps);
 }
 
 void Runtime::unlinkUse(Use *U) {
@@ -253,13 +295,13 @@ Word Runtime::deref(const Modref *M) const {
 void Runtime::run(Closure *C) {
   assert(CurPhase == Phase::Meta && "run_core is a mutator operation");
   CurPhase = Phase::Running;
-  Cursor = TraceEnd; // Append this run's trace after all previous runs.
+  Main.Cursor = TraceEnd; // Append this run's trace after all previous runs.
   const bool FastPath = !Cfg.DisableConstructionFastPath;
-  uint64_t Allocs0 = Prof.Enabled ? Mem.allocationCount() : 0;
+  uint64_t Allocs0 = Main.Prof.Enabled ? Mem.allocationCount() : 0;
   if (FastPath)
     Om.beginAppend(); // Construction stamps in monotone order.
   {
-    ProfileTimer T(Prof, Prof.RunCoreNs);
+    ProfileTimer T(Main.Prof, Main.Prof.RunCoreNs);
     trampoline(C);
     // The memo inserts deferred during construction must land before the
     // meta phase resumes: propagation probes the indexes, and the audits
@@ -269,11 +311,11 @@ void Runtime::run(Closure *C) {
   }
   if (FastPath)
     Om.finalizeAppend();
-  if (Prof.Enabled) {
-    ++Prof.RunCoreCalls;
-    Prof.ArenaAllocs += Mem.allocationCount() - Allocs0;
+  if (Main.Prof.Enabled) {
+    ++Main.Prof.RunCoreCalls;
+    Main.Prof.ArenaAllocs += Mem.allocationCount() - Allocs0;
   }
-  TraceEnd = Cursor;
+  TraceEnd = Main.Cursor;
   CurPhase = Phase::Meta;
   if (Cfg.Audit == AuditLevel::EveryPropagation)
     auditNow("after run_core");
@@ -289,7 +331,7 @@ void Runtime::reserveTrace(size_t ExpectedOps) {
   AllocMemo.reserve(ExpectedOps / 2);
   PendingReadMemo.reserve(ExpectedOps / 2);
   PendingAllocMemo.reserve(ExpectedOps / 2);
-  PendingReads.reserve(ExpectedOps / 2);
+  Main.PendingReads.reserve(ExpectedOps / 2);
   Om.reserve(ExpectedOps + ExpectedOps / 2);
 #ifdef CEAL_WIDE_TRACE
   constexpr size_t BytesPerOp = 128;
@@ -303,7 +345,7 @@ void Runtime::reserveTrace(size_t ExpectedOps) {
 void Runtime::flushConstructionMemo() {
   if (PendingReadMemo.empty() && PendingAllocMemo.empty())
     return;
-  ProfileTimer T(Prof, Prof.MemoBuildNs);
+  ProfileTimer T(Main.Prof, Main.Prof.MemoBuildNs);
   ReadMemo.insertBulk(PendingReadMemo.data(), PendingReadMemo.size());
   PendingReadMemo.clear();
   AllocMemo.insertBulk(PendingAllocMemo.data(), PendingAllocMemo.size());
@@ -313,21 +355,33 @@ void Runtime::flushConstructionMemo() {
 void Runtime::propagate() {
   assert(CurPhase == Phase::Meta && "propagate is a mutator operation");
   CurPhase = Phase::Propagating;
-  ++S.Propagations;
+  ++Main.S.Propagations;
   if (Cfg.RaceCheck)
     Race.beginPropagate(*this, Cfg.RaceCheckIntervals);
   {
-    ProfileTimer Total(Prof, Prof.PropagateNs);
+    ProfileTimer Total(Main.Prof, Main.Prof.PropagateNs);
+    // Memo-bucket growth is parked for the whole step so it fires at one
+    // canonical point regardless of propagation mode — rehash order, and
+    // with it every later probe's candidate choice, must not depend on
+    // whether the step ran parallel (see MemoTable::deferGrowth).
+    ReadMemo.deferGrowth(true);
+    AllocMemo.deferGrowth(true);
+    // The parallel phase drains the certified disjoint groups; whatever
+    // it could not take (refusal, forwarded cross-region work, stragglers
+    // marked after the join) is propagated by the sequential loop below,
+    // which is also the only propagator when the feature is off.
+    if (Par)
+      Par->tryRun();
     for (;;) {
       ReadNode *R;
       {
-        ProfileTimer T(Prof, Prof.QueueNs);
-        R = heapPopMin();
+        ProfileTimer T(Main.Prof, Main.Prof.QueueNs);
+        R = heapPopMin(Main);
       }
       if (!R)
         break;
-      if (Prof.Enabled)
-        ++Prof.QueuePops;
+      if (Main.Prof.Enabled)
+        ++Main.Prof.QueuePops;
       if (!R->isDirty())
         continue;
       R->setDirty(false);
@@ -336,6 +390,8 @@ void Runtime::propagate() {
       reexecute(R);
     }
     flushDeferredFrees();
+    ReadMemo.deferGrowth(false);
+    AllocMemo.deferGrowth(false);
   }
   if (Race.Active)
     Race.finishPropagate();
@@ -408,37 +464,46 @@ MemoryStats Runtime::memoryStats() const {
 /// innermost (most recent) first, which produces the proper nesting
 /// r1.start < r2.start < ... < r2.end < r1.end.
 bool Runtime::trampoline(Closure *C) {
-  size_t PendingBase = PendingReads.size();
+  ExecState &E = exec();
+  size_t PendingBase = E.PendingReads.size();
   bool DidSplice = false;
   while (C) {
-    if (Prof.Enabled)
-      ++Prof.ClosureDispatches;
+    if (E.Prof.Enabled)
+      ++E.Prof.ClosureDispatches;
     // Hand the parked substitution value (read value, block address) to
     // the closure and clear it: only the dispatch immediately after the
     // read/alloc that parked it may consume it.
-    Word Sub = PendingSubst;
-    PendingSubst = 0;
+    Word Sub = E.PendingSubst;
+    E.PendingSubst = 0;
     Closure *Next = C->fn()(*this, C, Sub);
     if (!C->ownedByTrace())
       freeClosure(C);
     C = Next;
-    if (SplicedFlag) {
-      SplicedFlag = false;
+    if (E.SplicedFlag) {
+      E.SplicedFlag = false;
       DidSplice = true;
       assert(!C && "a spliced read must be returned immediately");
       break;
     }
   }
-  for (size_t I = PendingReads.size(); I > PendingBase; --I) {
-    ReadNode *R = PendingReads[I - 1];
-    R->End = Om.handleOf(stampAfterCursor(endItemOf(Mem, R)));
+  for (size_t I = E.PendingReads.size(); I > PendingBase; --I) {
+    ReadNode *R = E.PendingReads[I - 1];
+    Handle<OmNode> EndH = Om.handleOf(stampAfterCursor(endItemOf(Mem, R)));
+    // During a parallel phase the end stamp races with cross-region
+    // invalidators inspecting the interval (they treat a null End as
+    // "open" and forward); publish it with release ordering.
+    if (__builtin_expect(ParArmed, 0))
+      R->endRelease(EndH);
+    else
+      R->End = EndH;
   }
-  PendingReads.resize(PendingBase);
+  E.PendingReads.resize(PendingBase);
   return DidSplice;
 }
 
 Closure *Runtime::read(Modref *M, Closure *C) {
   assert(CurPhase != Phase::Meta && "read is a core operation");
+  ExecState &E = exec();
   // The modifiable's header line is not touched until the use-list link,
   // ~50ns of node setup from now; start the (usually cold) fill early.
   __builtin_prefetch(M, 1);
@@ -456,69 +521,93 @@ Closure *Runtime::read(Modref *M, Closure *C) {
   // run(). The hash itself is still computed here, while the closure's
   // key words sit in cache (hashing at flush time was measurably slower:
   // it re-misses on every closure line).
-  const bool EagerMemo = IntervalEnd || Cfg.DisableConstructionFastPath;
+  const bool EagerMemo = E.IntervalEnd || Cfg.DisableConstructionFastPath;
   uint64_t Hash = readMemoHash(M, C);
-  if (IntervalEnd) {
+  if (E.IntervalEnd) {
     ReadNode *Hit;
     {
-      ProfileTimer T(Prof, Prof.MemoLookupNs);
+      ProfileTimer T(E.Prof, E.Prof.MemoLookupNs);
+      // Sharded probe: the stripe serializes the chain walk against
+      // concurrent inserts/removes by other workers. Any surviving hit
+      // lies in this worker's own reuse window (its own region), so the
+      // splice below needs no foreign coordination.
+      MaybeLockGuard ML(ParArmed, ReadMemo.stripe(Hash));
       Hit = findReadMemo(M, C, Hash);
     }
-    if (Prof.Enabled)
-      ++Prof.MemoLookups;
+    if (E.Prof.Enabled)
+      ++E.Prof.MemoLookups;
     if (Hit) {
-      ++S.MemoReadHits;
+      ++E.S.MemoReadHits;
       if (Race.Active)
         Race.onMemoHit();
       assert(!C->ownedByTrace() && "memo-spliced closure must be transient");
       freeClosure(C);
-      revokeInterval(Cursor, Om.nodeAt(Hit->Start));
-      Cursor = Om.nodeAt(Hit->End);
-      SplicedFlag = true;
+      revokeInterval(E.Cursor, Om.nodeAt(Hit->Start));
+      E.Cursor = Om.nodeAt(Hit->End);
+      E.SplicedFlag = true;
       return nullptr;
     }
   }
-  ++S.ReadsTraced;
+  ++E.S.ReadsTraced;
   ReadNode *R = newNode<ReadNode>();
   R->Ref = Mem.handle(M);
   R->Clo = Mem.handle(C);
   C->setOwnedByTrace(true);
   R->Start = Om.handleOf(stampAfterCursor(itemOf(Mem, R)));
-  if (IntervalEnd)
-    insertUse(M, R);
-  else
-    insertUseTail(M, R);
-  Word V = valueGoverning(R);
-  R->SeenValue = V;
+  Word V;
+  {
+    // The use-list link, the governing-write derivation, and the seen
+    // value must be one atomic step against concurrent writers of M
+    // during a parallel phase (a foreign write sweeping this list both
+    // retargets Gov and compares SeenValue).
+    MaybeLockGuard ML(ParArmed, modrefLock(M));
+    if (E.IntervalEnd)
+      insertUse(M, R);
+    else
+      insertUseTail(M, R);
+    V = valueGoverning(R);
+    R->SeenValue = V;
+  }
   // The value reaches the closure through the trampoline's substitution
   // register, not a frame slot (the frame has none for it).
-  PendingSubst = V;
-  if (Prof.Enabled)
-    ++Prof.MemoInserts;
+  E.PendingSubst = V;
+  if (E.Prof.Enabled)
+    ++E.Prof.MemoInserts;
   // Propagation both probes and revokes the memo index, so its inserts
-  // must be immediate; construction defers them to the bulk build.
+  // must be immediate; construction defers them to the bulk build. A
+  // parallel phase parks them instead: the join applies all phase
+  // inserts in worker-id order, keeping bucket-chain order (and hence
+  // every later probe's candidate choice) sequential-identical.
   R->Memo.Hash = static_cast<uint32_t>(Hash);
-  if (EagerMemo) {
+  if (ParArmed) {
+    R->setMemoDeferredAtomic();
+    E.PhaseReadMemo.push_back(R);
+  } else if (EagerMemo) {
     ReadMemo.insert(R);
   } else {
     PendingReadMemo.push_back(R);
   }
   if (Race.Active)
     Race.onRead(M, R);
-  PendingReads.push_back(R);
+  E.PendingReads.push_back(R);
   return C;
 }
 
 void Runtime::write(Modref *M, Word V) {
   assert(CurPhase != Phase::Meta && "write is a core operation");
+  ExecState &E = exec();
   __builtin_prefetch(M, 1); // See read(): cold until the use-list link.
-  ++S.WritesTraced;
+  ++E.S.WritesTraced;
   if (Race.Active)
     Race.onWrite(M);
   WriteNode *W = newNode<WriteNode>();
   W->Ref = Mem.handle(M);
   W->Value = V;
   W->Start = Om.handleOf(stampAfterCursor(itemOf(Mem, W)));
+  // The whole link-plus-sweep is one critical section per modifiable:
+  // the sweep invalidates (possibly forwarding) under the same stripe,
+  // so a reader revocation elsewhere can never interleave mid-sweep.
+  MaybeLockGuard ML(ParArmed, modrefLock(M));
   if (!M->Head) {
     // Fresh modifiable, no trace history: nothing to scan for placement,
     // no governing-write bookkeeping to derive, no readers downstream to
@@ -527,11 +616,11 @@ void Runtime::write(Modref *M, Word V) {
     // output cell is written exactly once, right after its allocation).
     W->PrevUse = W->NextUse = Handle<Use>{};
     M->Head = M->Tail = M->Hint = Mem.handle(static_cast<Use *>(W));
-    if (Prof.Enabled)
-      Prof.UseScan.record(0);
+    if (E.Prof.Enabled)
+      E.Prof.UseScan.record(0);
     return;
   }
-  if (!IntervalEnd) {
+  if (!E.IntervalEnd) {
     // Construction with trace history on the modifiable (a multi-write
     // modref): still a guaranteed tail append, with no readers after it
     // to retarget.
@@ -555,23 +644,28 @@ void Runtime::write(Modref *M, Word V) {
 
 void *Runtime::allocate(size_t Size, Closure *Init, uint8_t NodeFlags) {
   assert(CurPhase != Phase::Meta && "allocate is a core operation");
+  ExecState &E = exec();
   // Hard failure in all build types: AllocNode::Size is 32-bit, and a
   // truncated size would corrupt the deferred-free accounting.
   checkAlways(Size < UINT32_MAX,
               "traced allocation exceeds the 32-bit size limit");
   // See read(): construction defers the memo insert, not the hashing.
-  const bool EagerMemo = IntervalEnd || Cfg.DisableConstructionFastPath;
+  const bool EagerMemo = E.IntervalEnd || Cfg.DisableConstructionFastPath;
   uint64_t Hash = allocMemoHash(Init, Size);
-  if (IntervalEnd) {
+  if (E.IntervalEnd) {
     AllocNode *Hit;
     {
-      ProfileTimer T(Prof, Prof.MemoLookupNs);
+      ProfileTimer T(E.Prof, E.Prof.MemoLookupNs);
+      // See read(): the stripe covers the probe only; the steal below
+      // re-locks inside AllocMemo.remove (the hit is region-owned, so
+      // nothing else can steal it between the two sections).
+      MaybeLockGuard ML(ParArmed, AllocMemo.stripe(Hash));
       Hit = findAllocMemo(Init, Size, Hash);
     }
-    if (Prof.Enabled)
-      ++Prof.MemoLookups;
+    if (E.Prof.Enabled)
+      ++E.Prof.MemoLookups;
     if (Hit) {
-      ++S.MemoAllocHits;
+      ++E.S.MemoAllocHits;
       Handle<void> BlockH = Hit->Block;
       void *Block = Mem.ptr(BlockH);
       uint8_t Flags = Hit->Flags;
@@ -591,13 +685,20 @@ void *Runtime::allocate(size_t Size, Closure *Init, uint8_t NodeFlags) {
       Init->setOwnedByTrace(true);
       A->Start = Om.handleOf(stampAfterCursor(itemOf(Mem, A)));
       A->Memo.Hash = static_cast<uint32_t>(Hash);
-      if (Prof.Enabled)
-        ++Prof.MemoInserts;
-      AllocMemo.insert(A);
+      if (E.Prof.Enabled)
+        ++E.Prof.MemoInserts;
+      if (ParArmed) {
+        // See read(): parked until the join for deterministic chain
+        // order. Plain flag ops — nothing foreign touches alloc flags.
+        A->Flags |= TraceNode::FlagMemoDeferred;
+        E.PhaseAllocMemo.push_back(A);
+      } else {
+        AllocMemo.insert(A);
+      }
       return Block;
     }
   }
-  ++S.AllocsTraced;
+  ++E.S.AllocsTraced;
   void *Block = Mem.allocate(Size);
   AllocNode *A = newNode<AllocNode>();
   A->Flags = NodeFlags;
@@ -606,10 +707,13 @@ void *Runtime::allocate(size_t Size, Closure *Init, uint8_t NodeFlags) {
   A->Init = Mem.handle(Init);
   Init->setOwnedByTrace(true);
   A->Start = Om.handleOf(stampAfterCursor(itemOf(Mem, A)));
-  if (Prof.Enabled)
-    ++Prof.MemoInserts;
+  if (E.Prof.Enabled)
+    ++E.Prof.MemoInserts;
   A->Memo.Hash = static_cast<uint32_t>(Hash);
-  if (EagerMemo) {
+  if (ParArmed) {
+    A->Flags |= TraceNode::FlagMemoDeferred;
+    E.PhaseAllocMemo.push_back(A);
+  } else if (EagerMemo) {
     AllocMemo.insert(A);
   } else {
     PendingAllocMemo.push_back(A);
@@ -651,43 +755,72 @@ Modref *Runtime::coreModrefDynamic(const Word *Keys, size_t NumKeys) {
 //===----------------------------------------------------------------------===//
 
 void Runtime::invalidate(ReadNode *R) {
+  if (__builtin_expect(ParArmed, 0)) {
+    // Parallel phase. Callers hold the modifiable's stripe, so the mark
+    // and the routing below are atomic against revocation of R. Exactly
+    // one marker proceeds past the RMW.
+    if (R->markDirtyAtomic())
+      return;
+    ExecState &E = exec();
+    Handle<OmNode> EndH = R->endAcquire();
+    // In-region iff RegionLo <= R.Start and R.End <= RegionHi. An open
+    // read (End not yet stamped — it is mid-construction on some worker)
+    // cannot be placed and is forwarded; the post-join sequential drain
+    // re-examines it.
+    if (E.RegionLo && EndH &&
+        !OrderList::precedes(Om.nodeAt(R->Start), E.RegionLo) &&
+        !OrderList::precedes(E.RegionHi, Om.nodeAt(EndH))) {
+      heapPush(E, R);
+      return;
+    }
+    Par->forward(R);
+    return;
+  }
   if (R->isDirty())
     return;
   R->setDirty(true);
   if (Race.Active)
     Race.onInvalidate(R);
-  heapPush(R);
+  heapPush(Main, R);
 }
 
 void Runtime::reexecute(ReadNode *R) {
-  Word V = valueGoverning(R);
-  if (V == R->SeenValue && !Cfg.DisableEqualityCut) {
-    // The modification history restored the value this read saw; its
-    // trace is still consistent.
-    ++S.ReadsSkippedClean;
-    return;
+  ExecState &E = exec();
+  Word V;
+  {
+    // The governing-value load and the seen-value update must not
+    // interleave with a foreign write sweeping R's modifiable; released
+    // before the trampoline (which takes stripes of its own).
+    MaybeLockGuard ML(ParArmed, modrefLock(Mem.ptr(R->Ref)));
+    V = valueGoverning(R);
+    if (V == R->SeenValue && !Cfg.DisableEqualityCut) {
+      // The modification history restored the value this read saw; its
+      // trace is still consistent.
+      ++E.S.ReadsSkippedClean;
+      return;
+    }
+    R->SeenValue = V;
   }
-  ++S.ReadsReexecuted;
+  ++E.S.ReadsReexecuted;
   // Re-executed interval size, measured as the trace operations the
   // re-execution performs (nodes traced, revoked, or memo-spliced).
-  bool ProfOn = Prof.Enabled;
-  uint64_t Work0 = ProfOn ? traceWorkOps() : 0;
+  bool ProfOn = E.Prof.Enabled;
+  uint64_t Work0 = ProfOn ? traceWorkOps(E) : 0;
   if (ProfOn)
-    ++Prof.ReexecCalls;
+    ++E.Prof.ReexecCalls;
   {
-    ProfileTimer T(Prof, Prof.ReexecNs);
-    R->SeenValue = V;
-    PendingSubst = V; // Consumed by the first trampoline dispatch below.
-    Cursor = Om.nodeAt(R->Start);
+    ProfileTimer T(E.Prof, E.Prof.ReexecNs);
+    E.PendingSubst = V; // Consumed by the first trampoline dispatch below.
+    E.Cursor = Om.nodeAt(R->Start);
     OmNode *End = Om.nodeAt(R->End);
-    IntervalEnd = End;
+    E.IntervalEnd = End;
     bool Spliced = trampoline(Mem.ptr(R->Clo));
     if (!Spliced)
-      revokeInterval(Cursor, End);
-    IntervalEnd = nullptr;
+      revokeInterval(E.Cursor, End);
+    E.IntervalEnd = nullptr;
   }
   if (ProfOn)
-    Prof.ReexecWork.record(traceWorkOps() - Work0);
+    E.Prof.ReexecWork.record(traceWorkOps(E) - Work0);
 }
 
 /// Revokes every old trace node strictly between \p From and \p To.
@@ -695,9 +828,10 @@ void Runtime::reexecute(ReadNode *R) {
 /// encountered directly belong to reads whose start lies in the interval
 /// as well and are handled when the start is visited.
 void Runtime::revokeInterval(OmNode *From, OmNode *To) {
-  ProfileTimer T(Prof, Prof.RevokeNs);
-  if (Prof.Enabled)
-    ++Prof.RevokeCalls;
+  ExecState &E = exec();
+  ProfileTimer T(E.Prof, E.Prof.RevokeNs);
+  if (E.Prof.Enabled)
+    ++E.Prof.RevokeCalls;
   OmNode *N = From->Next;
   while (N && N != To) {
     OmItem Item = N->Item;
@@ -732,13 +866,36 @@ void Runtime::revokeInterval(OmNode *From, OmNode *To) {
 }
 
 void Runtime::revokeRead(ReadNode *R) {
-  ++S.NodesRevoked;
+  ExecState &E = exec();
+  ++E.S.NodesRevoked;
   if (Race.Active)
     Race.onRevokeRead(R);
   if (R->HeapIndex >= 0)
-    heapRemove(R);
-  ReadMemo.remove(R);
-  unlinkUse(R);
+    heapRemove(E, R);
+  if (__builtin_expect(R->isMemoDeferred(), 0)) {
+    // The parked insert never reached the table. Null the strand entry
+    // in place — the join preserves the order of the survivors. Only
+    // the owning worker can revoke a node it created this phase, so the
+    // entry is always in this strand's own vector.
+    R->clearMemoDeferredAtomic();
+    auto &Pend = E.PhaseReadMemo;
+    for (size_t I = Pend.size(); I-- > 0;)
+      if (Pend[I] == R) {
+        Pend[I] = nullptr;
+        break;
+      }
+  } else {
+    ReadMemo.remove(R);
+  }
+  {
+    // Unlinking under the stripe makes R unreachable to foreign write
+    // sweeps; the overflow purge inside the same section closes the
+    // window where a just-forwarded R would otherwise dangle.
+    MaybeLockGuard ML(ParArmed, modrefLock(Mem.ptr(R->Ref)));
+    unlinkUse(R);
+    if (__builtin_expect(ParArmed, 0))
+      Par->revokedWhileQueued(R);
+  }
   Om.remove(Om.nodeAt(R->Start));
   assert(R->End && "revoking a read whose interval is still open");
   Om.remove(Om.nodeAt(R->End));
@@ -747,36 +904,55 @@ void Runtime::revokeRead(ReadNode *R) {
 }
 
 void Runtime::revokeWrite(WriteNode *W) {
-  ++S.NodesRevoked;
-  // Readers this write governed fall back to the previous write (or the
-  // initial value); invalidate those that saw something different.
-  Handle<WriteNode> PrevH = writeGoverning(W);
-  WriteNode *Prev = Mem.ptr(PrevH);
-  Word PrevValue = Prev ? Prev->Value : Mem.ptr(W->Ref)->Initial;
-  for (Use *U = Mem.ptr(W->NextUse); U && U->Kind == TraceKind::Read;
-       U = Mem.ptr(U->NextUse)) {
-    auto *R = static_cast<ReadNode *>(U);
-    // Retarget the governing-write cache to the write this one shadowed.
-    R->Gov = PrevH;
-    if (R->SeenValue != PrevValue || Cfg.DisableEqualityCut)
-      invalidate(R);
+  ExecState &E = exec();
+  ++E.S.NodesRevoked;
+  Modref *M = Mem.ptr(W->Ref);
+  {
+    // Same critical section shape as write(): retarget-plus-invalidate
+    // is atomic per modifiable during a parallel phase.
+    MaybeLockGuard ML(ParArmed, modrefLock(M));
+    // Readers this write governed fall back to the previous write (or the
+    // initial value); invalidate those that saw something different.
+    Handle<WriteNode> PrevH = writeGoverning(W);
+    WriteNode *Prev = Mem.ptr(PrevH);
+    Word PrevValue = Prev ? Prev->Value : M->Initial;
+    for (Use *U = Mem.ptr(W->NextUse); U && U->Kind == TraceKind::Read;
+         U = Mem.ptr(U->NextUse)) {
+      auto *R = static_cast<ReadNode *>(U);
+      // Retarget the governing-write cache to the write this one shadowed.
+      R->Gov = PrevH;
+      if (R->SeenValue != PrevValue || Cfg.DisableEqualityCut)
+        invalidate(R);
+    }
+    unlinkUse(W);
   }
-  unlinkUse(W);
   Om.remove(Om.nodeAt(W->Start));
   destroyNode(W);
 }
 
 void Runtime::revokeAlloc(AllocNode *A) {
-  ++S.NodesRevoked;
-  AllocMemo.remove(A);
+  ExecState &E = exec();
+  ++E.S.NodesRevoked;
+  if (__builtin_expect(A->isMemoDeferred(), 0)) {
+    // See revokeRead: the parked insert is strand-local; null it there.
+    A->Flags &= ~TraceNode::FlagMemoDeferred;
+    auto &Pend = E.PhaseAllocMemo;
+    for (size_t I = Pend.size(); I-- > 0;)
+      if (Pend[I] == A) {
+        Pend[I] = nullptr;
+        break;
+      }
+  } else {
+    AllocMemo.remove(A);
+  }
   Om.remove(Om.nodeAt(A->Start));
   freeClosure(Mem.ptr(A->Init));
-  DeferredFrees.push_back({Mem.ptr(A->Block), A->Size, A->isModrefBlock()});
+  E.DeferredFrees.push_back({Mem.ptr(A->Block), A->Size, A->isModrefBlock()});
   destroyNode(A);
 }
 
 void Runtime::flushDeferredFrees() {
-  for (const DeferredFree &F : DeferredFrees) {
+  for (const DeferredFree &F : Main.DeferredFrees) {
     if (F.IsModref) {
       // The block is an array of modifiables (coreModref allocates an
       // array of one). By this point every use must have been revoked or
@@ -799,7 +975,7 @@ void Runtime::flushDeferredFrees() {
     }
     Mem.deallocate(F.Block, F.Size);
   }
-  DeferredFrees.clear();
+  Main.DeferredFrees.clear();
 }
 
 //===----------------------------------------------------------------------===//
@@ -829,8 +1005,9 @@ uint64_t Runtime::allocMemoHash(const Closure *Init, size_t Size) const {
 /// lie strictly between the cursor and the end of the interval being
 /// re-executed.
 bool Runtime::inReuseWindow(const OmNode *Start) const {
-  return OrderList::precedes(Cursor, Start) &&
-         OrderList::precedes(Start, IntervalEnd);
+  const ExecState &E = exec();
+  return OrderList::precedes(E.Cursor, Start) &&
+         OrderList::precedes(Start, E.IntervalEnd);
 }
 
 static bool sameTrailingArgs(const Closure *A, const Closure *B) {
@@ -884,68 +1061,68 @@ bool Runtime::heapLess(const ReadNode *A, const ReadNode *B) const {
   return OrderList::precedes(Om.nodeAt(A->Start), Om.nodeAt(B->Start));
 }
 
-void Runtime::heapPush(ReadNode *R) {
+void Runtime::heapPush(ExecState &E, ReadNode *R) {
   assert(R->HeapIndex < 0 && "node already queued");
-  R->HeapIndex = static_cast<int32_t>(Heap.size());
-  Heap.push_back(R);
-  heapSiftUp(Heap.size() - 1);
+  R->HeapIndex = static_cast<int32_t>(E.Heap.size());
+  E.Heap.push_back(R);
+  heapSiftUp(E, E.Heap.size() - 1);
 }
 
-ReadNode *Runtime::heapPopMin() {
-  if (Heap.empty())
+ReadNode *Runtime::heapPopMin(ExecState &E) {
+  if (E.Heap.empty())
     return nullptr;
-  ReadNode *Min = Heap.front();
+  ReadNode *Min = E.Heap.front();
   Min->HeapIndex = -1;
-  ReadNode *Last = Heap.back();
-  Heap.pop_back();
-  if (!Heap.empty()) {
-    Heap[0] = Last;
+  ReadNode *Last = E.Heap.back();
+  E.Heap.pop_back();
+  if (!E.Heap.empty()) {
+    E.Heap[0] = Last;
     Last->HeapIndex = 0;
-    heapSiftDown(0);
+    heapSiftDown(E, 0);
   }
   return Min;
 }
 
-void Runtime::heapRemove(ReadNode *R) {
+void Runtime::heapRemove(ExecState &E, ReadNode *R) {
   size_t Index = static_cast<size_t>(R->HeapIndex);
-  assert(Index < Heap.size() && Heap[Index] == R && "heap index corrupt");
+  assert(Index < E.Heap.size() && E.Heap[Index] == R && "heap index corrupt");
   R->HeapIndex = -1;
-  ReadNode *Last = Heap.back();
-  Heap.pop_back();
+  ReadNode *Last = E.Heap.back();
+  E.Heap.pop_back();
   if (Last == R)
     return;
-  Heap[Index] = Last;
+  E.Heap[Index] = Last;
   Last->HeapIndex = static_cast<int32_t>(Index);
-  heapSiftDown(Index);
-  heapSiftUp(static_cast<size_t>(Last->HeapIndex));
+  heapSiftDown(E, Index);
+  heapSiftUp(E, static_cast<size_t>(Last->HeapIndex));
 }
 
-void Runtime::heapSiftUp(size_t Index) {
+void Runtime::heapSiftUp(ExecState &E, size_t Index) {
   while (Index > 0) {
     size_t Parent = (Index - 1) / 2;
-    if (!heapLess(Heap[Index], Heap[Parent]))
+    if (!heapLess(E.Heap[Index], E.Heap[Parent]))
       break;
-    std::swap(Heap[Index], Heap[Parent]);
-    Heap[Index]->HeapIndex = static_cast<int32_t>(Index);
-    Heap[Parent]->HeapIndex = static_cast<int32_t>(Parent);
+    std::swap(E.Heap[Index], E.Heap[Parent]);
+    E.Heap[Index]->HeapIndex = static_cast<int32_t>(Index);
+    E.Heap[Parent]->HeapIndex = static_cast<int32_t>(Parent);
     Index = Parent;
   }
 }
 
-void Runtime::heapSiftDown(size_t Index) {
+void Runtime::heapSiftDown(ExecState &E, size_t Index) {
   for (;;) {
     size_t Left = Index * 2 + 1;
-    if (Left >= Heap.size())
+    if (Left >= E.Heap.size())
       return;
     size_t Small = Left;
     size_t Right = Left + 1;
-    if (Right < Heap.size() && heapLess(Heap[Right], Heap[Left]))
+    if (Right < E.Heap.size() && heapLess(E.Heap[Right], E.Heap[Left]))
       Small = Right;
-    if (!heapLess(Heap[Small], Heap[Index]))
+    if (!heapLess(E.Heap[Small], E.Heap[Index]))
       return;
-    std::swap(Heap[Index], Heap[Small]);
-    Heap[Index]->HeapIndex = static_cast<int32_t>(Index);
-    Heap[Small]->HeapIndex = static_cast<int32_t>(Small);
+    std::swap(E.Heap[Index], E.Heap[Small]);
+    E.Heap[Index]->HeapIndex = static_cast<int32_t>(Index);
+    E.Heap[Small]->HeapIndex = static_cast<int32_t>(Small);
     Index = Small;
   }
 }
@@ -977,7 +1154,7 @@ void Runtime::maybeSimulateGc() {
   // "Collect": a tracing collector's cost is proportional to the live
   // data; walk every live timestamp and touch the trace object it marks
   // (the pointer chase is what makes real collections expensive).
-  ++S.GcScans;
+  ++Main.S.GcScans;
   uint64_t Sink = 0;
   for (const OmNode *N = Om.base(); N; N = N->Next) {
     Sink += N->Label;

@@ -36,6 +36,7 @@
 #include <cstdio>
 #include <cstring>
 #include <unistd.h>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -166,13 +167,13 @@ bool Runtime::readyForCheckpoint(std::string *Why) const {
   };
   if (CurPhase != Phase::Meta)
     return No("core execution or propagation in progress");
-  if (!Heap.empty())
+  if (!Main.Heap.empty())
     return No("pending invalidations queued (call propagate() first)");
-  if (!PendingReads.empty())
+  if (!Main.PendingReads.empty())
     return No("pending-read stack not empty");
   if (!PendingReadMemo.empty() || !PendingAllocMemo.empty())
     return No("construction memo inserts not flushed");
-  if (!DeferredFrees.empty())
+  if (!Main.DeferredFrees.empty())
     return No("deferred frees not flushed");
   if (Om.inAppendMode())
     return No("order list still in append mode");
@@ -298,9 +299,9 @@ struct Snapshot::Impl {
 
     // META section.
     MetaFixed MF = {};
-    MF.CursorOff = offOfPtr(OmA, RT.Cursor);
+    MF.CursorOff = offOfPtr(OmA, RT.Main.Cursor);
     MF.TraceEndOff = offOfPtr(OmA, RT.TraceEnd);
-    std::memcpy(MF.Stats, &RT.S, sizeof(MF.Stats));
+    std::memcpy(MF.Stats, &RT.Main.S, sizeof(MF.Stats));
     MF.MetaBytes = RT.MetaBytes;
     MF.GcAllocMark = RT.GcAllocMark;
     MF.BoxBytesPerNode = RT.Cfg.BoxBytesPerNode;
@@ -811,21 +812,21 @@ struct Snapshot::Impl {
     RT.Mem.remapTo(RT.Mem.Base, RT.Mem.RegionBytes);
     RT.Om.Allocator.remapTo(RT.Om.Allocator.Base, RT.Om.Allocator.RegionBytes);
     RT.Om.rebuildEmpty();
-    RT.Cursor = RT.TraceEnd = RT.Om.base();
-    RT.IntervalEnd = nullptr;
-    RT.PendingSubst = 0;
-    RT.SplicedFlag = false;
+    RT.Main.Cursor = RT.TraceEnd = RT.Om.base();
+    RT.Main.IntervalEnd = nullptr;
+    RT.Main.PendingSubst = 0;
+    RT.Main.SplicedFlag = false;
     RT.CurPhase = Runtime::Phase::Meta;
-    RT.PendingReads.clear();
-    RT.Heap.clear();
+    RT.Main.PendingReads.clear();
+    RT.Main.Heap.clear();
     RT.PendingReadMemo.clear();
     RT.PendingAllocMemo.clear();
-    RT.DeferredFrees.clear();
+    RT.Main.DeferredFrees.clear();
     RT.ReadMemo.Buckets.assign(64, Handle<ReadNode>{});
     RT.ReadMemo.Count = 0;
     RT.AllocMemo.Buckets.assign(64, Handle<AllocNode>{});
     RT.AllocMemo.Count = 0;
-    RT.S = Runtime::Stats();
+    RT.Main.S = Runtime::Stats();
     RT.MetaBytes = 0;
     RT.GcAllocMark = 0;
     RT.Oom = false;
@@ -977,18 +978,18 @@ struct Snapshot::Impl {
     Om.FillLimit = OrderList::GroupLimit;
     Om.AppendActive = false;
 
-    RT.Cursor = reinterpret_cast<OmNode *>(OmB + P.MF.CursorOff);
+    RT.Main.Cursor = reinterpret_cast<OmNode *>(OmB + P.MF.CursorOff);
     RT.TraceEnd = reinterpret_cast<OmNode *>(OmB + P.MF.TraceEndOff);
-    RT.IntervalEnd = nullptr;
-    RT.PendingSubst = 0;
-    RT.SplicedFlag = false;
+    RT.Main.IntervalEnd = nullptr;
+    RT.Main.PendingSubst = 0;
+    RT.Main.SplicedFlag = false;
     RT.CurPhase = Runtime::Phase::Meta;
-    RT.PendingReads.clear();
-    RT.Heap.clear();
+    RT.Main.PendingReads.clear();
+    RT.Main.Heap.clear();
     RT.PendingReadMemo.clear();
     RT.PendingAllocMemo.clear();
-    RT.DeferredFrees.clear();
-    std::memcpy(&RT.S, P.MF.Stats, sizeof(RT.S));
+    RT.Main.DeferredFrees.clear();
+    std::memcpy(&RT.Main.S, P.MF.Stats, sizeof(RT.Main.S));
     RT.MetaBytes = static_cast<size_t>(P.MF.MetaBytes);
     RT.GcAllocMark = static_cast<size_t>(P.MF.GcAllocMark);
     RT.Oom = false;
@@ -1045,13 +1046,24 @@ struct Snapshot::Impl {
     uint64_t H = 0x4345414c53484150ULL;
     auto MixRaw = [&H](uint64_t W) { H = hashMixWord(H, W); };
     // Word values routinely hold arena pointers (list cells, modrefs,
-    // blocks), which differ between two runtimes at different region
-    // bases even when the traces are observationally identical — so any
-    // value that lands inside the region is digested as its offset.
+    // blocks). Raw addresses differ between runtimes at different region
+    // bases, and raw *offsets* differ when equivalent traces placed
+    // their blocks differently — sequential propagation allocates from
+    // the central freelists in global time order, a parallel phase from
+    // per-worker shard chunks, yet both reach observationally identical
+    // traces. Addresses are opaque identities to core code (only
+    // equality is observable), so the digest is made placement-abstract:
+    // each distinct in-region value is renamed to its first-occurrence
+    // ordinal in trace order. Two digests agree iff the traces match up
+    // to a bijection of block addresses — exactly observational
+    // equivalence, and the property the parallel-vs-sequential oracle
+    // (tests/ParallelPropagateTest) asserts.
+    std::unordered_map<uint64_t, uint64_t> Names;
     auto MixVal = [&](Word W) {
       if (W >= RegionBase && W - RegionBase < Region) {
+        auto It = Names.try_emplace(W - RegionBase, Names.size()).first;
         MixRaw(1);
-        MixRaw(W - RegionBase);
+        MixRaw(It->second);
       } else {
         MixRaw(0);
         MixRaw(W);
@@ -1075,16 +1087,20 @@ struct Snapshot::Impl {
       switch (T->Kind) {
       case TraceKind::Read: {
         const auto *R = static_cast<const ReadNode *>(T);
+        MixVal(toWord(RT.Mem.ptr(R->Ref)));
         MixVal(R->SeenValue);
         MixClosure(RT.Mem.ptr(R->Clo));
         break;
       }
       case TraceKind::Write: {
-        MixVal(static_cast<const WriteNode *>(T)->Value);
+        const auto *W = static_cast<const WriteNode *>(T);
+        MixVal(toWord(RT.Mem.ptr(W->Ref)));
+        MixVal(W->Value);
         break;
       }
       case TraceKind::Alloc: {
         const auto *A = static_cast<const AllocNode *>(T);
+        MixVal(toWord(RT.Mem.ptr(A->Block)));
         MixRaw(A->Size);
         MixClosure(RT.Mem.ptr(A->Init));
         break;

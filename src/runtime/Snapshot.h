@@ -260,12 +260,15 @@ public:
   static LoadResult mmapWarmStart(Runtime &RT, const std::string &Path,
                                   const WarmStartOptions &Opt);
 
-  /// Order-insensitive only where semantics are (memo chain order is
-  /// excluded): a digest of the trace's observable shape — the timestamp
-  /// sequence with each node's kind, flags, values, and closure identity.
-  /// Two runtimes in one process with identical digests have
-  /// observationally identical traces; the round-trip oracle compares a
-  /// reloaded trace against a continuously-running one with this.
+  /// Insensitive only where semantics are (memo chain order and block
+  /// placement are excluded): a digest of the trace's observable shape —
+  /// the timestamp sequence with each node's kind, flags, values, and
+  /// closure identity, with in-region values renamed to first-occurrence
+  /// ordinals so two traces equal up to a bijection of block addresses
+  /// digest alike. Identical digests mean observationally identical
+  /// traces; the round-trip oracle compares a reloaded trace against a
+  /// continuously-running one with this, and the parallel-propagation
+  /// oracle compares a parallel run against a sequential one.
   static uint64_t traceShapeDigest(const Runtime &RT);
 
   /// Equivalent to RT.readyForCheckpoint(Why).

@@ -292,9 +292,9 @@ struct TraceAudit::Impl {
            OpenReads.size());
     if (RT.TraceEnd != Last)
       fail("trace: TraceEnd is not the maximum timestamp");
-    if (!RT.PendingReads.empty())
+    if (!RT.Main.PendingReads.empty())
       fail("trace: pending-read stack not empty at meta time");
-    if (!RT.DeferredFrees.empty())
+    if (!RT.Main.DeferredFrees.empty())
       fail("trace: deferred frees not flushed at meta time");
     Rep.Reads = Reads.size();
     Rep.Writes = Writes.size();
@@ -367,7 +367,7 @@ struct TraceAudit::Impl {
   }
 
   void checkHeap() {
-    const auto &Heap = RT.Heap;
+    const auto &Heap = RT.Main.Heap;
     for (size_t I = 0; I < Heap.size(); ++I) {
       const ReadNode *R = Heap[I];
       if (!LiveNodes.count(R)) {
@@ -642,8 +642,8 @@ struct TraceAudit::LoadImpl {
   bool run() {
     if (RT.CurPhase != Runtime::Phase::Meta)
       return fail("runtime not in the meta phase");
-    if (!RT.Heap.empty() || !RT.PendingReads.empty() ||
-        !RT.DeferredFrees.empty() || !RT.PendingReadMemo.empty() ||
+    if (!RT.Main.Heap.empty() || !RT.Main.PendingReads.empty() ||
+        !RT.Main.DeferredFrees.empty() || !RT.PendingReadMemo.empty() ||
         !RT.PendingAllocMemo.empty())
       return fail("restored runtime carries pending work (corrupt scalar "
                   "state)");
@@ -703,7 +703,7 @@ struct TraceAudit::LoadImpl {
           return fail("timestamp labels not strictly increasing in group");
         if (N->Next && N->Next->Prev != N)
           return fail("timestamp back-link broken");
-        if (N == RT.Cursor)
+        if (N == RT.Main.Cursor)
           CursorSeen = true;
         if (N == RT.TraceEnd)
           TraceEndSeen = true;

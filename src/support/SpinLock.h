@@ -1,0 +1,95 @@
+//===- support/SpinLock.h - Tiny test-and-set spinlock ---------*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A one-byte test-and-set spinlock for the parallel propagation path.
+/// Critical sections in the runtime are a handful of pointer updates
+/// (use-list splices, memo-chain links), far shorter than a futex round
+/// trip, so spinning wins; the lock object must also be cheap enough to
+/// declare in arrays of hundreds (address-hashed stripes over modrefs
+/// and memo buckets).
+///
+/// `MaybeLockGuard` is the armed-conditional form: when the runtime is
+/// propagating sequentially (the common case) the guard compiles down to
+/// a null check, so striping costs nothing until a parallel phase arms
+/// it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_SUPPORT_SPINLOCK_H
+#define CEAL_SUPPORT_SPINLOCK_H
+
+#include <atomic>
+
+namespace ceal {
+
+/// Pause/yield inside a spin loop: keeps the speculating core from
+/// flooding the pipeline and gives a hyperthread sibling the slot.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class SpinLock {
+public:
+  void lock() {
+    // Test-and-test-and-set: spin on the cheap load, attempt the RMW
+    // only when the lock looks free.
+    for (;;) {
+      if (!Flag.exchange(true, std::memory_order_acquire))
+        return;
+      while (Flag.load(std::memory_order_relaxed))
+        cpuRelax();
+    }
+  }
+
+  bool tryLock() { return !Flag.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { Flag.store(false, std::memory_order_release); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// RAII guard over a SpinLock.
+class SpinLockGuard {
+public:
+  explicit SpinLockGuard(SpinLock &L) : L(&L) { L.lock(); }
+  ~SpinLockGuard() { L->unlock(); }
+  SpinLockGuard(const SpinLockGuard &) = delete;
+  SpinLockGuard &operator=(const SpinLockGuard &) = delete;
+
+private:
+  SpinLock *L;
+};
+
+/// Conditional RAII guard: locks only when \p Armed is true. The null
+/// branch is the sequential fast path.
+class MaybeLockGuard {
+public:
+  MaybeLockGuard(bool Armed, SpinLock &Lock) : L(Armed ? &Lock : nullptr) {
+    if (L)
+      L->lock();
+  }
+  ~MaybeLockGuard() {
+    if (L)
+      L->unlock();
+  }
+  MaybeLockGuard(const MaybeLockGuard &) = delete;
+  MaybeLockGuard &operator=(const MaybeLockGuard &) = delete;
+
+private:
+  SpinLock *L;
+};
+
+} // namespace ceal
+
+#endif // CEAL_SUPPORT_SPINLOCK_H

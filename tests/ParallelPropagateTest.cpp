@@ -1,0 +1,303 @@
+//===- tests/ParallelPropagateTest.cpp - Parallel propagation oracle ------===//
+//
+// The parallel change-propagation correctness bar: a propagation that
+// runs over certified interval groups on worker threads must be
+// OBSERVATIONALLY IDENTICAL to the sequential one — same outputs and
+// the same placement-abstract trace-shape digest after every step, on
+// every app, including steps after a parallel phase (a divergence can
+// surface one step late through memo-table state). The twin-run sweep
+// below drives each oracle model through the same seeded change
+// sequence twice, sequential vs. parallel, in lockstep.
+//
+// Also covered: the dynamic-conflict demotion (a seeded three-sided
+// core whose groups genuinely couple goes sticky-sequential), the
+// benign-spillover classification (forwards outside every region do
+// not demote), and the post-join trace audit at every AuditLevel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+#include "runtime/Snapshot.h"
+#include "runtime/TraceAudit.h"
+#include "tests/support/OracleHarness.h"
+#include "tests/support/OracleModels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+using namespace ceal;
+using namespace ceal::harness;
+
+namespace {
+
+/// The twin-run comparison needs full control over which runtime is
+/// parallel; CEAL_PARALLEL_PROPAGATE would override both sides.
+struct ClearParallelEnv : ::testing::Environment {
+  void SetUp() override { ::unsetenv("CEAL_PARALLEL_PROPAGATE"); }
+};
+const ::testing::Environment *const Registrar =
+    ::testing::AddGlobalTestEnvironment(new ClearParallelEnv);
+
+Runtime::Config parallelConfig(unsigned Threads,
+                               AuditLevel Audit = AuditLevel::EveryPropagation) {
+  Runtime::Config C;
+  C.Audit = Audit;
+  C.ParallelPropagate = true;
+  C.ParallelThreads = Threads;
+  return C;
+}
+
+/// Replays one seeded change sequence and returns the trace-shape digest
+/// after setup and after every propagation, plus the outputs alongside.
+struct StepTrace {
+  std::vector<uint64_t> Digests;
+  std::vector<std::vector<Word>> Outputs;
+};
+
+StepTrace replay(const ModelFactory &Make, uint64_t Seed, int Changes,
+                 const Runtime::Config &Cfg) {
+  StepTrace T;
+  Runtime RT(Cfg);
+  std::unique_ptr<AppModel> Model = Make();
+  {
+    Rng SetupRng(gen::mixSeed(Seed, 0));
+    Model->setup(RT, SetupRng);
+  }
+  T.Digests.push_back(Snapshot::traceShapeDigest(RT));
+  T.Outputs.push_back(Model->output(RT));
+  for (int Step = 0; Step < Changes; ++Step) {
+    Rng ChangeRng(gen::mixSeed(Seed, static_cast<uint64_t>(Step) + 1));
+    Model->applyChange(RT, ChangeRng);
+    RT.propagate();
+    TraceAudit::Report Audit = TraceAudit::inspect(RT);
+    EXPECT_TRUE(Audit.ok()) << "step " << Step << ": " << Audit.summary();
+    EXPECT_EQ(Model->output(RT), Model->expected(RT)) << "step " << Step;
+    T.Digests.push_back(Snapshot::traceShapeDigest(RT));
+    T.Outputs.push_back(Model->output(RT));
+  }
+  return T;
+}
+
+/// The oracle proper: sequential and parallel replays of the same seeds
+/// must agree on every digest and every output at every step.
+void twinRunSweep(const char *Name, const ModelFactory &Make,
+                  unsigned Threads, int Sequences = 6, int Changes = 8,
+                  uint64_t BaseSeed = 0xcea1bea7) {
+  for (int Seq = 0; Seq < Sequences; ++Seq) {
+    uint64_t Seed = gen::mixSeed(BaseSeed, static_cast<uint64_t>(Seq));
+    StepTrace S = replay(Make, Seed, Changes, auditedConfig());
+    StepTrace P = replay(Make, Seed, Changes, parallelConfig(Threads));
+    ASSERT_EQ(S.Digests.size(), P.Digests.size());
+    for (size_t I = 0; I < S.Digests.size(); ++I) {
+      EXPECT_EQ(S.Outputs[I], P.Outputs[I])
+          << Name << " seq " << Seq << " step " << int(I) - 1 << " ("
+          << Threads << " threads)";
+      ASSERT_EQ(S.Digests[I], P.Digests[I])
+          << Name << " seq " << Seq << " step " << int(I) - 1 << " ("
+          << Threads
+          << " threads): parallel propagation produced a trace shape "
+             "sequential propagation would not have";
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Twin-run digest oracle across the apps, at 2 and 4 threads
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelPropagate, ListAppsMatchSequential2) {
+  twinRunSweep("list", [] { return std::make_unique<ListModel>(8, 48); }, 2);
+}
+TEST(ParallelPropagate, ListAppsMatchSequential4) {
+  twinRunSweep("list", [] { return std::make_unique<ListModel>(8, 48); }, 4);
+}
+TEST(ParallelPropagate, ExpTreesMatchSequential2) {
+  twinRunSweep("exptrees", [] { return std::make_unique<ExpTreeModel>(); }, 2);
+}
+TEST(ParallelPropagate, ExpTreesMatchSequential4) {
+  twinRunSweep("exptrees", [] { return std::make_unique<ExpTreeModel>(); }, 4);
+}
+TEST(ParallelPropagate, TreeContractionMatchesSequential2) {
+  twinRunSweep("rctree",
+               [] { return std::make_unique<TreeContractionModel>(); }, 2);
+}
+TEST(ParallelPropagate, TreeContractionMatchesSequential4) {
+  twinRunSweep("rctree",
+               [] { return std::make_unique<TreeContractionModel>(); }, 4);
+}
+TEST(ParallelPropagate, QuickhullMatchesSequential2) {
+  twinRunSweep("quickhull", [] { return std::make_unique<QuickhullModel>(); },
+               2);
+}
+TEST(ParallelPropagate, QuickhullMatchesSequential4) {
+  twinRunSweep("quickhull", [] { return std::make_unique<QuickhullModel>(); },
+               4);
+}
+TEST(ParallelPropagate, DiameterMatchesSequential2) {
+  twinRunSweep("diameter", [] { return std::make_unique<DiameterModel>(); },
+               2);
+}
+TEST(ParallelPropagate, DistanceMatchesSequential4) {
+  twinRunSweep("distance", [] { return std::make_unique<DistanceModel>(); },
+               4);
+}
+
+//===----------------------------------------------------------------------===//
+// Post-join audit at every AuditLevel
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelPropagate, AuditPassesAtEveryLevel) {
+  for (AuditLevel L : {AuditLevel::Off, AuditLevel::Checkpoints,
+                       AuditLevel::EveryPropagation}) {
+    // EveryPropagation audits inside propagate() (abort on violation);
+    // the explicit inspect() in replay() covers the other levels.
+    StepTrace T = replay([] { return std::make_unique<ListModel>(8, 48); },
+                         0x5eed, 6, parallelConfig(4, L));
+    EXPECT_EQ(T.Digests.size(), 7u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Seeded dynamic-conflict demotion and benign-spillover classification
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// A three-sided core driven below in two wirings.
+//
+// Coupled wiring (sticky): side1 reads A and writes the intermediate X;
+// side3 reads C and then X, writing Out2. Editing A and C dirties both
+// side intervals — two disjoint clusters, two groups — but re-executing
+// side1 writes X, invalidating side3's nested X-read, which lies INSIDE
+// side3's certified region: a cross-group effect. The phase must
+// forward it (correctness) and demote to sticky-sequential
+// (performance).
+//
+// Spillover wiring (benign): side2 reads B and then X, writing Out, and
+// the edits touch A and C where side3 never reads X. Side2 is not dirty,
+// so its interval lies OUTSIDE every certified region; side1's write of
+// X forwards side2's read, but that is exactly what sequential cascade
+// invalidation does — no demotion.
+
+Closure *ppSide1Got(Runtime &RT, Word AV, Modref *X) {
+  RT.writeT(X, AV * 2);
+  return nullptr;
+}
+Closure *ppSide1(Runtime &RT, Modref *A, Modref *X) {
+  return RT.readTail<&ppSide1Got>(A, X);
+}
+Closure *ppReadXGot(Runtime &RT, Word XV, Word Base, Modref *Out) {
+  RT.writeT(Out, XV + Base);
+  return nullptr;
+}
+Closure *ppReadThenXGot(Runtime &RT, Word BV, Modref *X, Modref *Out) {
+  return RT.readTail<&ppReadXGot>(X, BV, Out);
+}
+Closure *ppReadThenX(Runtime &RT, Modref *B, Modref *X, Modref *Out) {
+  return RT.readTail<&ppReadThenXGot>(B, X, Out);
+}
+Closure *ppIndepGot(Runtime &RT, Word CV, Modref *Out2) {
+  RT.writeT(Out2, CV + 9);
+  return nullptr;
+}
+Closure *ppIndep(Runtime &RT, Modref *C, Modref *Out2) {
+  return RT.readTail<&ppIndepGot>(C, Out2);
+}
+
+/// Coupled: side3 = reads C then X.
+Closure *coupledCore(Runtime &RT, Modref *A, Modref *B, Modref *C, Modref *X,
+                     Modref *Out, Modref *Out2) {
+  (void)B;
+  (void)Out;
+  RT.callFn<&ppSide1>(A, X);
+  RT.callFn<&ppReadThenX>(C, X, Out2);
+  return nullptr;
+}
+
+/// Spillover: side2 (not edited) reads B then X; side3 independent.
+Closure *spilloverCore(Runtime &RT, Modref *A, Modref *B, Modref *C,
+                       Modref *X, Modref *Out, Modref *Out2) {
+  RT.callFn<&ppSide1>(A, X);
+  RT.callFn<&ppReadThenX>(B, X, Out);
+  RT.callFn<&ppIndep>(C, Out2);
+  return nullptr;
+}
+
+struct ThreeSided {
+  Runtime RT;
+  Modref *A, *B, *C, *X, *Out, *Out2;
+
+  explicit ThreeSided(const Runtime::Config &Cfg) : RT(Cfg) {
+    A = RT.modref(Word(10));
+    B = RT.modref(Word(100));
+    C = RT.modref(Word(1000));
+    X = RT.modref();
+    Out = RT.modref();
+    Out2 = RT.modref();
+  }
+};
+
+Runtime::Config profiledParallel(unsigned Threads) {
+  Runtime::Config Cfg = parallelConfig(Threads);
+  Cfg.EnableProfile = true;
+  return Cfg;
+}
+
+} // namespace
+
+TEST(ParallelPropagate, CrossGroupConflictForwardsAndDemotesSticky) {
+  ThreeSided F{profiledParallel(2)};
+  F.RT.runCore<&coupledCore>(F.A, F.B, F.C, F.X, F.Out, F.Out2);
+  EXPECT_EQ(F.RT.deref(F.Out2), 1000u + 10u * 2);
+
+  // Both side intervals dirty: two clusters, a parallel phase — whose
+  // groups couple through X at run time.
+  F.RT.modify(F.A, 13);
+  F.RT.modify(F.C, 2000);
+  F.RT.propagate();
+  const PropagationProfile &P = F.RT.profile();
+  EXPECT_EQ(P.ParallelRuns, 1u);
+  EXPECT_EQ(P.ParallelConflicts, 1u);
+  EXPECT_GE(P.ForwardedReads, 1u);
+  // Correctness is never traded: the forwarded read re-ran in the
+  // post-join drain against side1's new value of X.
+  EXPECT_EQ(F.RT.deref(F.Out2), 2000u + 13u * 2);
+
+  // Sticky: the same edit pair now refuses the parallel phase up front.
+  F.RT.modify(F.A, 17);
+  F.RT.modify(F.C, 3000);
+  F.RT.propagate();
+  EXPECT_EQ(F.RT.profile().ParallelRuns, 1u);
+  EXPECT_GE(F.RT.profile().ParallelFallbacks, 1u);
+  EXPECT_EQ(F.RT.deref(F.Out2), 3000u + 17u * 2);
+}
+
+TEST(ParallelPropagate, SpilloverOutsideRegionsDoesNotDemote) {
+  ThreeSided F{profiledParallel(2)};
+  F.RT.runCore<&spilloverCore>(F.A, F.B, F.C, F.X, F.Out, F.Out2);
+  EXPECT_EQ(F.RT.deref(F.Out), 100u + 10u * 2);
+
+  F.RT.modify(F.A, 13);
+  F.RT.modify(F.C, 2000);
+  F.RT.propagate();
+  const PropagationProfile &P = F.RT.profile();
+  EXPECT_EQ(P.ParallelRuns, 1u);
+  EXPECT_EQ(P.ParallelConflicts, 0u);
+  EXPECT_GE(P.ForwardedReads, 1u);
+  EXPECT_EQ(F.RT.deref(F.Out), 100u + 13u * 2);
+  EXPECT_EQ(F.RT.deref(F.Out2), 2000u + 9u);
+
+  // Not sticky: the next eligible propagation still runs parallel.
+  F.RT.modify(F.A, 17);
+  F.RT.modify(F.C, 3000);
+  F.RT.propagate();
+  EXPECT_EQ(F.RT.profile().ParallelRuns, 2u);
+  EXPECT_EQ(F.RT.profile().ParallelConflicts, 0u);
+  EXPECT_EQ(F.RT.deref(F.Out), 100u + 17u * 2);
+  EXPECT_EQ(F.RT.deref(F.Out2), 3000u + 9u);
+}

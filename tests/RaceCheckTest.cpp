@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/ListApps.h"
+#include "runtime/RaceCheck.h"
 #include "runtime/Runtime.h"
 #include "runtime/TraceAudit.h"
 #include "support/Random.h"
@@ -265,4 +266,49 @@ TEST(RaceCheck, ReportJsonIsWellFormed) {
   EXPECT_NE(J.find("\"intervals\": 2"), std::string::npos) << J;
   EXPECT_NE(J.find("\"partitionable\": false"), std::string::npos) << J;
   EXPECT_NE(J.find("\"kind\": \"rw\""), std::string::npos) << J;
+}
+
+//===----------------------------------------------------------------------===//
+// Duplicate heap entries must not double-count in the clustering
+//===----------------------------------------------------------------------===//
+
+namespace ceal {
+/// Test-only access to the runtime's dirty heap (friend of Runtime), to
+/// plant the transient duplicate entries the heap tolerates.
+struct RuntimeTestPeer {
+  static std::vector<ReadNode *> &heap(Runtime &RT) { return RT.Main.Heap; }
+};
+} // namespace ceal
+
+TEST(RaceCheck, DuplicateHeapEntriesClusterOnce) {
+  // Regression: clusterPending used to feed duplicate heap entries
+  // straight into the timestamp sort, where heapLess ties on identical
+  // nodes kept them adjacent-but-distinct — the read landed in the
+  // overlap merge twice, inflating the dirty count and, at a cluster
+  // boundary, splitting one read across two clusters.
+  TwoSided F{detectorOn()};
+  F.RT.runCore<&conflictCore>(F.A, F.B, F.X, F.Out);
+  F.RT.modify(F.A, 21);
+  F.RT.modify(F.B, 300);
+
+  std::vector<ReadNode *> &Heap = RuntimeTestPeer::heap(F.RT);
+  ASSERT_EQ(Heap.size(), 2u);
+  // Raw-duplicate both entries, bypassing heapPush (whose bookkeeping
+  // forbids re-queuing) the same way transient armed-phase duplicates
+  // arise.
+  Heap.push_back(Heap[0]);
+  Heap.push_back(Heap[1]);
+
+  DirtyClustering C = RaceCheck::clusterDirty(F.RT);
+  EXPECT_EQ(C.Sorted.size(), 2u);
+  EXPECT_EQ(C.NumClusters, 2u);
+
+  // End to end with the duplicates still queued: the armed detector
+  // reports the deduplicated counts, the duplicate pops skip clean, and
+  // the propagation result is untouched.
+  F.RT.propagate();
+  const RaceReport &R = F.RT.raceReport();
+  EXPECT_EQ(R.InitialDirtyReads, 2u);
+  EXPECT_EQ(R.Clusters, 2u);
+  EXPECT_EQ(F.RT.deref(F.Out), 21u * 2 + 300u);
 }
