@@ -653,9 +653,12 @@ struct Snapshot::Impl {
       return failL(Out, Status::BadMeta,
                    "META arena frontier disagrees with the header");
 
-    // Large-freelist pairs (Mem's, then Om's).
-    uint64_t PairWords = MF.MemA.LargeCount + MF.OmA.LargeCount;
-    if (PairWords > (Meta.size() - 8 - sizeof(MetaFixed)) / 16)
+    // Large-freelist pairs (Mem's, then Om's). Check each count against
+    // the tail capacity separately — the counts are untrusted uint64s and
+    // summing them first can wrap past the bound.
+    uint64_t PairCap = (Meta.size() - 8 - sizeof(MetaFixed)) / 16;
+    if (MF.MemA.LargeCount > PairCap ||
+        MF.OmA.LargeCount > PairCap - MF.MemA.LargeCount)
       return failL(Out, Status::BadMeta,
                    "META large-freelist table exceeds its section");
     const uint8_t *Tail = Meta.data() + 8 + sizeof(MetaFixed);

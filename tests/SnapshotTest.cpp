@@ -366,6 +366,27 @@ TEST(Snapshot, ZeroOmSizeIsBadMeta) {
   EXPECT_EQ(tryLoad(C, B), St::BadMeta);
 }
 
+TEST(Snapshot, OverflowingLargeCountsAreBadMeta) {
+  // Two huge counts that wrap to a small sum must not sneak past the
+  // large-freelist table bound and drive the pair reader off the META
+  // section.
+  Checkpoint C;
+  makeCheckpoint(C);
+  std::vector<uint8_t> B = C.Bytes;
+  uint64_t Huge = uint64_t(1) << 63;
+  pokeU64(B,
+          metaOff(B, offsetof(Snapshot::MetaFixed, MemA) +
+                         offsetof(Snapshot::ArenaMeta, LargeCount)),
+          Huge);
+  pokeU64(B,
+          metaOff(B, offsetof(Snapshot::MetaFixed, OmA) +
+                         offsetof(Snapshot::ArenaMeta, LargeCount)),
+          Huge);
+  resealSection(B, 0);
+  resealHeader(B);
+  EXPECT_EQ(tryLoad(C, B), St::BadMeta);
+}
+
 TEST(Snapshot, CursorPastArenaIsHandleOutOfBounds) {
   Checkpoint C;
   makeCheckpoint(C);
