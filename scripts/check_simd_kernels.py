@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Gate the SIMD kernel matrix.
+
+Reads the "simd_kernels" section of a BENCH_rt.json — per dispatched
+kernel (support/simd: streaming checksum, batched memo hashing, handle
+bounds sweep, bucket-index gather, OM relabel rewrite), ns/op for every
+variant compiled into the binary and runnable on the recording host, at
+a cache-resident and a full-scale working-set size — and enforces:
+
+ * Correctness everywhere: every kernel's "differential_checked" flag
+   must be true. The emitter runs every compiled-and-runnable variant
+   against the scalar reference on a shared random input (including a
+   non-lane-multiple length, so tails are exercised); a false here means
+   a variant computed a different function, which would silently corrupt
+   checksums, memo bucketing, or OM labels depending on the host CPU.
+ * No dispatched regression: for every kernel, the dispatcher-selected
+   variant's ns/op at the largest size must be at or below scalar's
+   within --tolerance (default 10%, absorbing run-to-run noise on
+   near-parity kernels). The dispatcher exists to never be slower than
+   the reference; a miss means the selection heuristic or a variant
+   rotted.
+ * The point of the exercise: at least one kernel must show the
+   selected variant at --min-best-speedup x scalar or better (default
+   2.0) at the largest size. If nothing clears 2x on a host whose
+   widest variant is vectorized, the kernels have decayed into
+   overhead.
+
+When the recording host's max_supported is "scalar" (non-x86 builds,
+feature-poor CPUs, or a scalar-only compile), only the differential
+flags are checked and the performance gates are skipped with a notice
+(exit 0): there is no vector variant whose regression could be gated.
+
+Exit status: 0 all applicable gates pass; 1 a gate failed; 2 the bench
+file has no usable "simd_kernels" section — reported with a diagnostic
+naming the file rather than a traceback.
+
+Usage:
+    check_simd_kernels.py [BENCH_rt.json] [--tolerance F]
+                          [--min-best-speedup R]
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.10
+MIN_BEST_SPEEDUP = 2.0
+
+
+def main(argv):
+    path = "BENCH_rt.json"
+    tolerance = TOLERANCE
+    min_best = MIN_BEST_SPEEDUP
+    args = argv[1:]
+    while args:
+        a = args.pop(0)
+        if a == "--tolerance":
+            tolerance = float(args.pop(0))
+        elif a == "--min-best-speedup":
+            min_best = float(args.pop(0))
+        else:
+            path = a
+
+    with open(path) as f:
+        bench = json.load(f)
+    if "simd_kernels" not in bench:
+        print(f"{path}: no \"simd_kernels\" section — regenerate the bench "
+              f"JSON with a build that emits it (bench/rt_microbench) before "
+              f"gating on it", file=sys.stderr)
+        return 2
+    section = bench["simd_kernels"] or {}
+    kernels = section.get("kernels") or []
+    if not kernels:
+        print(f"{path}: \"simd_kernels\" section present but has no kernel "
+              f"rows — the emitting bench run was truncated", file=sys.stderr)
+        return 2
+    selected = section.get("selected", "scalar")
+    max_supported = section.get("max_supported", "scalar")
+    print(f"simd: max_supported={max_supported} selected={selected} "
+          f"env_override={section.get('env_override', 'auto')}")
+
+    failures = []
+    best_speedup = 0.0
+    best_kernel = None
+    for k in kernels:
+        name = k.get("kernel", "?")
+        if not k.get("differential_checked", False):
+            failures.append(
+                f"{name}: differential check failed — some compiled variant "
+                f"disagrees with the scalar reference")
+        variants = {v["variant"]: v["ns_per_op"] for v in k.get("variants", [])}
+        if "scalar" not in variants:
+            failures.append(f"{name}: no scalar reference row")
+            continue
+        if selected not in variants:
+            failures.append(f"{name}: selected variant \"{selected}\" has no "
+                            f"timing row")
+            continue
+        scalar_ns = variants["scalar"][-1]
+        sel_ns = variants[selected][-1]
+        speedup = scalar_ns / sel_ns if sel_ns else 0.0
+        print(f"  {name:18s} scalar={scalar_ns:10.4f} ns/op "
+              f"{selected}={sel_ns:10.4f} ns/op  speedup={speedup:5.2f}x "
+              f"diff={'ok' if k.get('differential_checked') else 'FAIL'}")
+        if speedup > best_speedup:
+            best_speedup, best_kernel = speedup, name
+        if max_supported != "scalar" and sel_ns > scalar_ns * (1 + tolerance):
+            failures.append(
+                f"{name}: selected variant {selected} is {sel_ns:.4f} ns/op "
+                f"vs scalar {scalar_ns:.4f} — slower than the reference "
+                f"beyond the {tolerance:.0%} tolerance")
+
+    if max_supported == "scalar":
+        print("performance gates skipped: max_supported is scalar (no "
+              "vector variant on this host/build); differential flags "
+              "checked above")
+    elif best_speedup < min_best:
+        failures.append(
+            f"no kernel reaches {min_best:.1f}x: best is "
+            f"{best_kernel} at {best_speedup:.2f}x — the vector variants "
+            f"no longer pay for their dispatch")
+    else:
+        print(f"best kernel speedup: {best_kernel} at {best_speedup:.2f}x "
+              f"(floor {min_best:.1f}x)")
+
+    if failures:
+        for f_ in failures:
+            print(f"FAIL: {f_}", file=sys.stderr)
+        return 1
+    print("simd kernel gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,8 +2,11 @@
 
 #include "om/OrderList.h"
 
+#include "support/simd/Simd.h"
+
 #include <cassert>
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 
@@ -160,11 +163,21 @@ void OrderList::relabelGroupItems(OmGroup *G) {
   ++Relabels;
   assert(G->Count > 0 && "relabeling an empty group");
   uint64_t Gap = UINT64_MAX / (uint64_t(G->Count) + 1);
-  OmNode *N = G->First;
-  for (uint32_t I = 0; I < G->Count; ++I) {
-    N->Label = Gap * (uint64_t(I) + 1);
-    N = N->Next;
+  // The label rewrite goes through the vectorized relabel kernel, which
+  // may speculatively *read* Next fields of arena addresses near the
+  // chain; hand it the arena's bump extent as the speculation window
+  // only when no parallel phase is armed — a concurrent worker may be
+  // writing neighboring nodes, and the serial chase (null window)
+  // touches exactly the chain's own nodes, exactly as the plain loop
+  // did. Label stores stay plain either way: a group never spans worker
+  // regions, so armed-mode item labels are read only by their owner.
+  const void *WinLo = nullptr, *WinHi = nullptr;
+  if (!ParallelArmed) {
+    WinLo = Allocator.regionBase();
+    WinHi = static_cast<const char *>(WinLo) + Allocator.bumpUsedBytes();
   }
+  simd::omRelabel(G->First, G->Count, /*Base=*/0, Gap, offsetof(OmNode, Next),
+                  offsetof(OmNode, Label), WinLo, WinHi);
 }
 
 OmGroup *OrderList::createGroupAfter(OmGroup *G, uint64_t Label) {
@@ -283,11 +296,14 @@ uint64_t OrderList::makeGroupGapAfter(OmGroup *G) {
       }
       LabelEpoch.fetch_add(1, std::memory_order_release);
     } else {
-      while (Cursor && Index <= Count) {
-        Cursor->Label = RangeBase + Gap * Index;
-        Cursor = Cursor->Next;
-        ++Index;
-      }
+      // Same chain-relabel shape as relabelGroupItems, over the group
+      // chain instead of a node chain; single-threaded here, so the
+      // kernel gets the full arena extent as its speculation window.
+      const void *WinLo = Allocator.regionBase();
+      const void *WinHi =
+          static_cast<const char *>(WinLo) + Allocator.bumpUsedBytes();
+      simd::omRelabel(Lo, Count, RangeBase, Gap, offsetof(OmGroup, Next),
+                      offsetof(OmGroup, Label), WinLo, WinHi);
     }
     return G->Label;
   }

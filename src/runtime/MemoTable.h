@@ -21,6 +21,7 @@
 
 #include "support/Arena.h"
 #include "support/SpinLock.h"
+#include "support/simd/Simd.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -98,30 +99,45 @@ public:
   /// Bulk-inserts \p N nodes (each with Memo.Hash already set) after a
   /// single up-front reserve. The initial run inserts every traced
   /// read/alloc into a memo index it will not probe until the first
-  /// propagation, so construction defers the inserts and lands them here:
-  /// a flat array walk whose bucket accesses — the random-address cache
-  /// misses that dominate pay-as-you-go insertion — are hidden by a
-  /// two-stage software prefetch (fetch the node line first, then the
-  /// bucket line its hash names once the node line has arrived).
+  /// propagation, so construction defers the inserts and lands them here.
+  /// The walk is blocked: each block prefetches its node lines, computes
+  /// every bucket index in one vectorized gather-and-mask pass
+  /// (simd::bucketIndex — the hash field is loaded by byte offset, which
+  /// is why the offset is computed at runtime rather than via offsetof on
+  /// a non-standard-layout node type), then runs the inserts with the
+  /// bucket lines — the random-address cache misses that dominate
+  /// pay-as-you-go insertion — prefetched from the precomputed indexes.
   void insertBulk(NodeT *const *Nodes, size_t N) {
     assert(!Sharded && "bulk insertion is an initial-run operation");
     reserve(Count + N);
-    constexpr size_t NodeAhead = 16;
+    constexpr size_t Block = 256;
     constexpr size_t BucketAhead = 8;
-    for (size_t I = 0; I < N; ++I) {
-      if (I + NodeAhead < N)
-        __builtin_prefetch(Nodes[I + NodeAhead], 1);
-      if (I + BucketAhead < N)
-        __builtin_prefetch(
-            &Buckets[bucketIndex(Nodes[I + BucketAhead]->Memo.Hash)], 1);
-      NodeT *Node = Nodes[I];
-      size_t Index = bucketIndex(Node->Memo.Hash);
-      Handle<NodeT> HN = Mem->handle(Node);
-      Node->Memo.Prev = Handle<NodeT>{};
-      Node->Memo.Next = Buckets[Index];
-      if (NodeT *Head = Mem->ptr(Buckets[Index]))
-        Head->Memo.Prev = HN;
-      Buckets[Index] = HN;
+    const uint32_t Mask = uint32_t(Buckets.size() - 1);
+    uint32_t Idx[Block];
+    for (size_t Base = 0; Base < N; Base += Block) {
+      const size_t BN = N - Base < Block ? N - Base : Block;
+      for (size_t I = 0; I < BN; ++I)
+        __builtin_prefetch(Nodes[Base + I], 1);
+      const size_t HashOff =
+          size_t(reinterpret_cast<const char *>(&Nodes[Base]->Memo.Hash) -
+                 reinterpret_cast<const char *>(Nodes[Base]));
+      simd::bucketIndex(
+          reinterpret_cast<const void *const *>(Nodes + Base), BN, HashOff,
+          Mask, Idx);
+      for (size_t I = 0; I < BucketAhead && I < BN; ++I)
+        __builtin_prefetch(&Buckets[Idx[I]], 1);
+      for (size_t I = 0; I < BN; ++I) {
+        if (I + BucketAhead < BN)
+          __builtin_prefetch(&Buckets[Idx[I + BucketAhead]], 1);
+        NodeT *Node = Nodes[Base + I];
+        size_t Index = Idx[I];
+        Handle<NodeT> HN = Mem->handle(Node);
+        Node->Memo.Prev = Handle<NodeT>{};
+        Node->Memo.Next = Buckets[Index];
+        if (NodeT *Head = Mem->ptr(Buckets[Index]))
+          Head->Memo.Prev = HN;
+        Buckets[Index] = HN;
+      }
     }
     Count += N;
   }
@@ -150,6 +166,10 @@ public:
   /// check acyclicity, hash placement, and membership).
   size_t bucketCount() const { return Buckets.size(); }
   NodeT *bucketHead(size_t Index) const { return Mem->ptr(Buckets[Index]); }
+  /// The packed bucket array itself, for auditors that sweep every head
+  /// handle at once (TraceAudit's vectorized bounds pre-check) rather
+  /// than resolving them one by one.
+  const Handle<NodeT> *bucketArray() const { return Buckets.data(); }
   /// The bucket \p Hash maps to under the current table size.
   size_t bucketFor(uint64_t Hash) const { return bucketIndex(Hash); }
 

@@ -32,6 +32,7 @@
 #define CEAL_RUNTIME_PROFILE_H
 
 #include "support/Timer.h"
+#include "support/simd/Simd.h"
 
 #include <cstdint>
 #include <ostream>
@@ -209,7 +210,12 @@ struct PropagationProfile {
     Out << "], \"worker_pops\": [";
     for (unsigned I = 0; I < MaxWorkers; ++I)
       Out << (I ? ", " : "") << WorkerPops[I];
-    Out << "]}}";
+    Out << "]}, \"simd\": ";
+    // Process-global dispatch counters (variant selected per kernel,
+    // calls, bytes), not per-propagation state; included here so every
+    // profile dump records which kernels actually ran and how wide.
+    simd::writeCountersJson(Out);
+    Out << "}";
   }
 };
 

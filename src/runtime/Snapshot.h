@@ -127,7 +127,9 @@ public:
   //===--------------------------------------------------------------===//
 
   static constexpr uint64_t Magic = 0x50414e534c414543ULL; // "CEALSNAP"
-  static constexpr uint32_t FormatVersion = 1;
+  // Version 2: Checksum64 moved to the 32-lane block format
+  // (support/Checksum.h), so v1 digests no longer verify.
+  static constexpr uint32_t FormatVersion = 2;
   static constexpr uint32_t EndianTag = 0x01020304;
   static constexpr uint64_t HeaderBytes = 4096;
 

@@ -20,12 +20,14 @@
 #include "runtime/TraceAudit.h"
 
 #include "runtime/Runtime.h"
+#include "support/simd/Simd.h"
 
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 using namespace ceal;
 
@@ -44,6 +46,100 @@ std::string formatv(const char *Fmt, va_list Args) {
   if (Len > 0)
     std::vsnprintf(S.data(), S.size() + 1, Fmt, Args);
   return S;
+}
+
+/// Batches memo-hash recomputation through the vectorized 32-lane hash
+/// kernel. Both auditors re-derive every chained entry's hash from its
+/// key — per-entry that is a serial mix chain, so the audit's dominant
+/// cost on big traces is multiply latency. Entries are instead grouped
+/// by key-word count; each full group of simd::HashLanes keys is
+/// verified in one simd::hashBatch call over a lane-major transpose,
+/// and sub-group leftovers take the scalar mixer (the same function by
+/// the kernels' equivalence contract). Mismatches are collected rather
+/// than reported inline — callers drain bad() after finish().
+template <typename NodeT> class MemoHashBatch {
+public:
+  explicit MemoHashBatch(uint64_t Seed) : Seed(Seed) {}
+
+  /// Queues \p N, whose key is the word sequence [W, W+NW). NW must be
+  /// at least 1 (memo keys always lead with the closure identity).
+  void add(const NodeT *N, const uint64_t *W, size_t NW) {
+    Group &G = Groups[NW];
+    G.Nodes.push_back(N);
+    G.Words.insert(G.Words.end(), W, W + NW);
+    if (G.Nodes.size() == simd::HashLanes)
+      flush(NW, G);
+  }
+
+  void finish() {
+    for (auto &Entry : Groups)
+      flush(Entry.first, Entry.second);
+  }
+
+  const std::vector<const NodeT *> &bad() const { return Bad; }
+
+private:
+  struct Group {
+    std::vector<const NodeT *> Nodes;
+    std::vector<uint64_t> Words; // node-major, Nodes.size() * NW
+  };
+
+  void flush(size_t NW, Group &G) {
+    constexpr size_t Lanes = simd::HashLanes;
+    if (G.Nodes.size() == Lanes) {
+      // Lane-major transpose: word w of key l lands at Wt[w*Lanes + l],
+      // the layout the kernel consumes one 256-byte step per word.
+      Wt.resize(NW * Lanes);
+      for (size_t L = 0; L < Lanes; ++L)
+        for (size_t W = 0; W < NW; ++W)
+          Wt[W * Lanes + L] = G.Words[L * NW + W];
+      uint64_t H[Lanes];
+      for (uint64_t &Lane : H)
+        Lane = Seed;
+      simd::hashBatch(H, Wt.data(), NW);
+      for (size_t L = 0; L < Lanes; ++L)
+        if (static_cast<uint32_t>(H[L]) != G.Nodes[L]->Memo.Hash)
+          Bad.push_back(G.Nodes[L]);
+    } else {
+      for (size_t I = 0; I < G.Nodes.size(); ++I) {
+        uint64_t H = Seed;
+        for (size_t W = 0; W < NW; ++W)
+          H = hashMixWord(H, G.Words[I * NW + W]);
+        if (static_cast<uint32_t>(H) != G.Nodes[I]->Memo.Hash)
+          Bad.push_back(G.Nodes[I]);
+      }
+    }
+    G.Nodes.clear();
+    G.Words.clear();
+  }
+
+  uint64_t Seed;
+  std::unordered_map<size_t, Group> Groups;
+  std::vector<uint64_t> Wt;
+  std::vector<const NodeT *> Bad;
+};
+
+/// Memo-key seeds and schemas, restated from Runtime::readMemoHash /
+/// allocMemoHash on purpose: an auditor that called the production hash
+/// function could not catch a bug in it.
+constexpr uint64_t ReadMemoSeed = 0x51ab5eed;
+constexpr uint64_t AllocMemoSeed = 0xa110c5eed;
+
+void readMemoKey(const Modref *M, const Closure *C, std::vector<uint64_t> &W) {
+  W.clear();
+  W.push_back(C->identityBits());
+  W.push_back(reinterpret_cast<uintptr_t>(M));
+  for (size_t I = 0, N = C->numArgs(); I < N; ++I)
+    W.push_back(C->args()[I]);
+}
+
+void allocMemoKey(const Closure *Init, size_t Size,
+                  std::vector<uint64_t> &W) {
+  W.clear();
+  W.push_back(Init->identityBits());
+  W.push_back(Size);
+  for (size_t I = 0, N = Init->numArgs(); I < N; ++I)
+    W.push_back(Init->args()[I]);
 }
 
 } // namespace
@@ -404,14 +500,45 @@ struct TraceAudit::Impl {
   // Pass 4: memo indexes
   //===------------------------------------------------------------===//
 
-  template <typename NodeT, typename HashFn>
+  template <typename NodeT, typename KeyFn>
   void checkMemoTable(const MemoTable<NodeT> &Table, const char *Name,
                       const std::vector<const NodeT *> &Expected,
-                      HashFn RecomputeHash) {
+                      uint64_t Seed, KeyFn MakeKey) {
+    const size_t NBuckets = Table.bucketCount();
+#ifndef CEAL_WIDE_TRACE
+    // Vectorized pre-pass over the packed head-handle array: every head
+    // is bounds-checked against the arena's bump frontier in one
+    // simd::boundsCheckU32 sweep, so the chain walk below never starts
+    // from a wild head. (Chain *interior* handles are still checked one
+    // by one through decode(); only the dense head array has the flat
+    // layout the sweep needs.)
+    static_assert(sizeof(Handle<NodeT>) == sizeof(uint32_t),
+                  "packed head sweep assumes compressed handles");
+    const uint32_t *HeadBits =
+        reinterpret_cast<const uint32_t *>(Table.bucketArray());
+    const uint32_t Limit =
+        uint32_t(RT.Mem.bumpUsedBytes() / Arena::HandleGrain);
+    for (size_t B = 0; B < NBuckets;) {
+      B += simd::boundsCheckU32(HeadBits + B, NBuckets - B, Limit);
+      if (B == NBuckets)
+        break;
+      fail("%s memo: bucket %zu head handle 0x%x outside the trace "
+           "arena's allocated region",
+           Name, B, HeadBits[B]);
+      ++B;
+    }
+    auto headOf = [&](size_t B) -> const NodeT * {
+      return HeadBits[B] < Limit ? Table.bucketHead(B) : nullptr;
+    };
+#else
+    auto headOf = [&](size_t B) { return Table.bucketHead(B); };
+#endif
+    MemoHashBatch<NodeT> Hashes(Seed);
+    std::vector<uint64_t> Key;
     std::unordered_set<const NodeT *> InTable;
-    for (size_t B = 0; B < Table.bucketCount(); ++B) {
+    for (size_t B = 0; B < NBuckets; ++B) {
       const NodeT *Prev = nullptr;
-      for (const NodeT *N = Table.bucketHead(B); N;
+      for (const NodeT *N = headOf(B); N;
            N = decode(N->Memo.Next, "memo chain next")) {
         if (!InTable.insert(N).second) {
           fail("%s memo: chain cycle in bucket %zu", Name, B);
@@ -422,13 +549,18 @@ struct TraceAudit::Impl {
         if (Table.bucketFor(N->Memo.Hash) != B)
           fail("%s memo: entry hashed to bucket %zu but chained in %zu",
                Name, Table.bucketFor(N->Memo.Hash), B);
-        if (!LiveNodes.count(N))
+        if (!LiveNodes.count(N)) {
           fail("%s memo: entry is not a live trace node", Name);
-        else if (static_cast<uint32_t>(RecomputeHash(N)) != N->Memo.Hash)
-          fail("%s memo: stored hash does not match its key", Name);
+        } else {
+          MakeKey(N, Key);
+          Hashes.add(N, Key.data(), Key.size());
+        }
         Prev = N;
       }
     }
+    Hashes.finish();
+    for (size_t I = 0; I < Hashes.bad().size(); ++I)
+      fail("%s memo: stored hash does not match its key", Name);
     if (InTable.size() != Table.size())
       fail("%s memo: table Count %zu but %zu chained entries", Name,
            Table.size(), InTable.size());
@@ -441,12 +573,14 @@ struct TraceAudit::Impl {
   }
 
   void checkMemos() {
-    checkMemoTable(RT.ReadMemo, "read", Reads, [&](const ReadNode *R) {
-      return RT.readMemoHash(RT.Mem.ptr(R->Ref), RT.Mem.ptr(R->Clo));
-    });
-    checkMemoTable(RT.AllocMemo, "alloc", Allocs, [&](const AllocNode *A) {
-      return RT.allocMemoHash(RT.Mem.ptr(A->Init), A->Size);
-    });
+    checkMemoTable(RT.ReadMemo, "read", Reads, ReadMemoSeed,
+                   [&](const ReadNode *R, std::vector<uint64_t> &W) {
+                     readMemoKey(RT.Mem.ptr(R->Ref), RT.Mem.ptr(R->Clo), W);
+                   });
+    checkMemoTable(RT.AllocMemo, "alloc", Allocs, AllocMemoSeed,
+                   [&](const AllocNode *A, std::vector<uint64_t> &W) {
+                     allocMemoKey(RT.Mem.ptr(A->Init), A->Size, W);
+                   });
   }
 
   //===------------------------------------------------------------===//
@@ -902,13 +1036,32 @@ struct TraceAudit::LoadImpl {
   // trace bijectively.
   //===------------------------------------------------------------===//
 
-  template <typename NodeT, typename HashFn>
+  template <typename NodeT, typename KeyFn>
   bool checkMemoTable(const MemoTable<NodeT> &Table, const char *Name,
                       TraceKind WantKind, uint8_t SeenBit, size_t WantCount,
-                      HashFn RecomputeHash) {
+                      uint64_t Seed, KeyFn MakeKey) {
     size_t Buckets = Table.bucketCount();
     if (Buckets < 64 || (Buckets & (Buckets - 1)) != 0)
       return fail("%s memo bucket count %zu invalid", Name, Buckets);
+#ifndef CEAL_WIDE_TRACE
+    // Vectorized head sweep: the restored bucket array is dense packed
+    // u32 handles, so one simd::boundsCheckU32 pass rejects any head
+    // pointing past the serialized arena before the chain walk begins.
+    {
+      static_assert(sizeof(Handle<NodeT>) == sizeof(uint32_t),
+                    "packed head sweep assumes compressed handles");
+      const uint32_t *HeadBits =
+          reinterpret_cast<const uint32_t *>(Table.bucketArray());
+      const uint32_t Limit = uint32_t(MemUsed / Arena::HandleGrain);
+      size_t B = simd::boundsCheckU32(HeadBits, Buckets, Limit);
+      if (B != Buckets)
+        return fail("%s memo: bucket %zu head handle 0x%x outside the "
+                    "serialized arena",
+                    Name, B, HeadBits[B]);
+    }
+#endif
+    MemoHashBatch<NodeT> Hashes(Seed);
+    std::vector<uint64_t> Key;
     size_t Seen = 0;
     for (size_t B = 0; B < Buckets; ++B) {
       uint64_t PrevOff = 0;
@@ -933,15 +1086,21 @@ struct TraceAudit::LoadImpl {
           return fail("%s memo entry chained in the wrong bucket", Name);
         if (hoff(E->Memo.Prev) != PrevOff)
           return fail("%s memo chain back-link broken", Name);
-        if (static_cast<uint32_t>(RecomputeHash(E)) != E->Memo.Hash)
-          return fail("%s memo entry's stored hash does not match its key",
-                      Name);
+        MakeKey(E, Key);
+        Hashes.add(E, Key.data(), Key.size());
         if (++Seen > Table.size())
           return fail("%s memo chains exceed the recorded count", Name);
         PrevOff = Off;
         Off = hoff(E->Memo.Next);
       }
     }
+    // Hash verification is batched through the vectorized kernel, so
+    // mismatches surface here rather than mid-walk; the message (and
+    // the load-abort it causes) is the same.
+    Hashes.finish();
+    if (!Hashes.bad().empty())
+      return fail("%s memo entry's stored hash does not match its key",
+                  Name);
     if (Seen != Table.size())
       return fail("%s memo records %zu entries but chains hold %zu", Name,
                   Table.size(), Seen);
@@ -953,15 +1112,15 @@ struct TraceAudit::LoadImpl {
 
   bool checkMemos() {
     return checkMemoTable(RT.ReadMemo, "read", TraceKind::Read, MarkReadMemo,
-                          NReads,
-                          [&](const ReadNode *R) {
-                            return RT.readMemoHash(RT.Mem.ptr(R->Ref),
-                                                   RT.Mem.ptr(R->Clo));
+                          NReads, ReadMemoSeed,
+                          [&](const ReadNode *R, std::vector<uint64_t> &W) {
+                            readMemoKey(RT.Mem.ptr(R->Ref),
+                                        RT.Mem.ptr(R->Clo), W);
                           }) &&
            checkMemoTable(RT.AllocMemo, "alloc", TraceKind::Alloc,
-                          MarkAllocMemo, NAllocs, [&](const AllocNode *A) {
-                            return RT.allocMemoHash(RT.Mem.ptr(A->Init),
-                                                    A->Size);
+                          MarkAllocMemo, NAllocs, AllocMemoSeed,
+                          [&](const AllocNode *A, std::vector<uint64_t> &W) {
+                            allocMemoKey(RT.Mem.ptr(A->Init), A->Size, W);
                           });
   }
 

@@ -1,0 +1,125 @@
+//===- support/simd/KernelsAvx2.cpp - AVX2 kernel variant -----------------===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// Four 64-bit mix lanes per register, eight accumulators for the
+// 32-lane sweeps, 64-bit gathers for the pointer-indexed kernels. The
+// 64-bit multiply is still emulated (three vpmuludq), which is why the
+// checksum format interleaves enough lanes to hide its latency. This TU
+// is compiled with -mavx2 and only entered after a CPUID check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/simd/KernelsShared.h"
+
+#include <immintrin.h>
+
+namespace ceal::simd {
+namespace {
+
+constexpr uint64_t Golden = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t Mult = 0xff51afd7ed558ccdULL;
+
+inline __m256i mulM(__m256i A) {
+  const __m256i MLo = _mm256_set1_epi64x(int64_t(Mult & 0xffffffffu));
+  const __m256i MHi = _mm256_set1_epi64x(int64_t(Mult >> 32));
+  __m256i AHi = _mm256_srli_epi64(A, 32);
+  __m256i LoLo = _mm256_mul_epu32(A, MLo);
+  __m256i HiLo = _mm256_mul_epu32(AHi, MLo);
+  __m256i LoHi = _mm256_mul_epu32(A, MHi);
+  __m256i Cross = _mm256_add_epi64(HiLo, LoHi);
+  return _mm256_add_epi64(LoLo, _mm256_slli_epi64(Cross, 32));
+}
+
+inline __m256i mixV(__m256i H, __m256i W) {
+  const __m256i Gold = _mm256_set1_epi64x(int64_t(Golden));
+  __m256i T = _mm256_add_epi64(W, Gold);
+  T = _mm256_add_epi64(T, _mm256_slli_epi64(H, 6));
+  T = _mm256_add_epi64(T, _mm256_srli_epi64(H, 2));
+  H = _mm256_xor_si256(H, T);
+  H = mulM(H);
+  return _mm256_xor_si256(H, _mm256_srli_epi64(H, 33));
+}
+
+inline __m256i load256(const void *P) {
+  return _mm256_loadu_si256(static_cast<const __m256i *>(P));
+}
+
+// 32 lanes = eight accumulators, all register-resident through a single
+// pass over the data.
+void mixSweep(uint64_t *Lanes, const unsigned char *Data, size_t NSteps) {
+  __m256i H0 = load256(Lanes + 0), H1 = load256(Lanes + 4);
+  __m256i H2 = load256(Lanes + 8), H3 = load256(Lanes + 12);
+  __m256i H4 = load256(Lanes + 16), H5 = load256(Lanes + 20);
+  __m256i H6 = load256(Lanes + 24), H7 = load256(Lanes + 28);
+  for (size_t B = 0; B < NSteps; ++B, Data += ChecksumBlockBytes) {
+    H0 = mixV(H0, load256(Data + 0));
+    H1 = mixV(H1, load256(Data + 32));
+    H2 = mixV(H2, load256(Data + 64));
+    H3 = mixV(H3, load256(Data + 96));
+    H4 = mixV(H4, load256(Data + 128));
+    H5 = mixV(H5, load256(Data + 160));
+    H6 = mixV(H6, load256(Data + 192));
+    H7 = mixV(H7, load256(Data + 224));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(Lanes + 0), H0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(Lanes + 4), H1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(Lanes + 8), H2);
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(Lanes + 12), H3);
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(Lanes + 16), H4);
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(Lanes + 20), H5);
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(Lanes + 24), H6);
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(Lanes + 28), H7);
+}
+
+void checksumBlocksAvx2(uint64_t *Lanes, const unsigned char *Data,
+                        size_t NBlocks) {
+  mixSweep(Lanes, Data, NBlocks);
+}
+
+void hashBatchAvx2(uint64_t *H, const uint64_t *W, size_t NWords) {
+  mixSweep(H, reinterpret_cast<const unsigned char *>(W), NWords);
+}
+
+size_t boundsCheckU32Avx2(const uint32_t *A, size_t N, uint32_t Limit) {
+  const __m256i L = _mm256_set1_epi32(int(Limit));
+  size_t I = 0;
+  for (; I + 8 <= N; I += 8) {
+    __m256i V = load256(A + I);
+    __m256i Ge = _mm256_cmpeq_epi32(_mm256_max_epu32(V, L), V);
+    int Mask = _mm256_movemask_ps(_mm256_castsi256_ps(Ge));
+    if (Mask)
+      return I + size_t(__builtin_ctz(unsigned(Mask)));
+  }
+  return I + boundsCheckU32Scalar(A + I, N - I, Limit);
+}
+
+void bucketIndexAvx2(const void *const *Nodes, size_t N, size_t HashOff,
+                     uint32_t Mask, uint32_t *Out) {
+  static_assert(sizeof(void *) == 8, "pointer gathers assume 64-bit hosts");
+  const __m256i Off = _mm256_set1_epi64x(int64_t(HashOff));
+  const __m128i M = _mm_set1_epi32(int(Mask));
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    __m256i Addr = _mm256_add_epi64(load256(Nodes + I), Off);
+    __m128i H = _mm256_i64gather_epi32(static_cast<const int *>(nullptr), Addr,
+                                       /*scale=*/1);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(Out + I),
+                     _mm_and_si128(H, M));
+  }
+  bucketIndexScalar(Nodes + I, N - I, HashOff, Mask, Out + I);
+}
+
+} // namespace
+
+const Ops &avx2Ops() {
+  static const Ops Table = {
+      &checksumBlocksAvx2, &hashBatchAvx2, &boundsCheckU32Avx2,
+      &bucketIndexAvx2,    &omRelabelSpec,
+  };
+  return Table;
+}
+
+} // namespace ceal::simd

@@ -1,0 +1,28 @@
+//===- support/simd/KernelsScalar.cpp - Reference kernel table ------------===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// The reference variant: defines the semantics every ISA variant must
+// reproduce bit-for-bit. Compiled with the project's baseline flags
+// only (no ISA options), so it is also what non-x86 hosts run. Note the
+// scalar kernels are not strawmen — the 32-lane layouts were chosen so
+// even plain scalar code runs independent multiply chains, which is
+// already measurably faster than the serial-chain code they replaced.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/simd/KernelsShared.h"
+
+namespace ceal::simd {
+
+const Ops &scalarOps() {
+  static const Ops Table = {
+      &checksumBlocksScalar, &hashBatchScalar, &boundsCheckU32Scalar,
+      &bucketIndexScalar,    &omRelabelScalar,
+  };
+  return Table;
+}
+
+} // namespace ceal::simd

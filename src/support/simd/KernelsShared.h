@@ -1,0 +1,192 @@
+//===- support/simd/KernelsShared.h - Scalar kernel bodies -----*- C++ -*-===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scalar kernel bodies: KernelsScalar.cpp wraps them into the
+/// reference op table, and the ISA variant TUs call them for tails and
+/// speculation-failure fallbacks so every partial path is the reference
+/// path by construction.
+///
+/// Everything here lives in an anonymous namespace ON PURPOSE: the
+/// variant TUs are compiled with different ISA flags, and an `inline`
+/// function included into several of them would be merged by the linker
+/// into ONE copy — compiled with whichever TU's flags the linker
+/// happened to keep. A scalar-table call could then execute, say,
+/// auto-vectorized SSE4.2 code on a CPU without it. Internal linkage
+/// gives every TU its own copy built with its own flags, so the scalar
+/// table's code is always baseline code.
+///
+/// Foreign-offset memory (trace nodes, OM nodes seen only as
+/// base+offset) is accessed through memcpy: the kernels know layouts by
+/// offset, not by type, and memcpy keeps that strict-aliasing-clean.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CEAL_SUPPORT_SIMD_KERNELSSHARED_H
+#define CEAL_SUPPORT_SIMD_KERNELSSHARED_H
+
+#include "support/simd/Simd.h"
+
+#include <cstring>
+
+namespace ceal::simd {
+namespace {
+
+inline uint64_t loadLE64(const unsigned char *P) {
+  // Little-endian by definition of the checksum block format. On LE
+  // hosts (every x86 variant) this is a plain 8-byte load; the byte
+  // assembly form keeps scalar-only big-endian builds self-consistent
+  // with their own snapshots.
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  uint64_t W;
+  std::memcpy(&W, P, 8);
+  return W;
+#else
+  uint64_t W = 0;
+  for (unsigned I = 0; I < 8; ++I)
+    W |= uint64_t(P[I]) << (8 * I);
+  return W;
+#endif
+}
+
+inline void checksumBlocksScalar(uint64_t *Lanes, const unsigned char *Data,
+                                 size_t NBlocks) {
+  for (size_t B = 0; B < NBlocks; ++B, Data += ChecksumBlockBytes)
+    for (size_t L = 0; L < HashLanes; ++L)
+      Lanes[L] = mixStep(Lanes[L], loadLE64(Data + L * 8));
+}
+
+inline void hashBatchScalar(uint64_t *H, const uint64_t *W, size_t NWords) {
+  for (size_t I = 0; I < NWords; ++I, W += HashLanes)
+    for (size_t L = 0; L < HashLanes; ++L)
+      H[L] = mixStep(H[L], W[L]);
+}
+
+inline size_t boundsCheckU32Scalar(const uint32_t *A, size_t N,
+                                   uint32_t Limit) {
+  for (size_t I = 0; I < N; ++I)
+    if (A[I] >= Limit)
+      return I;
+  return N;
+}
+
+inline void bucketIndexScalar(const void *const *Nodes, size_t N,
+                              size_t HashOff, uint32_t Mask, uint32_t *Out) {
+  for (size_t I = 0; I < N; ++I) {
+    uint32_t H;
+    std::memcpy(&H, static_cast<const char *>(Nodes[I]) + HashOff, 4);
+    Out[I] = H & Mask;
+  }
+}
+
+/// The serial pointer chase: relabels \p Count nodes starting at
+/// \p First with labels Base + Gap*(StartIndex+1 ...), returning the
+/// node after the last one written. StartIndex lets batched variants
+/// resume mid-chain after a speculation failure.
+inline void *omRelabelChase(void *First, uint64_t StartIndex, uint64_t Count,
+                            uint64_t Base, uint64_t Gap, size_t NextOff,
+                            size_t LabelOff) {
+  char *N = static_cast<char *>(First);
+  uint64_t Label = Base + Gap * StartIndex;
+  for (uint64_t I = 0; I < Count; ++I) {
+    Label += Gap;
+    std::memcpy(N + LabelOff, &Label, 8);
+    std::memcpy(&N, N + NextOff, sizeof(char *));
+  }
+  return N;
+}
+
+inline void omRelabelScalar(void *First, uint64_t Count, uint64_t Base,
+                            uint64_t Gap, size_t NextOff, size_t LabelOff,
+                            const void *, const void *) {
+  if (Count)
+    omRelabelChase(First, 0, Count, Base, Gap, NextOff, LabelOff);
+}
+
+/// The batched rewrite every ISA table uses: the serial chase is
+/// latency-bound on the Next load (each iteration's address depends on
+/// the previous load), so each batch of 8 speculates that the chain is
+/// a constant-stride run, derives the 8 candidate addresses, range-
+/// checks them against the [SafeLo, SafeHi) window, issues the 8 Next
+/// loads *independently*, and commits label stores only to verified
+/// nodes. A verified batch whose last Next continues the stride carries
+/// it into the next batch, eliminating the dependent load entirely
+/// while a run lasts. The win is memory-level parallelism, which is why
+/// this one body serves SSE4.2 through AVX-512 — hardware gathers
+/// measured no better than eight independent scalar loads here.
+inline void omRelabelSpec(void *First, uint64_t Count, uint64_t Base,
+                          uint64_t Gap, size_t NextOff, size_t LabelOff,
+                          const void *SafeLo, const void *SafeHi) {
+  constexpr uint64_t Batch = 8;
+  if (Count == 0)
+    return;
+  const uintptr_t Lo = reinterpret_cast<uintptr_t>(SafeLo);
+  const uintptr_t Hi = reinterpret_cast<uintptr_t>(SafeHi);
+  const uintptr_t Span = (NextOff > LabelOff ? NextOff : LabelOff) + 8;
+  if (!SafeLo || !SafeHi || Hi < Lo || Hi - Lo < Span || Count < Batch) {
+    omRelabelChase(First, 0, Count, Base, Gap, NextOff, LabelOff);
+    return;
+  }
+  const uintptr_t HiSpan = Hi - Span;
+  char *N = static_cast<char *>(First);
+  uint64_t I = 0;
+  uint64_t Lab = Base; // == Base + Gap*I throughout
+  uintptr_t S = 0;     // stride carried from a verified batch; 0 = unknown
+  while (I + Batch <= Count) {
+    const uintptr_t P0 = reinterpret_cast<uintptr_t>(N);
+    const bool Carried = S != 0;
+    if (!Carried) {
+      char *P1;
+      std::memcpy(&P1, N + NextOff, sizeof(char *));
+      S = reinterpret_cast<uintptr_t>(P1) - P0;
+    }
+    // Monotone window check covers every candidate P0 + j*S without
+    // per-candidate tests (no wraparound inside [Lo, HiSpan]).
+    const uintptr_t Last = P0 + S * (Batch - 1);
+    const bool Fwd = intptr_t(S) > 0;
+    if (S != 0 && (Fwd ? (Last > P0 && P0 >= Lo && Last <= HiSpan)
+                       : (Last < P0 && Last >= Lo && P0 <= HiSpan))) {
+      uintptr_t Nx[Batch];
+      for (uint64_t J = 0; J < Batch; ++J)
+        std::memcpy(&Nx[J], reinterpret_cast<char *>(P0 + S * J) + NextOff,
+                    sizeof(char *));
+      bool Run = true;
+      for (uint64_t J = 0; J + 1 < Batch; ++J)
+        Run &= Nx[J] == P0 + S * (J + 1);
+      if (Run) {
+        uint64_t L = Lab;
+        for (uint64_t J = 0; J < Batch; ++J) {
+          L += Gap;
+          std::memcpy(reinterpret_cast<char *>(P0 + S * J) + LabelOff, &L, 8);
+        }
+        N = reinterpret_cast<char *>(Nx[Batch - 1]);
+        I += Batch;
+        Lab = L;
+        if (Nx[Batch - 1] - P0 != S * Batch)
+          S = 0; // run ended exactly at the batch boundary
+        continue;
+      }
+    }
+    if (Carried) {
+      // The carried stride mispredicted; retry this batch from the
+      // chain's actual Next before surrendering to the serial chase.
+      S = 0;
+      continue;
+    }
+    N = static_cast<char *>(
+        omRelabelChase(N, I, Batch, Base, Gap, NextOff, LabelOff));
+    I += Batch;
+    Lab += Gap * Batch;
+    S = 0;
+  }
+  if (I < Count)
+    omRelabelChase(N, I, Count - I, Base, Gap, NextOff, LabelOff);
+}
+
+} // namespace
+} // namespace ceal::simd
+
+#endif // CEAL_SUPPORT_SIMD_KERNELSSHARED_H

@@ -1,0 +1,109 @@
+//===- support/simd/KernelsSse42.cpp - SSE4.2 kernel variant --------------===//
+//
+// Part of the CEAL reproduction. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+//
+// Two 64-bit mix lanes per register. SSE has no 64-bit multiply, so the
+// mixer's multiply is decomposed into three 32x32->64 vpmuludq products
+// (lo*lo + ((hi*lo + lo*hi) << 32)); with the multiplier constant, its
+// halves are precomputed. This TU is compiled with -msse4.2 and only
+// ever entered through the dispatch table after a CPUID check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/simd/KernelsShared.h"
+
+#include <immintrin.h>
+
+namespace ceal::simd {
+namespace {
+
+constexpr uint64_t Golden = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t Mult = 0xff51afd7ed558ccdULL;
+
+// A * Mult per 64-bit lane (low 64 bits), Mult split into 32-bit halves.
+inline __m128i mulM(__m128i A) {
+  const __m128i MLo = _mm_set1_epi64x(int64_t(Mult & 0xffffffffu));
+  const __m128i MHi = _mm_set1_epi64x(int64_t(Mult >> 32));
+  __m128i AHi = _mm_srli_epi64(A, 32);
+  __m128i LoLo = _mm_mul_epu32(A, MLo);
+  __m128i HiLo = _mm_mul_epu32(AHi, MLo);
+  __m128i LoHi = _mm_mul_epu32(A, MHi);
+  __m128i Cross = _mm_add_epi64(HiLo, LoHi);
+  return _mm_add_epi64(LoLo, _mm_slli_epi64(Cross, 32));
+}
+
+inline __m128i mixV(__m128i H, __m128i W) {
+  const __m128i Gold = _mm_set1_epi64x(int64_t(Golden));
+  __m128i T = _mm_add_epi64(W, Gold);
+  T = _mm_add_epi64(T, _mm_slli_epi64(H, 6));
+  T = _mm_add_epi64(T, _mm_srli_epi64(H, 2));
+  H = _mm_xor_si128(H, T);
+  H = mulM(H);
+  return _mm_xor_si128(H, _mm_srli_epi64(H, 33));
+}
+
+// Shared core for ChecksumBlocks and HashBatch: both walk a sequence of
+// 256-byte steps mixing word l of each step into lane l. Lanes are
+// processed in groups of 8 (four registers) so the accumulators stay
+// register-resident across the whole sweep; each group's pass reads a
+// 64-byte slice of every step.
+void mixSweep(uint64_t *Lanes, const unsigned char *Data, size_t NSteps) {
+  for (size_t G = 0; G < HashLanes; G += 8) {
+    uint64_t *L = Lanes + G;
+    __m128i H0 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(L + 0));
+    __m128i H1 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(L + 2));
+    __m128i H2 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(L + 4));
+    __m128i H3 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(L + 6));
+    const unsigned char *P = Data + G * 8;
+    for (size_t B = 0; B < NSteps; ++B, P += ChecksumBlockBytes) {
+      H0 = mixV(H0, _mm_loadu_si128(reinterpret_cast<const __m128i *>(P)));
+      H1 = mixV(H1,
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + 16)));
+      H2 = mixV(H2,
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + 32)));
+      H3 = mixV(H3,
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(P + 48)));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(L + 0), H0);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(L + 2), H1);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(L + 4), H2);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(L + 6), H3);
+  }
+}
+
+void checksumBlocksSse42(uint64_t *Lanes, const unsigned char *Data,
+                         size_t NBlocks) {
+  mixSweep(Lanes, Data, NBlocks);
+}
+
+void hashBatchSse42(uint64_t *H, const uint64_t *W, size_t NWords) {
+  mixSweep(H, reinterpret_cast<const unsigned char *>(W), NWords);
+}
+
+size_t boundsCheckU32Sse42(const uint32_t *A, size_t N, uint32_t Limit) {
+  const __m128i L = _mm_set1_epi32(int(Limit));
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    __m128i V = _mm_loadu_si128(reinterpret_cast<const __m128i *>(A + I));
+    // max(V, L) == V  <=>  V >= L  (unsigned).
+    __m128i Ge = _mm_cmpeq_epi32(_mm_max_epu32(V, L), V);
+    int Mask = _mm_movemask_ps(_mm_castsi128_ps(Ge));
+    if (Mask)
+      return I + size_t(__builtin_ctz(unsigned(Mask)));
+  }
+  return I + boundsCheckU32Scalar(A + I, N - I, Limit);
+}
+
+} // namespace
+
+const Ops &sse42Ops() {
+  static const Ops Table = {
+      &checksumBlocksSse42, &hashBatchSse42, &boundsCheckU32Sse42,
+      &bucketIndexScalar,   &omRelabelSpec,
+  };
+  return Table;
+}
+
+} // namespace ceal::simd
